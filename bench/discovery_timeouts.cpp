@@ -1,0 +1,112 @@
+// Ablation A5 (§VI): "scenarios to test various aspects of the system (such
+// as maximum timeouts for the discovery service to allow silence from a
+// device until a 'Purge Member' event is launched)".
+//
+// A member disconnects for D seconds and returns. For each (outage D, purge
+// timeout P) pair we report whether the outage was masked (suspect →
+// recovered, no purge) or the member was purged and had to re-join — and
+// how long full event flow took to resume. Small P purges aggressively
+// (losing queued events, forcing re-admission); large P masks long outages
+// but keeps dead members' queues around.
+#include "bench_util.hpp"
+#include "smc/cell.hpp"
+#include "smc/member.hpp"
+
+namespace amuse::bench {
+namespace {
+
+struct TimeoutResult {
+  bool purged = false;
+  bool rejoined = false;
+  double resume_after_s = -1;  // from reconnect to first delivered event
+  std::size_t delivered_during_outage_queue = 0;
+};
+
+TimeoutResult run(double outage_s, double purge_after_s, std::uint64_t seed) {
+  SimExecutor ex;
+  SimNetwork net(ex, seed);
+  net.set_default_link(profiles::usb_ip_link());
+  SimHost& core = net.add_host("core", profiles::ideal_host());
+  SimHost& roam = net.add_host("roamer", profiles::ideal_host());
+
+  SmcCellConfig cfg;
+  cfg.name = "cell";
+  cfg.pre_shared_key = to_bytes("k");
+  cfg.discovery.beacon_interval = milliseconds(400);
+  cfg.discovery.heartbeat_interval = milliseconds(400);
+  cfg.discovery.suspect_after = seconds(2);
+  cfg.discovery.purge_after = from_seconds(purge_after_s);
+  cfg.discovery.sweep_interval = milliseconds(200);
+  SelfManagedCell cell(ex, net.create_endpoint(core),
+                       net.create_endpoint(core), cfg);
+  cell.start();
+
+  TimeoutResult r;
+  cell.bus().subscribe_local(
+      Filter::for_type(smc_events::kPurgeMember),
+      [&](const Event&) { r.purged = true; });
+
+  SmcMemberConfig mc;
+  mc.agent.cell_name = "cell";
+  mc.agent.pre_shared_key = to_bytes("k");
+  mc.agent.cell_lost_after = seconds(3);
+  SmcMember member(ex, net.create_endpoint(roam), mc);
+  TimePoint reconnect_at{};
+  TimePoint first_delivery_after{};
+  member.subscribe(Filter::for_type("tick"), [&](const Event&) {
+    if (reconnect_at != TimePoint{} && first_delivery_after == TimePoint{} &&
+        ex.now() > reconnect_at) {
+      first_delivery_after = ex.now();
+    }
+  });
+  member.start();
+  ex.run_for(seconds(3));
+
+  // A 1 Hz tick stream from the cell core for the member to receive.
+  std::function<void()> tick = [&] {
+    cell.bus().publish_local(Event("tick"));
+    ex.schedule_after(seconds(1), tick);
+  };
+  tick();
+  ex.run_for(seconds(2));
+
+  // Outage.
+  roam.set_up(false);
+  ex.run_for(from_seconds(outage_s));
+  roam.set_up(true);
+  reconnect_at = ex.now();
+  ex.run_for(seconds(40));
+
+  r.rejoined = member.joined();
+  if (first_delivery_after != TimePoint{}) {
+    r.resume_after_s = to_seconds(first_delivery_after - reconnect_at);
+  }
+  return r;
+}
+
+}  // namespace
+}  // namespace amuse::bench
+
+int main() {
+  using namespace amuse;
+  using namespace amuse::bench;
+
+  std::printf("Ablation A5: discovery purge-timeout sensitivity\n");
+  std::printf("(suspect_after fixed at 2 s; member outage D vs purge "
+              "timeout P)\n");
+  print_header("masked = outage survived without purge",
+               "outage_s  purge_s  outcome   member_ok  resume_after_s");
+  for (double purge : {4.0, 10.0, 20.0}) {
+    for (double outage : {1.0, 3.0, 8.0, 15.0}) {
+      TimeoutResult r = run(outage, purge,
+                            static_cast<std::uint64_t>(purge * 100 + outage));
+      std::printf("%8.0f  %7.0f  %-8s  %9s  %14.2f\n", outage, purge,
+                  r.purged ? "purged" : "masked", r.rejoined ? "yes" : "NO",
+                  r.resume_after_s);
+    }
+  }
+  std::printf("\nexpected shape: outage < purge timeout -> masked with fast "
+              "resume;\noutage > purge timeout -> purged, resume costs a "
+              "full re-admission handshake\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Ablation A4 (§VI): "power-saving benefits from quenching techniques such
+// as those demonstrated in the Elvin publish/subscribe system".
+//
+// A chatty sensor publishes a mixed event stream; only a fraction of event
+// types have any subscriber. With quenching the bus pushes its filter table
+// to the publisher, which suppresses unwanted events *before* transmitting
+// — radio transmissions are the dominant power cost on body-worn devices,
+// so suppressed datagrams are the figure of merit.
+#include "bench_util.hpp"
+
+namespace amuse::bench {
+namespace {
+
+struct QuenchResult {
+  std::uint64_t published = 0;
+  std::uint64_t suppressed = 0;
+  std::uint64_t datagrams = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t delivered = 0;
+};
+
+QuenchResult run(bool quench, int wanted_types_of_10) {
+  SimExecutor ex;
+  SimNetwork net(ex, 5 + static_cast<std::uint64_t>(wanted_types_of_10));
+  net.set_default_link(profiles::usb_ip_link());
+  SimHost& pda = net.add_host("pda", profiles::pda_ipaq_hx4700());
+  SimHost& laptop = net.add_host("laptop", profiles::laptop_p3_1200());
+
+  EventBusConfig cfg;
+  cfg.quench = quench;
+  cfg.host = &pda;
+  EventBus bus(ex, net.create_endpoint(pda), cfg);
+
+  auto pub_t = net.create_endpoint(laptop);
+  bus.add_member(MemberInfo{pub_t->local_id(), "sensor.multi", "sensor"});
+  BusClientConfig ccfg;
+  ccfg.quench = quench;
+  BusClient pub(ex, std::move(pub_t), bus.bus_id(), ccfg);
+
+  auto sub_t = net.create_endpoint(laptop);
+  bus.add_member(MemberInfo{sub_t->local_id(), "console", "nurse"});
+  BusClient sub(ex, std::move(sub_t), bus.bus_id());
+
+  QuenchResult r;
+  for (int t = 0; t < wanted_types_of_10; ++t) {
+    sub.subscribe(Filter::for_type("chan." + std::to_string(t)),
+                  [&](const Event&) { ++r.delivered; });
+  }
+  ex.run();
+  net.reset_stats();
+
+  // 1000 events round-robin over 10 channels.
+  for (int i = 0; i < 1000; ++i) {
+    ex.schedule_at(TimePoint(milliseconds(i * 50)), [&, i] {
+      Event e("chan." + std::to_string(i % 10));
+      e.set("data", Bytes(128, 0));
+      pub.publish(std::move(e));
+    });
+  }
+  ex.run_until(TimePoint(seconds(120)));
+  ex.run();
+
+  r.published = pub.stats().published;
+  r.suppressed = pub.stats().quenched;
+  r.datagrams = net.stats().datagrams_sent;
+  r.bytes = net.stats().bytes_sent;
+  return r;
+}
+
+}  // namespace
+}  // namespace amuse::bench
+
+int main() {
+  using namespace amuse;
+  using namespace amuse::bench;
+
+  std::printf("Ablation A4: Elvin-style quenching (1000 events over 10 "
+              "channels, 128 B payloads)\n");
+  print_header("radio cost with and without quenching",
+               "wanted/10  mode      transmitted  suppressed  datagrams  "
+               "bytes_on_air  delivered");
+  for (int wanted : {1, 3, 5, 10}) {
+    QuenchResult off = run(false, wanted);
+    QuenchResult on = run(true, wanted);
+    std::printf("%9d  %-8s  %11llu  %10llu  %9llu  %12llu  %9llu\n", wanted,
+                "off", static_cast<unsigned long long>(off.published),
+                static_cast<unsigned long long>(off.suppressed),
+                static_cast<unsigned long long>(off.datagrams),
+                static_cast<unsigned long long>(off.bytes),
+                static_cast<unsigned long long>(off.delivered));
+    std::printf("%9d  %-8s  %11llu  %10llu  %9llu  %12llu  %9llu  "
+                "(%.0f%% fewer bytes)\n",
+                wanted, "quench",
+                static_cast<unsigned long long>(on.published),
+                static_cast<unsigned long long>(on.suppressed),
+                static_cast<unsigned long long>(on.datagrams),
+                static_cast<unsigned long long>(on.bytes),
+                static_cast<unsigned long long>(on.delivered),
+                100.0 * (1.0 - static_cast<double>(on.bytes) /
+                                   static_cast<double>(off.bytes)));
+  }
+  std::printf("\nexpected shape: savings shrink as the wanted fraction "
+              "grows; delivered counts identical in both modes\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Ablation A3 (§VI): "the mechanism for queueing and repeating attempts to
+// deliver events to services which are unavailable".
+//
+// Sweeps datagram loss from 0 to 50% on the PDA⟷laptop link and reports,
+// for a fixed 200-event workload: delivery completeness (must stay 100%,
+// exactly once, in order — the §II-C guarantee), retransmission overhead,
+// and mean delivery delay. Also runs a burst-outage scenario: the
+// subscriber disappears for 3 s mid-stream and the proxy's queue drains on
+// its return.
+#include "bench_util.hpp"
+
+namespace amuse::bench {
+namespace {
+
+struct LossResult {
+  std::size_t delivered = 0;
+  bool in_order = true;
+  bool duplicate_free = true;
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t retransmissions = 0;
+  double mean_delay_ms = 0;
+};
+
+LossResult run_loss(double loss, std::uint64_t seed) {
+  LinkModel link = profiles::usb_ip_link();
+  link.loss = loss;
+  Testbed tb(BusEngine::kCBased, seed, link);
+  auto pub = tb.laptop_client("bench.pub");
+  auto sub = tb.laptop_client("bench.sub");
+
+  LossResult r;
+  std::vector<double> delays;
+  std::int64_t expected = 0;
+  std::vector<bool> seen(200, false);
+  sub->subscribe(Filter::for_type("perf.payload"), [&](const Event& e) {
+    auto n = e.get_int("n");
+    if (n != expected) r.in_order = false;
+    if (n >= 0 && n < 200) {
+      if (seen[static_cast<std::size_t>(n)]) r.duplicate_free = false;
+      seen[static_cast<std::size_t>(n)] = true;
+    }
+    expected = n + 1;
+    ++r.delivered;
+    delays.push_back(to_millis(tb.ex.now() - e.timestamp()));
+  });
+  tb.ex.run();
+
+  for (int i = 0; i < 200; ++i) {
+    tb.ex.schedule_at(TimePoint(milliseconds(1000 + i * 250)), [&, i] {
+      Event e = payload_event(256);
+      e.set("n", i);
+      pub->publish(std::move(e));
+    });
+  }
+  tb.ex.run_until(TimePoint(seconds(300)));
+  tb.ex.run();
+
+  r.datagrams_sent = tb.net.stats().datagrams_sent;
+  r.retransmissions = pub->channel_stats().retransmissions;
+  r.mean_delay_ms = summarize(std::move(delays)).mean;
+  return r;
+}
+
+void run_outage() {
+  Testbed tb(BusEngine::kCBased, 404);
+  auto pub = tb.laptop_client("bench.pub");
+  auto sub = tb.laptop_client("bench.sub");
+
+  std::size_t delivered = 0;
+  bool in_order = true;
+  std::int64_t expected = 0;
+  TimePoint recovered_at{};
+  sub->subscribe(Filter::for_type("perf.payload"), [&](const Event& e) {
+    if (e.get_int("n") != expected) in_order = false;
+    expected = e.get_int("n") + 1;
+    ++delivered;
+    recovered_at = tb.ex.now();
+  });
+  tb.ex.run();
+
+  // 40 events over 10 s; the subscriber's host is dark from t=3s to t=6s.
+  for (int i = 0; i < 40; ++i) {
+    tb.ex.schedule_at(TimePoint(milliseconds(500 + i * 250)), [&, i] {
+      Event e = payload_event(128);
+      e.set("n", i);
+      pub->publish(std::move(e));
+    });
+  }
+  tb.ex.schedule_at(TimePoint(seconds(3)), [&] { tb.laptop.set_up(false); });
+  tb.ex.schedule_at(TimePoint(seconds(6)), [&] { tb.laptop.set_up(true); });
+  tb.ex.run_until(TimePoint(seconds(120)));
+  tb.ex.run();
+
+  std::printf("\nburst outage (subscriber dark 3s-6s, 40 events):\n");
+  std::printf("  delivered %zu/40, in_order=%s, queue drained by t=%.2fs\n",
+              delivered, in_order ? "yes" : "NO",
+              to_seconds(recovered_at.time_since_epoch()));
+}
+
+}  // namespace
+}  // namespace amuse::bench
+
+int main() {
+  using namespace amuse;
+  using namespace amuse::bench;
+
+  std::printf("Ablation A3: reliable delivery under datagram loss "
+              "(200 events, 256 B)\n");
+  print_header("exactly-once + FIFO must hold at every loss rate",
+               "loss%%  delivered  in_order  dup_free  datagrams  retx  "
+               "mean_delay_ms");
+  for (double loss : {0.0, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50}) {
+    LossResult r = run_loss(loss, static_cast<std::uint64_t>(loss * 1000) + 3);
+    std::printf("%5.0f  %9zu  %8s  %8s  %9llu  %4llu  %13.1f\n", loss * 100,
+                r.delivered, r.in_order ? "yes" : "NO",
+                r.duplicate_free ? "yes" : "NO",
+                static_cast<unsigned long long>(r.datagrams_sent),
+                static_cast<unsigned long long>(r.retransmissions),
+                r.mean_delay_ms);
+  }
+  std::printf(
+      "\nnote: events are offered at a fixed 4/s; above ~20%% loss the "
+      "channel's goodput drops below the\noffered rate, so mean delay is "
+      "dominated by queueing backlog — delivery still completes exactly "
+      "once, in order.\n");
+  run_outage();
+  return 0;
+}

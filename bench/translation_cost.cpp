@@ -1,0 +1,73 @@
+// Ablation A6: the real (wall-clock) cost of the Siena translation layer —
+// the paper's explanation for Figure 4's gap: "the much simpler codebase
+// not requiring the same data translations Siena required, including
+// translation to or from our own data types" (§V).
+//
+// Compares, per payload size: binary event encode+decode (what the C-based
+// bus does) vs the full Siena round trip (format every attribute to text,
+// parse it back), plus filter translation.
+#include <benchmark/benchmark.h>
+
+#include "pubsub/codec.hpp"
+#include "pubsub/siena_translation.hpp"
+
+namespace amuse {
+namespace {
+
+Event make_event(std::size_t payload) {
+  Event e("vitals.waveform");
+  e.set("member", std::int64_t{123456});
+  e.set("hr", 71.5);
+  e.set("data", Bytes(payload, 0xA5));
+  return e;
+}
+
+void BM_BinaryCodecRoundTrip(benchmark::State& state) {
+  Event e = make_event(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Event back = decode_event(encode_event(e));
+    benchmark::DoNotOptimize(&back);
+  }
+  state.counters["payload_B"] = static_cast<double>(state.range(0));
+}
+
+void BM_SienaRoundTrip(benchmark::State& state) {
+  Event e = make_event(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Event back = siena_round_trip(e);
+    benchmark::DoNotOptimize(&back);
+  }
+  state.counters["payload_B"] = static_cast<double>(state.range(0));
+}
+
+BENCHMARK(BM_BinaryCodecRoundTrip)->Arg(0)->Arg(250)->Arg(1000)->Arg(3000)->Arg(5000);
+BENCHMARK(BM_SienaRoundTrip)->Arg(0)->Arg(250)->Arg(1000)->Arg(3000)->Arg(5000);
+
+void BM_FilterToSienaText(benchmark::State& state) {
+  Filter f;
+  f.where("type", Op::kEq, "vitals.heartrate")
+      .where("hr", Op::kGt, 120)
+      .where("member", Op::kEq, std::int64_t{123456});
+  for (auto _ : state) {
+    Filter back = parse_siena_filter(to_siena_filter(f));
+    benchmark::DoNotOptimize(&back);
+  }
+}
+BENCHMARK(BM_FilterToSienaText);
+
+void BM_FilterBinaryCodec(benchmark::State& state) {
+  Filter f;
+  f.where("type", Op::kEq, "vitals.heartrate")
+      .where("hr", Op::kGt, 120)
+      .where("member", Op::kEq, std::int64_t{123456});
+  for (auto _ : state) {
+    Filter back = decode_filter(encode_filter(f));
+    benchmark::DoNotOptimize(&back);
+  }
+}
+BENCHMARK(BM_FilterBinaryCodec);
+
+}  // namespace
+}  // namespace amuse
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// Ablation A7 (§VI): transport migration. "Currently, we are developing a
+// prototype using Bluetooth. Soon, we will test the SMC architecture using
+// devices which communicate via the ZigBee wireless protocol."
+//
+// The generic transport layer means only the link model changes: the same
+// bus code runs over the prototype's USB-IP link, 802.11b, Bluetooth 1.2
+// and ZigBee (with message fragmentation enabled for ZigBee's small MTU).
+// Reports response time and sustained throughput per transport at two
+// payload sizes, plus the reliability layer's work on each.
+#include "bench_util.hpp"
+
+namespace amuse::bench {
+namespace {
+
+struct TransportSpec {
+  const char* name;
+  LinkModel link;
+  std::size_t fragment = 0;  // reliable-channel fragment payload (0 = off)
+};
+
+struct Outcome {
+  double response_ms = 0;
+  double throughput_kbps = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t fragments = 0;
+};
+
+Outcome run(const TransportSpec& spec, std::size_t payload,
+            std::uint64_t seed) {
+  Testbed tb(BusEngine::kCBased, seed, spec.link);
+
+  auto make_client = [&](const std::string& type) {
+    auto transport = tb.net.create_endpoint(tb.laptop);
+    tb.bus->add_member(
+        MemberInfo{transport->local_id(), type, "service"});
+    BusClientConfig cfg;
+    cfg.channel.rto_initial = seconds(2);
+    cfg.channel.max_fragment_payload = spec.fragment;
+    return std::make_unique<BusClient>(tb.ex, std::move(transport),
+                                       tb.bus->bus_id(), cfg);
+  };
+  // The bus-side proxies must fragment too (bus → subscriber direction).
+  // EventBusConfig channel config was fixed at Testbed construction, so
+  // rebuild the bus with fragmentation when needed.
+  if (spec.fragment != 0) {
+    EventBusConfig cfg;
+    cfg.engine = BusEngine::kCBased;
+    cfg.host = &tb.pda;
+    cfg.channel.rto_initial = seconds(2);
+    cfg.channel.max_fragment_payload = spec.fragment;
+    tb.bus = std::make_unique<EventBus>(tb.ex,
+                                        tb.net.create_endpoint(tb.pda), cfg);
+  }
+  auto pub = make_client("bench.pub");
+  auto sub = make_client("bench.sub");
+
+  Outcome out;
+  // --- Response time: 15 spaced probes.
+  std::vector<double> samples;
+  std::uint64_t delivered_bytes = 0;
+  sub->subscribe(Filter::for_type("perf.payload"), [&](const Event& e) {
+    samples.push_back(to_millis(tb.ex.now() - e.timestamp()));
+    delivered_bytes += e.get("data")->as_bytes().size();
+  });
+  tb.ex.run();
+  for (int i = 0; i < 15; ++i) {
+    tb.ex.schedule_at(TimePoint(seconds(5 + i * 10)),
+                      [&] { pub->publish(payload_event(payload)); });
+  }
+  tb.ex.run();
+  out.response_ms = summarize(std::move(samples)).mean;
+
+  // --- Throughput: saturate for 60 s.
+  delivered_bytes = 0;
+  TimePoint start = tb.ex.now() + seconds(5);
+  std::function<void()> pump = [&] {
+    while (pub->backlog() < 4) pub->publish(payload_event(payload));
+    tb.ex.schedule_after(milliseconds(50), pump);
+  };
+  tb.ex.schedule_at(start, pump);
+  tb.ex.run_until(start + seconds(60));
+  out.throughput_kbps = static_cast<double>(delivered_bytes) / 1024.0 / 60.0;
+  out.retransmissions = pub->channel_stats().retransmissions;
+  out.fragments = pub->channel_stats().fragments_sent;
+  return out;
+}
+
+}  // namespace
+}  // namespace amuse::bench
+
+int main() {
+  using namespace amuse;
+  using namespace amuse::bench;
+
+  std::vector<TransportSpec> specs = {
+      {"usb-ip", profiles::usb_ip_link(), 0},
+      {"wifi-11b", profiles::wifi_11b_link(), 0},
+      {"bluetooth", profiles::bluetooth_link(), 0},
+      {"zigbee", profiles::zigbee_link(), 700},  // MTU 1024: fragment
+  };
+
+  std::printf("Ablation A7: the same event bus over the paper's target "
+              "transports\n(C-based engine; ZigBee uses channel-level "
+              "fragmentation for its 1024 B MTU)\n");
+  print_header("response time and sustained throughput per transport",
+               "transport  payload_B  response_ms  throughput_KBps  retx  "
+               "fragments");
+  for (const TransportSpec& spec : specs) {
+    for (std::size_t payload : {256u, 2048u}) {
+      Outcome o = run(spec, payload, payload + 1);
+      std::printf("%-9s  %9zu  %11.1f  %15.2f  %4llu  %9llu\n", spec.name,
+                  payload, o.response_ms, o.throughput_kbps,
+                  static_cast<unsigned long long>(o.retransmissions),
+                  static_cast<unsigned long long>(o.fragments));
+    }
+  }
+  std::printf("\nexpected shape: usb-ip ≈ wifi ≫ bluetooth > zigbee; "
+              "zigbee carries 2 KB events only thanks to fragmentation;\n"
+              "lossy radios show retransmissions but identical delivery "
+              "semantics\n");
+  return 0;
+}

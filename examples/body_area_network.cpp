@@ -1,0 +1,146 @@
+// Body-area network: the paper's motivating scenario (§I) end to end.
+//
+// A patient wears four vital-sign sensors and a defibrillator, all very
+// simple devices speaking the raw device protocol. The SMC core (event bus
+// + discovery + policy services) runs on a PDA. Ponder-lite policies raise
+// a cardiac alarm when the heart rate spikes and trigger the defibrillator;
+// a nurse's console subscribes to vitals and alarms. We script a cardiac
+// episode and watch the cell self-manage.
+//
+// Run: ./body_area_network
+#include <cstdio>
+
+#include "devices/actuators.hpp"
+#include "devices/console.hpp"
+#include "devices/sensors.hpp"
+#include "hostmodel/profiles.hpp"
+#include "net/link_profiles.hpp"
+#include "smc/cell.hpp"
+#include "sim/sim_executor.hpp"
+
+int main() {
+  using namespace amuse;
+
+  const Bytes psk = to_bytes("ward7-cell-key");
+  SimExecutor executor;
+  SimNetwork net(executor, /*seed=*/0xBA7);
+  net.set_default_link(profiles::usb_ip_link());
+  SimHost& core_host = net.add_host("pda-core", profiles::ideal_host());
+  SimHost& body = net.add_host("patient-body", profiles::ideal_host());
+  SimHost& nurse_pda = net.add_host("nurse-pda", profiles::ideal_host());
+
+  // --- The self-managed cell: bus + discovery + policy services.
+  SmcCellConfig cfg;
+  cfg.name = "ward7-patient3";
+  cfg.pre_shared_key = psk;
+  cfg.discovery.beacon_interval = milliseconds(500);
+  cfg.discovery.heartbeat_interval = milliseconds(500);
+  SelfManagedCell cell(executor, net.create_endpoint(core_host),
+                       net.create_endpoint(core_host), cfg);
+  register_vital_sensor_proxies(cell.bus().factory());
+  register_actuator_proxies(cell.bus().factory());
+
+  // Obligation + authorisation policies (Ponder-lite).
+  cell.load_policies(R"(
+    // Raise a cardiac alarm when the heart-rate sensor reports > 150 bpm.
+    policy cardiac_alarm on vitals.heartrate
+      when hr > 150
+      do publish alarm.cardiac { level = "critical", hr = hr,
+                                 member = member }
+         log "cardiac alarm raised";
+
+    // A critical cardiac alarm triggers the defibrillator.
+    policy defib_response on alarm.cardiac
+      when level == "critical"
+      do publish actuator.defib.fire { joules = 150 };
+
+    // SpO2 desaturation raises a softer alarm.
+    policy desat_alarm on vitals.spo2
+      when spo2 < 93
+      do publish alarm.desaturation { level = "warning", spo2 = spo2 };
+
+    // Sensors may not listen to other members' vitals; nurses may.
+    auth deny   role "sensor" subscribe "vitals.*";
+    auth permit role "nurse"  subscribe "*";
+    auth default permit;
+  )");
+  cell.start();
+
+  // --- Devices joining over the air.
+  auto patient = std::make_shared<PatientBody>(executor, /*seed=*/7);
+  auto sensor = [&](VitalKind kind, Duration period) {
+    return std::make_unique<VitalSensor>(
+        executor, net.create_endpoint(body), patient, kind,
+        sensor_device_config(kind, cfg.name, psk, period));
+  };
+  auto hr = sensor(VitalKind::kHeartRate, milliseconds(500));
+  auto spo2 = sensor(VitalKind::kSpO2, milliseconds(1000));
+  auto temp = sensor(VitalKind::kTemperature, seconds(2));
+  auto bp = sensor(VitalKind::kBloodPressure, seconds(5));
+  DefibrillatorDevice defib(
+      executor, net.create_endpoint(body),
+      actuator_device_config("actuator.defibrillator", cfg.name, psk));
+  NurseConsole console(executor, net.create_endpoint(nurse_pda), cfg.name,
+                       psk);
+
+  for (RawDevice* d :
+       {static_cast<RawDevice*>(hr.get()), static_cast<RawDevice*>(spo2.get()),
+        static_cast<RawDevice*>(temp.get()), static_cast<RawDevice*>(bp.get()),
+        static_cast<RawDevice*>(&defib)}) {
+    d->start();
+  }
+  console.start();
+
+  std::printf("— t=0s: cell beaconing; devices discovering —\n");
+  executor.run_for(seconds(10));
+  std::printf("t=10s: %zu members admitted; console saw %zu joins after its own\n",
+              cell.bus().members().size(), console.members_seen());
+  std::printf("       console live vitals:");
+  for (const auto& [type, value] : console.latest_vitals()) {
+    std::printf("  %s=%.1f", type.c_str(), value);
+  }
+  std::printf("\n");
+
+  std::printf("\n— t=10s: scripted cardiac episode begins —\n");
+  patient->model().trigger_episode();
+  for (int i = 0; i < 30; ++i) {
+    executor.run_for(seconds(1));
+    patient->model().trigger_episode();  // hold the episode open
+    if (!defib.activations().empty()) break;
+  }
+  patient->model().end_episode();
+
+  std::printf("alarms at the console: %zu\n", console.alarms().size());
+  for (const auto& alarm : console.alarms()) {
+    std::printf("  [%6.1fs] %s\n", to_seconds(alarm.when.time_since_epoch()),
+                alarm.type.c_str());
+    if (&alarm - console.alarms().data() > 3) {
+      std::printf("  … (%zu more)\n", console.alarms().size() - 4);
+      break;
+    }
+  }
+  std::printf("defibrillator activations: %zu", defib.activations().size());
+  if (!defib.activations().empty()) {
+    std::printf(" (first at t=%.1fs, %.0f J)",
+                to_seconds(defib.activations()[0].when.time_since_epoch()),
+                defib.activations()[0].joules);
+  }
+  std::printf("\n");
+
+  executor.run_for(seconds(5));
+  std::printf("\n— summary —\n");
+  std::printf("bus: %llu events published, %llu member deliveries, "
+              "%llu denied subscriptions\n",
+              static_cast<unsigned long long>(cell.bus().stats().published),
+              static_cast<unsigned long long>(cell.bus().stats().deliveries),
+              static_cast<unsigned long long>(
+                  cell.bus().stats().denied_subscribe));
+  std::printf("policy engine: %llu triggers, %llu actions\n",
+              static_cast<unsigned long long>(
+                  cell.obligations().stats().triggers),
+              static_cast<unsigned long long>(
+                  cell.obligations().stats().actions_run));
+  std::printf("console received %zu vitals updates\n",
+              console.vitals_received());
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Home monitoring: "on-body and environmental sensors may also be used in
+// the home for monitoring elderly patients" (§I) — with device mobility.
+//
+// A carer's console roams: it leaves the flat (out of radio range) for a
+// short walk (masked as a transient disconnect: events queue in its proxy
+// and flow on return) and later for a long errand (the cell purges it,
+// destroying queued events; it re-joins on return and its subscriptions
+// are restored). Also demonstrates the ECG side channel that deliberately
+// bypasses the management bus.
+//
+// Run: ./home_monitoring
+#include <cstdio>
+
+#include "devices/console.hpp"
+#include "devices/ecg_stream.hpp"
+#include "devices/sensors.hpp"
+#include "hostmodel/profiles.hpp"
+#include "net/link_profiles.hpp"
+#include "smc/cell.hpp"
+#include "sim/sim_executor.hpp"
+
+int main() {
+  using namespace amuse;
+
+  const Bytes psk = to_bytes("home-cell-key");
+  SimExecutor executor;
+  SimNetwork net(executor, /*seed=*/0x803e);
+  // 802.11b around the home: a bit lossier than the prototype's USB link.
+  net.set_default_link(profiles::wifi_11b_link());
+
+  SimHost& hub = net.add_host("home-hub", profiles::ideal_host());
+  SimHost& body = net.add_host("patient", profiles::ideal_host());
+  SimHost& carer = net.add_host("carer-pda", profiles::ideal_host());
+  SimHost& station = net.add_host("remote-station", profiles::ideal_host());
+
+  SmcCellConfig cfg;
+  cfg.name = "flat12";
+  cfg.pre_shared_key = psk;
+  cfg.discovery.beacon_interval = milliseconds(500);
+  cfg.discovery.heartbeat_interval = milliseconds(500);
+  cfg.discovery.suspect_after = seconds(2);
+  cfg.discovery.purge_after = seconds(15);
+  SelfManagedCell cell(executor, net.create_endpoint(hub),
+                       net.create_endpoint(hub), cfg);
+  register_vital_sensor_proxies(cell.bus().factory());
+  cell.load_policies(R"(
+    policy fever on vitals.temperature
+      when temp_c > 38.0
+      do publish alarm.fever { temp_c = temp_c };
+  )");
+  cell.start();
+
+  // Membership log.
+  std::vector<std::string> membership_log;
+  cell.bus().subscribe_local(
+      Filter::for_type_prefix("smc.member."), [&](const Event& e) {
+        char line[128];
+        std::snprintf(line, sizeof(line), "[%6.1fs] %-22s %s",
+                      to_seconds(executor.now().time_since_epoch()),
+                      e.type().c_str(), e.get_string("device_type").c_str());
+        membership_log.emplace_back(line);
+      });
+
+  // On-body sensors.
+  auto patient = std::make_shared<PatientBody>(executor, /*seed=*/3);
+  VitalSensor hr(executor, net.create_endpoint(body), patient,
+                 VitalKind::kHeartRate,
+                 sensor_device_config(VitalKind::kHeartRate, cfg.name, psk,
+                                      seconds(1)));
+  VitalSensor temp(executor, net.create_endpoint(body), patient,
+                   VitalKind::kTemperature,
+                   sensor_device_config(VitalKind::kTemperature, cfg.name,
+                                        psk, seconds(2)));
+  hr.start();
+  temp.start();
+
+  // The carer's console (roams in and out of range).
+  NurseConsole console(executor, net.create_endpoint(carer), cfg.name, psk);
+  console.start();
+
+  // The ECG stream goes straight to a remote station — NOT via the bus.
+  auto viewer_ep = net.create_endpoint(station);
+  ServiceId viewer_id = viewer_ep->local_id();
+  EcgViewer viewer(std::move(viewer_ep));
+  EcgStreamer ecg(executor, net.create_endpoint(body), viewer_id);
+  ecg.start();
+
+  executor.run_for(seconds(10));
+  std::printf("t=10s: %zu members; console vitals received: %zu\n",
+              cell.bus().members().size(), console.vitals_received());
+
+  // --- Short walk: 6 s out of range (< purge_after) → masked.
+  std::printf("\n— carer steps out for 6s (transient, masked) —\n");
+  std::size_t received_before = console.vitals_received();
+  carer.set_up(false);
+  executor.run_for(seconds(6));
+  carer.set_up(true);
+  executor.run_for(seconds(10));
+  std::printf("back: still a member (joins=%llu), vitals caught up "
+              "(+%zu received, proxy queue drained)\n",
+              static_cast<unsigned long long>(console.member().stats().joins),
+              console.vitals_received() - received_before);
+
+  // --- Long errand: 25 s (> purge_after) → purged, later re-admitted.
+  std::printf("\n— carer leaves for 25s (purged, then re-joins) —\n");
+  carer.set_up(false);
+  executor.run_for(seconds(25));
+  bool was_purged = !cell.bus().has_member(console.member().id());
+  carer.set_up(true);
+  executor.run_for(seconds(15));
+  std::printf("while away: purged=%s; after return: member=%s, joins=%llu, "
+              "subscriptions restored automatically\n",
+              was_purged ? "yes" : "no",
+              cell.bus().has_member(console.member().id()) ? "yes" : "no",
+              static_cast<unsigned long long>(
+                  console.member().stats().joins));
+
+  executor.run_for(seconds(5));
+  std::printf("\n— membership log —\n");
+  for (const std::string& line : membership_log) {
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::printf("\n— ECG side channel (bypasses the bus) —\n");
+  std::printf("packets=%llu samples=%llu lost=%llu (unreliable by design: "
+              "freshness over completeness)\n",
+              static_cast<unsigned long long>(viewer.stats().packets),
+              static_cast<unsigned long long>(viewer.stats().samples),
+              static_cast<unsigned long long>(viewer.stats().lost_packets));
+  std::printf("management bus carried %llu events in the same period\n",
+              static_cast<unsigned long long>(cell.bus().stats().published));
+  return 0;
+}

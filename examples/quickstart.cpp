@@ -1,0 +1,68 @@
+// Quickstart: the event bus in ~60 lines.
+//
+// Creates a simulated two-host network, an event bus, and two services;
+// one subscribes with a content filter, the other publishes. Everything
+// the paper's Fig. 3 shows: subscribe (arrow 1), publish with transport
+// acknowledgement underneath, matched events pushed back out (arrow 2).
+//
+// Run: ./quickstart
+#include <cstdio>
+
+#include "bus/bus_client.hpp"
+#include "bus/event_bus.hpp"
+#include "hostmodel/profiles.hpp"
+#include "net/link_profiles.hpp"
+#include "net/sim_network.hpp"
+#include "sim/sim_executor.hpp"
+
+int main() {
+  using namespace amuse;
+
+  // A virtual-time executor and a simulated network: one PDA (hosting the
+  // bus) and one laptop (hosting the services), joined by the paper's
+  // measured USB-IP link.
+  SimExecutor executor;
+  SimNetwork net(executor, /*seed=*/42);
+  net.set_default_link(profiles::usb_ip_link());
+  SimHost& pda = net.add_host("ipaq", profiles::pda_ipaq_hx4700());
+  SimHost& laptop = net.add_host("laptop", profiles::laptop_p3_1200());
+
+  // The event bus, using the dedicated C-style matching engine.
+  EventBusConfig bus_cfg;
+  bus_cfg.engine = BusEngine::kCBased;
+  bus_cfg.host = &pda;
+  EventBus bus(executor, net.create_endpoint(pda), bus_cfg);
+
+  // Two member services. (In a full SMC the discovery service admits them;
+  // here we register them with the bus directly.)
+  auto sensor_ep = net.create_endpoint(laptop);
+  bus.add_member({sensor_ep->local_id(), "sensor.heartrate", "sensor"});
+  BusClient sensor(executor, std::move(sensor_ep), bus.bus_id());
+
+  auto console_ep = net.create_endpoint(laptop);
+  bus.add_member({console_ep->local_id(), "console.nurse", "nurse"});
+  BusClient console(executor, std::move(console_ep), bus.bus_id());
+
+  // Content-based subscription: heart-rate events above 100 bpm only.
+  Filter tachycardia;
+  tachycardia.where("type", Op::kEq, "vitals.heartrate")
+      .where("hr", Op::kGt, 100);
+  console.subscribe(tachycardia, [&](const Event& e) {
+    std::printf("[console] %6.1f ms  %s\n",
+                to_millis(executor.now().time_since_epoch()),
+                e.to_string().c_str());
+  });
+  executor.run();  // let the subscription reach the bus
+
+  // Publish three readings; only the last two match the filter.
+  for (double hr : {72.0, 118.0, 131.0}) {
+    sensor.publish(Event("vitals.heartrate", {{"hr", hr}, {"unit", "bpm"}}));
+  }
+  executor.run();  // drive the simulation to quiescence
+
+  std::printf("\nbus stats: published=%llu deliveries=%llu (exactly one "
+              "delivery per matching event)\n",
+              static_cast<unsigned long long>(bus.stats().published),
+              static_cast<unsigned long long>(bus.stats().deliveries));
+  return 0;
+}

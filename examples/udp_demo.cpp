@@ -1,0 +1,108 @@
+// Real-transport demo: the prototype's UDP configuration (§IV).
+//
+// The same SMC stack that runs in the simulator runs here over genuine UDP
+// sockets on localhost: the cell core (bus + discovery + policy) and two
+// members in one process, a wall-clock executor, OS-assigned ports for the
+// 48-bit service ids, and loopback multicast standing in for the
+// "arbitrarily chosen port number known by services" broadcast channel.
+//
+// Run: ./udp_demo   (finishes in ~4 seconds; prints what flowed)
+#include <cstdio>
+
+#include "net/udp_transport.hpp"
+#include "sim/real_executor.hpp"
+#include "smc/cell.hpp"
+#include "smc/member.hpp"
+
+int main() {
+  using namespace amuse;
+
+  RealExecutor executor;
+  const Bytes psk = to_bytes("udp-demo-key");
+
+  std::unique_ptr<UdpTransport> bus_ep;
+  std::unique_ptr<UdpTransport> disco_ep;
+  std::unique_ptr<UdpTransport> sensor_ep;
+  std::unique_ptr<UdpTransport> console_ep;
+  try {
+    bus_ep = UdpTransport::open(executor);
+    disco_ep = UdpTransport::open(executor);
+    sensor_ep = UdpTransport::open(executor);
+    console_ep = UdpTransport::open(executor);
+  } catch (const std::system_error& e) {
+    std::printf("UDP sockets unavailable (%s); nothing to demo here.\n",
+                e.what());
+    return 0;
+  }
+
+  std::printf("endpoints (addr:port = 48-bit service ids, ports chosen by "
+              "the OS):\n  bus %s, discovery %s, sensor %s, console %s\n",
+              bus_ep->local_id().to_string().c_str(),
+              disco_ep->local_id().to_string().c_str(),
+              sensor_ep->local_id().to_string().c_str(),
+              console_ep->local_id().to_string().c_str());
+
+  SmcCellConfig cfg;
+  cfg.name = "udp-demo-cell";
+  cfg.pre_shared_key = psk;
+  cfg.discovery.beacon_interval = milliseconds(200);
+  cfg.discovery.heartbeat_interval = milliseconds(200);
+  SelfManagedCell cell(executor, std::move(bus_ep), std::move(disco_ep),
+                       cfg);
+  cell.load_policies(R"(
+    policy high_hr on vitals.heartrate
+      when hr > 120
+      do publish alarm.cardiac { level = "high", hr = hr };
+  )");
+  cell.start();
+
+  auto member_config = [&](const char* type, const char* role) {
+    SmcMemberConfig mc;
+    mc.agent.cell_name = cfg.name;
+    mc.agent.pre_shared_key = psk;
+    mc.agent.device_type = type;
+    mc.agent.role = role;
+    return mc;
+  };
+  SmcMember sensor(executor, std::move(sensor_ep),
+                   member_config("sensor.heartrate", "sensor"));
+  SmcMember console(executor, std::move(console_ep),
+                    member_config("console.nurse", "nurse"));
+
+  int vitals_seen = 0;
+  int alarms_seen = 0;
+  console.subscribe(Filter::for_type_prefix("vitals."),
+                    [&](const Event&) { ++vitals_seen; });
+  console.subscribe(Filter::for_type_prefix("alarm."), [&](const Event& e) {
+    ++alarms_seen;
+    std::printf("  [console] ALARM %s hr=%.0f\n", e.type().c_str(),
+                e.get_double("hr"));
+  });
+
+  sensor.set_on_joined([&] {
+    std::printf("sensor joined the cell; publishing readings…\n");
+    // Publish a few readings over the next second; 140 bpm trips the policy.
+    for (int i = 0; i < 5; ++i) {
+      executor.schedule_after(milliseconds(150 * i), [&, i] {
+        double hr = (i == 3) ? 140.0 : 72.0 + i;
+        sensor.publish(Event("vitals.heartrate", {{"hr", hr}}));
+      });
+    }
+  });
+
+  sensor.start();
+  console.start();
+  executor.run_for(seconds(4));
+
+  std::printf("\nresult over real UDP: members=%zu, console saw %d vitals "
+              "and %d alarm(s)\n",
+              cell.bus().members().size(), vitals_seen, alarms_seen);
+  std::printf("bus stats: published=%llu deliveries=%llu\n",
+              static_cast<unsigned long long>(cell.bus().stats().published),
+              static_cast<unsigned long long>(cell.bus().stats().deliveries));
+  if (alarms_seen == 0) {
+    std::printf("(no alarms usually means loopback multicast is filtered in "
+                "this environment — discovery beacons never arrived)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "bus/bus_client.hpp"
+
+#include "common/log.hpp"
+#include "wire/packet.hpp"
+
+namespace amuse {
+namespace {
+const Logger kLog("bus.client");
+}
+
+BusClient::BusClient(Executor& executor, std::shared_ptr<Transport> transport,
+                     ServiceId bus, BusClientConfig config)
+    : transport_(std::move(transport)),
+      bus_(bus),
+      config_(config),
+      executor_(executor) {
+  std::uint32_t session = config_.session;
+  if (session == 0) {
+    session = static_cast<std::uint32_t>(transport_->local_id().raw() ^
+                                         0x5eb0a11eU);
+  }
+  channel_ = std::make_unique<ReliableChannel>(
+      executor, transport_->local_id(), bus_, session, config_.channel,
+      [this](const Packet& p) { transport_->send(p.dst, p.encode()); },
+      [this](BytesView message) { on_message(message); });
+  if (config_.install_receive_handler) {
+    transport_->set_receive_handler([this](ServiceId src, BytesView data) {
+      handle_datagram(src, data);
+    });
+  }
+}
+
+BusClient::~BusClient() {
+  if (config_.install_receive_handler) {
+    transport_->set_receive_handler(nullptr);
+  }
+}
+
+void BusClient::handle_datagram(ServiceId src, BytesView data) {
+  if (src != bus_) return;  // only the bus talks to us on this endpoint
+  std::optional<Packet> p = Packet::decode(data);
+  if (!p) return;
+  channel_->on_packet(*p);
+}
+
+std::uint64_t BusClient::subscribe(const Filter& filter, Handler handler) {
+  std::uint64_t id = next_sub_id_++;
+  handlers_.emplace(id, std::move(handler));
+  (void)channel_->send(BusMessage::subscribe(id, filter).encode());
+  return id;
+}
+
+void BusClient::unsubscribe(std::uint64_t id) {
+  if (handlers_.erase(id) == 0) return;
+  (void)channel_->send(BusMessage::unsubscribe(id).encode());
+}
+
+bool BusClient::publish(Event event) {
+  event.set_publisher(transport_->local_id());
+  event.set_publisher_seq(next_pub_seq_++);
+  if (event.timestamp() == TimePoint{}) {
+    event.set_timestamp(executor_.now());
+  }
+  if (config_.quench && !quench_.wanted(event)) {
+    ++stats_.quenched;
+    // The sequence number was consumed; per-sender FIFO at receivers is
+    // judged on delivered events only, so gaps from quenching are fine.
+    return false;
+  }
+  ++stats_.published;
+  if (!channel_->send(BusMessage::publish(std::move(event)).encode())) {
+    kLog.warn("publish queue full towards bus ", bus_.to_string());
+  }
+  return true;
+}
+
+void BusClient::set_unclaimed_handler(Handler handler) {
+  unclaimed_ = std::move(handler);
+}
+
+void BusClient::on_message(BytesView message) {
+  BusMessage m;
+  try {
+    m = BusMessage::decode(message);
+  } catch (const DecodeError& e) {
+    kLog.warn("malformed message from bus: ", e.what());
+    return;
+  }
+  switch (m.type) {
+    case BusMsgType::kEvent: {
+      ++stats_.events_received;
+      bool claimed = false;
+      for (std::uint64_t id : m.matched) {
+        auto it = handlers_.find(id);
+        if (it == handlers_.end()) continue;
+        claimed = true;
+        ++stats_.handler_invocations;
+        it->second(*m.event);
+      }
+      if (!claimed && unclaimed_) unclaimed_(*m.event);
+      break;
+    }
+    case BusMsgType::kQuenchUpdate:
+      quench_.update(m.quench_filters);
+      break;
+    default:
+      kLog.warn("unexpected ", to_string(m.type), " from bus");
+      break;
+  }
+}
+
+}  // namespace amuse

@@ -1,0 +1,98 @@
+// BusClient: the member-side library for services that speak the bus wire
+// protocol themselves ("simple proxies for complex sensors" — the service
+// is smart, its proxy at the bus is a ForwardingProxy).
+//
+// Gives application code the event-bus programming model of Fig. 3:
+// subscribe with a content filter and a handler (arrow 1), publish events
+// (with transport-level acknowledgement and retransmission underneath), and
+// receive matching events pushed by the bus (arrow 2) exactly once, in
+// per-sender order.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "bus/messages.hpp"
+#include "bus/quench.hpp"
+#include "net/transport.hpp"
+#include "wire/reliable_channel.hpp"
+
+namespace amuse {
+
+struct BusClientConfig {
+  ReliableChannelConfig channel;
+  /// Honour quench tables pushed by the bus (suppress unwanted publishes).
+  bool quench = false;
+  /// Channel incarnation tag; distinct per (re)join. 0 = derive one from
+  /// the transport id (fine for tests; SMC membership supplies real ones).
+  std::uint32_t session = 0;
+  /// When false the client does not install the transport's receive
+  /// handler; the owner (e.g. SmcMember, which muxes the endpoint between
+  /// discovery agent and bus client) feeds handle_datagram() itself.
+  bool install_receive_handler = true;
+};
+
+class BusClient {
+ public:
+  using Handler = std::function<void(const Event&)>;
+
+  BusClient(Executor& executor, std::shared_ptr<Transport> transport,
+            ServiceId bus, BusClientConfig config = {});
+  ~BusClient();
+
+  BusClient(const BusClient&) = delete;
+  BusClient& operator=(const BusClient&) = delete;
+
+  /// Registers a content subscription; the handler runs for every matching
+  /// event. Returns the local subscription id.
+  std::uint64_t subscribe(const Filter& filter, Handler handler);
+  void unsubscribe(std::uint64_t id);
+
+  /// Publishes an event. Returns false when the event was quenched
+  /// (suppressed because no subscription in the cell matches).
+  bool publish(Event event);
+
+  /// Handler for events that arrive for an already-unsubscribed id
+  /// (in-flight at unsubscribe time); defaults to dropping them.
+  void set_unclaimed_handler(Handler handler);
+
+  /// Feeds one raw datagram (used when install_receive_handler is false).
+  void handle_datagram(ServiceId src, BytesView data);
+
+  [[nodiscard]] ServiceId id() const { return transport_->local_id(); }
+  [[nodiscard]] ServiceId bus() const { return bus_; }
+
+  struct Stats {
+    std::uint64_t published = 0;
+    std::uint64_t quenched = 0;
+    std::uint64_t events_received = 0;
+    std::uint64_t handler_invocations = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const ReliableChannelStats& channel_stats() const {
+    return channel_->stats();
+  }
+  [[nodiscard]] const QuenchTable& quench_table() const { return quench_; }
+  /// Events queued towards the bus but not yet acknowledged.
+  [[nodiscard]] std::size_t backlog() const {
+    return channel_->queued() + channel_->in_flight();
+  }
+
+ private:
+  void on_message(BytesView message);
+
+  std::shared_ptr<Transport> transport_;
+  ServiceId bus_;
+  BusClientConfig config_;
+  std::unique_ptr<ReliableChannel> channel_;
+  std::map<std::uint64_t, Handler> handlers_;
+  std::uint64_t next_sub_id_ = 1;
+  std::uint64_t next_pub_seq_ = 1;
+  Handler unclaimed_;
+  QuenchTable quench_;
+  Stats stats_;
+  Executor& executor_;
+};
+
+}  // namespace amuse

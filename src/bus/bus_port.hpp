@@ -1,0 +1,57 @@
+// BusPort: the narrow interface proxies use to call back into the event bus
+// core (Fig. 3's synchronous arrows between proxy and bus). Splitting it
+// from EventBus breaks the include cycle between bus/ and proxy/ and keeps
+// proxies testable against a fake bus.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/service_id.hpp"
+#include "pubsub/event.hpp"
+#include "pubsub/filter.hpp"
+#include "sim/executor.hpp"
+#include "wire/reliable_channel.hpp"
+
+namespace amuse {
+
+/// What the discovery service learned about an admitted member; the proxy
+/// bootstrap mechanism needs "enough information … to generate the
+/// appropriate proxy type for the new service" (§III-C).
+struct MemberInfo {
+  ServiceId id;
+  /// Drives proxy selection, e.g. "sensor.temperature", "console.nurse".
+  std::string device_type;
+  /// Drives authorisation policies, e.g. "sensor", "nurse", "guest".
+  std::string role;
+};
+
+class BusPort {
+ public:
+  virtual ~BusPort();
+
+  BusPort() = default;
+  BusPort(const BusPort&) = delete;
+  BusPort& operator=(const BusPort&) = delete;
+
+  /// A member's proxy hands the bus a fully translated event (Fig. 2 flow).
+  virtual void member_publish(ServiceId member, Event event) = 0;
+  /// Registers / replaces the member's subscription `local_id`.
+  virtual void member_subscribe(ServiceId member, std::uint64_t local_id,
+                                Filter filter) = 0;
+  virtual void member_unsubscribe(ServiceId member,
+                                  std::uint64_t local_id) = 0;
+
+  /// Sends a raw frame to a member over the bus's transport endpoint.
+  virtual void send_datagram(ServiceId dst, BytesView frame) = 0;
+
+  [[nodiscard]] virtual Executor& executor() = 0;
+  [[nodiscard]] virtual ServiceId bus_id() const = 0;
+  /// The bus incarnation tag stamped into reliable-channel frames.
+  [[nodiscard]] virtual std::uint32_t bus_session() const = 0;
+  [[nodiscard]] virtual const ReliableChannelConfig& channel_config()
+      const = 0;
+};
+
+}  // namespace amuse

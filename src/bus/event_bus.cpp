@@ -1,0 +1,241 @@
+#include "bus/event_bus.hpp"
+
+#include "common/log.hpp"
+#include "hostmodel/profiles.hpp"
+#include "pubsub/brute_matcher.hpp"
+#include "pubsub/fastforward_matcher.hpp"
+#include "pubsub/siena_matcher.hpp"
+#include "pubsub/siena_translation.hpp"
+
+namespace amuse {
+namespace {
+const Logger kLog("bus");
+}
+
+const char* to_string(BusEngine e) {
+  switch (e) {
+    case BusEngine::kCBased: return "c-based";
+    case BusEngine::kSienaBased: return "siena-based";
+    case BusEngine::kBruteForce: return "brute-force";
+  }
+  return "?";
+}
+
+std::unique_ptr<Matcher> EventBus::make_matcher(BusEngine engine) {
+  switch (engine) {
+    case BusEngine::kCBased:
+      return std::make_unique<FastForwardMatcher>();
+    case BusEngine::kSienaBased:
+      return std::make_unique<SienaMatcher>();
+    case BusEngine::kBruteForce:
+      return std::make_unique<BruteForceMatcher>();
+  }
+  return std::make_unique<FastForwardMatcher>();
+}
+
+EventBus::EventBus(Executor& executor, std::shared_ptr<Transport> transport,
+                   EventBusConfig config)
+    : executor_(executor),
+      transport_(std::move(transport)),
+      config_(std::move(config)),
+      costs_(config_.costs.value_or(config_.engine == BusEngine::kSienaBased
+                                        ? profiles::siena_bus_costs()
+                                        : profiles::c_bus_costs())),
+      registry_(make_matcher(config_.engine)) {
+  transport_->set_receive_handler([this](ServiceId src, BytesView data) {
+    auto it = proxies_.find(src);
+    if (it == proxies_.end()) return;  // not (yet) a member: drop
+    it->second->on_datagram(data);
+  });
+}
+
+EventBus::~EventBus() { transport_->set_receive_handler(nullptr); }
+
+void EventBus::add_member(const MemberInfo& info) {
+  if (has_member(info.id)) purge_member(info.id);
+  member_info_.emplace(info.id, info);
+  // The proxy constructor may immediately register subscriptions on the
+  // device's behalf, so the info record must exist before creation.
+  proxies_.emplace(info.id, factory_.create(*this, info));
+  kLog.debug("member ", info.id.to_string(), " admitted as ",
+             info.device_type);
+}
+
+void EventBus::purge_member(ServiceId id) {
+  auto it = proxies_.find(id);
+  if (it == proxies_.end()) return;
+  it->second->on_purge();  // destroy outbound data awaiting delivery
+  proxies_.erase(it);
+  member_info_.erase(id);
+  registry_.remove_member(id);
+  quench_changed();
+  kLog.debug("member ", id.to_string(), " purged");
+}
+
+bool EventBus::has_member(ServiceId id) const {
+  return proxies_.contains(id);
+}
+
+const MemberInfo* EventBus::member_info(ServiceId id) const {
+  auto it = member_info_.find(id);
+  return it == member_info_.end() ? nullptr : &it->second;
+}
+
+Proxy* EventBus::proxy_for(ServiceId id) {
+  auto it = proxies_.find(id);
+  return it == proxies_.end() ? nullptr : it->second.get();
+}
+
+std::size_t EventBus::max_proxy_backlog() const {
+  std::size_t worst = 0;
+  for (const auto& [id, proxy] : proxies_) {
+    worst = std::max(worst, proxy->pending());
+  }
+  return worst;
+}
+
+std::vector<MemberInfo> EventBus::members() const {
+  std::vector<MemberInfo> out;
+  out.reserve(member_info_.size());
+  for (const auto& [id, info] : member_info_) out.push_back(info);
+  return out;
+}
+
+std::uint64_t EventBus::subscribe_local(const Filter& filter,
+                                        Handler handler) {
+  std::uint64_t id = next_local_id_++;
+  local_handlers_.emplace(id, std::move(handler));
+  registry_.subscribe(bus_id(), id, filter);
+  quench_changed();
+  return id;
+}
+
+void EventBus::unsubscribe_local(std::uint64_t id) {
+  local_handlers_.erase(id);
+  registry_.unsubscribe(bus_id(), id);
+  quench_changed();
+}
+
+void EventBus::publish_local(Event event) {
+  if (event.publisher().is_nil()) event.set_publisher(bus_id());
+  if (event.timestamp() == TimePoint{}) event.set_timestamp(executor_.now());
+  route(std::move(event));
+}
+
+void EventBus::set_authoriser(Authoriser authoriser) {
+  authoriser_ = std::move(authoriser);
+}
+
+void EventBus::member_publish(ServiceId member, Event event) {
+  const MemberInfo* info = member_info(member);
+  if (!info) return;  // raced with a purge
+  if (authoriser_ && !authoriser_(*info, AuthAction::kPublish, event.type())) {
+    ++stats_.denied_publish;
+    kLog.debug("publish of ", event.type(), " by ", member.to_string(),
+               " denied");
+    return;
+  }
+  event.set_publisher(member);
+  if (event.timestamp() == TimePoint{}) event.set_timestamp(executor_.now());
+  route(std::move(event));
+}
+
+void EventBus::member_subscribe(ServiceId member, std::uint64_t local_id,
+                                Filter filter) {
+  const MemberInfo* info = member_info(member);
+  if (!info) return;
+  if (authoriser_ &&
+      !authoriser_(*info, AuthAction::kSubscribe, topic_of(filter))) {
+    ++stats_.denied_subscribe;
+    kLog.debug("subscription by ", member.to_string(), " to ",
+               topic_of(filter), " denied");
+    return;
+  }
+  registry_.subscribe(member, local_id, filter);
+  quench_changed();
+}
+
+void EventBus::member_unsubscribe(ServiceId member, std::uint64_t local_id) {
+  registry_.unsubscribe(member, local_id);
+  quench_changed();
+}
+
+void EventBus::send_datagram(ServiceId dst, BytesView frame) {
+  transport_->send(dst, frame);
+}
+
+void EventBus::route(Event event) {
+  ++stats_.published;
+
+  // The Siena-based engine pays the translation toll on every event: our
+  // types → Siena types for matching, Siena types → ours for delivery.
+  if (config_.engine == BusEngine::kSienaBased && config_.real_translation) {
+    event = siena_round_trip(event);
+  }
+
+  SubscriptionRegistry::MatchResult hit;
+  registry_.match(event, hit);
+  if (hit.empty()) ++stats_.no_subscriber;
+
+  if (config_.host) {
+    // Charge the matching + translation + copy work to the simulated CPU
+    // and fan out when the host would actually be done with it.
+    Duration cost = costs_.publish_cost(event.payload_size(),
+                                        registry_.size(),
+                                        config_.host->cpu());
+    TimePoint done = config_.host->charge(executor_.now(), cost);
+    executor_.schedule_at(done, [this, event = std::move(event),
+                                 hit = std::move(hit)] {
+      fan_out(event, hit);
+    });
+  } else {
+    fan_out(event, hit);
+  }
+}
+
+void EventBus::fan_out(const Event& event,
+                       const SubscriptionRegistry::MatchResult& hit) {
+  for (const auto& [member, locals] : hit) {
+    if (member == bus_id()) {
+      // Local handlers may (un)subscribe from inside the callback.
+      std::vector<Handler> handlers;
+      handlers.reserve(locals.size());
+      for (std::uint64_t local : locals) {
+        auto hit_handler = local_handlers_.find(local);
+        if (hit_handler != local_handlers_.end()) {
+          handlers.push_back(hit_handler->second);
+        }
+      }
+      for (const Handler& h : handlers) {
+        ++stats_.local_deliveries;
+        h(event);
+      }
+      continue;
+    }
+    auto pit = proxies_.find(member);
+    if (pit == proxies_.end()) continue;  // purged between match and fan-out
+    ++stats_.deliveries;
+    pit->second->deliver_event(event, locals);
+  }
+}
+
+void EventBus::quench_changed() {
+  if (!config_.quench) return;
+  std::vector<Filter> filters = registry_.all_filters();
+  for (auto& [id, proxy] : proxies_) {
+    proxy->send_quench_update(filters);
+  }
+  ++stats_.quench_updates;
+}
+
+std::string EventBus::topic_of(const Filter& filter) {
+  for (const Constraint& c : filter.constraints()) {
+    if (c.attribute == "type" && c.value.type() == ValueType::kString) {
+      if (c.op == Op::kEq) return c.value.as_string();
+      if (c.op == Op::kPrefix) return c.value.as_string() + "*";
+    }
+  }
+  return "*";
+}
+
+}  // namespace amuse

@@ -1,0 +1,158 @@
+// EventBus: the core of the SMC (§II-C, §III).
+//
+// Forwards events from publishing members to every interested member —
+// exactly once per member, in per-sender order, through acknowledged,
+// queued-and-retransmitted proxy channels. The matching engine behind the
+// "EventBus" interface is pluggable (§III-A): the Siena-based engine (poset
+// matcher reached through the translation layer) or the dedicated C-style
+// engine (fast-forwarding counting matcher, no translation) — the paper's
+// two measured configurations — plus a brute-force oracle for tests.
+//
+// Co-located services (the discovery service, the policy service, the
+// proxy-bootstrap mechanism) publish and subscribe *locally* on the bus
+// host without crossing the network; remote members are reached through
+// their proxies.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "bus/bus_port.hpp"
+#include "bus/subscription_registry.hpp"
+#include "hostmodel/cost_model.hpp"
+#include "net/sim_network.hpp"
+#include "net/transport.hpp"
+#include "proxy/bootstrap.hpp"
+
+namespace amuse {
+
+enum class BusEngine {
+  kCBased,      // FastForwardMatcher, no translation (the dedicated engine)
+  kSienaBased,  // SienaMatcher through the translation layer
+  kBruteForce,  // linear-scan oracle
+};
+
+[[nodiscard]] const char* to_string(BusEngine e);
+
+enum class AuthAction : std::uint8_t { kPublish, kSubscribe };
+
+struct EventBusConfig {
+  BusEngine engine = BusEngine::kCBased;
+  /// Elvin-style quenching (§VI): push the global filter table to members
+  /// so publishers can suppress events nobody wants.
+  bool quench = false;
+  /// Perform the real string round-trip for the Siena engine (genuine
+  /// wall-clock cost); the simulated cost applies regardless via `costs`.
+  bool real_translation = true;
+  ReliableChannelConfig channel;
+  /// Engine software costs charged to the simulated host; defaults to the
+  /// calibrated profile for the chosen engine.
+  std::optional<BusCostModel> costs;
+  /// When set, the publish pipeline charges CPU time to this simulated
+  /// host, which is what shapes Figure 4.
+  SimHost* host = nullptr;
+  /// Bus incarnation tag for reliable-channel frames.
+  std::uint32_t session = 1;
+};
+
+class EventBus final : public BusPort {
+ public:
+  using Handler = std::function<void(const Event&)>;
+  /// Authorisation hook installed by the policy service. Return false to
+  /// deny. `topic` is the event type being published, or the subscription
+  /// filter's type constraint ("*" when unconstrained).
+  using Authoriser = std::function<bool(const MemberInfo& member,
+                                        AuthAction action,
+                                        const std::string& topic)>;
+
+  EventBus(Executor& executor, std::shared_ptr<Transport> transport,
+           EventBusConfig config = {});
+  ~EventBus() override;
+
+  // ---- Membership (driven by the discovery service / SMC composition).
+
+  /// Admits a member: instantiates its proxy via the bootstrap factory.
+  /// Re-admitting an existing id purges the old incarnation first.
+  void add_member(const MemberInfo& info);
+  /// "Purge Member": destroys the proxy and any outbound data awaiting
+  /// delivery, and removes all the member's subscriptions.
+  void purge_member(ServiceId id);
+  [[nodiscard]] bool has_member(ServiceId id) const;
+  [[nodiscard]] const MemberInfo* member_info(ServiceId id) const;
+  [[nodiscard]] Proxy* proxy_for(ServiceId id);
+  [[nodiscard]] std::vector<MemberInfo> members() const;
+
+  /// Register device-type-specific proxy creators before admitting members.
+  [[nodiscard]] ProxyFactory& factory() { return factory_; }
+
+  // ---- Local pub/sub for co-located services.
+
+  std::uint64_t subscribe_local(const Filter& filter, Handler handler);
+  void unsubscribe_local(std::uint64_t id);
+  /// Publishes as the bus host itself (discovery events, policy actions…).
+  void publish_local(Event event);
+
+  void set_authoriser(Authoriser authoriser);
+
+  // ---- Introspection.
+
+  struct Stats {
+    std::uint64_t published = 0;
+    std::uint64_t deliveries = 0;       // member deliveries enqueued
+    std::uint64_t local_deliveries = 0;
+    std::uint64_t no_subscriber = 0;    // matched nobody
+    std::uint64_t denied_publish = 0;
+    std::uint64_t denied_subscribe = 0;
+    std::uint64_t quench_updates = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const SubscriptionRegistry& registry() const {
+    return registry_;
+  }
+  /// Largest outbound queue across member proxies (health monitoring:
+  /// a growing backlog means an unreachable or overwhelmed member).
+  [[nodiscard]] std::size_t max_proxy_backlog() const;
+  [[nodiscard]] const EventBusConfig& config() const { return config_; }
+
+  // ---- BusPort (called by proxies).
+
+  void member_publish(ServiceId member, Event event) override;
+  void member_subscribe(ServiceId member, std::uint64_t local_id,
+                        Filter filter) override;
+  void member_unsubscribe(ServiceId member, std::uint64_t local_id) override;
+  void send_datagram(ServiceId dst, BytesView frame) override;
+  [[nodiscard]] Executor& executor() override { return executor_; }
+  [[nodiscard]] ServiceId bus_id() const override {
+    return transport_->local_id();
+  }
+  [[nodiscard]] std::uint32_t bus_session() const override {
+    return config_.session;
+  }
+  [[nodiscard]] const ReliableChannelConfig& channel_config() const override {
+    return config_.channel;
+  }
+
+ private:
+  static std::unique_ptr<Matcher> make_matcher(BusEngine engine);
+  void route(Event event);  // translation + cost + match + fan-out
+  void fan_out(const Event& event, const SubscriptionRegistry::MatchResult& hit);
+  void quench_changed();
+  [[nodiscard]] static std::string topic_of(const Filter& filter);
+
+  Executor& executor_;
+  std::shared_ptr<Transport> transport_;
+  EventBusConfig config_;
+  BusCostModel costs_;
+  SubscriptionRegistry registry_;
+  ProxyFactory factory_;
+  std::unordered_map<ServiceId, MemberInfo> member_info_;
+  std::unordered_map<ServiceId, std::unique_ptr<Proxy>> proxies_;
+  std::unordered_map<std::uint64_t, Handler> local_handlers_;
+  std::uint64_t next_local_id_ = 1;
+  Authoriser authoriser_;
+  Stats stats_;
+};
+
+}  // namespace amuse

@@ -1,0 +1,119 @@
+#include "bus/messages.hpp"
+
+namespace amuse {
+
+const char* to_string(BusMsgType t) {
+  switch (t) {
+    case BusMsgType::kPublish: return "PUBLISH";
+    case BusMsgType::kEvent: return "EVENT";
+    case BusMsgType::kSubscribe: return "SUBSCRIBE";
+    case BusMsgType::kUnsubscribe: return "UNSUBSCRIBE";
+    case BusMsgType::kQuenchUpdate: return "QUENCH";
+  }
+  return "?";
+}
+
+Bytes BusMessage::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  switch (type) {
+    case BusMsgType::kPublish:
+      event->encode(w);
+      break;
+    case BusMsgType::kEvent:
+      w.u16(static_cast<std::uint16_t>(matched.size()));
+      for (std::uint64_t id : matched) w.u64(id);
+      event->encode(w);
+      break;
+    case BusMsgType::kSubscribe:
+      w.u64(sub_id);
+      filter->encode(w);
+      break;
+    case BusMsgType::kUnsubscribe:
+      w.u64(sub_id);
+      break;
+    case BusMsgType::kQuenchUpdate:
+      w.u16(static_cast<std::uint16_t>(quench_filters.size()));
+      for (const Filter& f : quench_filters) f.encode(w);
+      break;
+  }
+  return std::move(w).take();
+}
+
+BusMessage BusMessage::decode(BytesView data) {
+  Reader r(data);
+  BusMessage m;
+  auto raw = r.u8();
+  if (raw < 1 || raw > 5) {
+    throw DecodeError("bad bus message type " + std::to_string(raw));
+  }
+  m.type = static_cast<BusMsgType>(raw);
+  switch (m.type) {
+    case BusMsgType::kPublish:
+      m.event = Event::decode(r);
+      break;
+    case BusMsgType::kEvent: {
+      std::uint16_t n = r.u16();
+      m.matched.reserve(n);
+      for (std::uint16_t i = 0; i < n; ++i) m.matched.push_back(r.u64());
+      m.event = Event::decode(r);
+      break;
+    }
+    case BusMsgType::kSubscribe:
+      m.sub_id = r.u64();
+      m.filter = Filter::decode(r);
+      break;
+    case BusMsgType::kUnsubscribe:
+      m.sub_id = r.u64();
+      break;
+    case BusMsgType::kQuenchUpdate: {
+      std::uint16_t n = r.u16();
+      m.quench_filters.reserve(n);
+      for (std::uint16_t i = 0; i < n; ++i) {
+        m.quench_filters.push_back(Filter::decode(r));
+      }
+      break;
+    }
+  }
+  if (!r.done()) throw DecodeError("trailing bytes in bus message");
+  return m;
+}
+
+BusMessage BusMessage::publish(Event e) {
+  BusMessage m;
+  m.type = BusMsgType::kPublish;
+  m.event = std::move(e);
+  return m;
+}
+
+BusMessage BusMessage::deliver(Event e, std::vector<std::uint64_t> matched) {
+  BusMessage m;
+  m.type = BusMsgType::kEvent;
+  m.event = std::move(e);
+  m.matched = std::move(matched);
+  return m;
+}
+
+BusMessage BusMessage::subscribe(std::uint64_t sub_id, Filter f) {
+  BusMessage m;
+  m.type = BusMsgType::kSubscribe;
+  m.sub_id = sub_id;
+  m.filter = std::move(f);
+  return m;
+}
+
+BusMessage BusMessage::unsubscribe(std::uint64_t sub_id) {
+  BusMessage m;
+  m.type = BusMsgType::kUnsubscribe;
+  m.sub_id = sub_id;
+  return m;
+}
+
+BusMessage BusMessage::quench_update(std::vector<Filter> filters) {
+  BusMessage m;
+  m.type = BusMsgType::kQuenchUpdate;
+  m.quench_filters = std::move(filters);
+  return m;
+}
+
+}  // namespace amuse

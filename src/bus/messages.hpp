@@ -1,0 +1,58 @@
+// Bus-level messages: what travels inside reliable-channel DATA payloads
+// between a member (or its proxy) and the event bus core.
+//
+// kPublish   member → bus    one event
+// kEvent     bus → member    one matched event + the member's matching
+//                            subscription ids (a member receives each event
+//                            at most once even when several of its
+//                            subscriptions match — §II-C exactly-once)
+// kSubscribe member → bus    local subscription id + content filter
+// kUnsubscribe member → bus  local subscription id
+// kQuenchUpdate bus → member the current global filter set, for Elvin-style
+//                            quenching (§VI future work, implemented here)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pubsub/codec.hpp"
+
+namespace amuse {
+
+enum class BusMsgType : std::uint8_t {
+  kPublish = 1,
+  kEvent = 2,
+  kSubscribe = 3,
+  kUnsubscribe = 4,
+  kQuenchUpdate = 5,
+};
+
+[[nodiscard]] const char* to_string(BusMsgType t);
+
+struct BusMessage {
+  BusMsgType type = BusMsgType::kPublish;
+  /// kSubscribe / kUnsubscribe: the member's local subscription id.
+  std::uint64_t sub_id = 0;
+  /// kPublish / kEvent.
+  std::optional<Event> event;
+  /// kSubscribe.
+  std::optional<Filter> filter;
+  /// kEvent: the member's local subscription ids the event matched.
+  std::vector<std::uint64_t> matched;
+  /// kQuenchUpdate: every filter currently registered anywhere in the cell.
+  std::vector<Filter> quench_filters;
+
+  [[nodiscard]] Bytes encode() const;
+  /// Throws DecodeError on malformed input.
+  [[nodiscard]] static BusMessage decode(BytesView data);
+
+  [[nodiscard]] static BusMessage publish(Event e);
+  [[nodiscard]] static BusMessage deliver(Event e,
+                                          std::vector<std::uint64_t> matched);
+  [[nodiscard]] static BusMessage subscribe(std::uint64_t sub_id, Filter f);
+  [[nodiscard]] static BusMessage unsubscribe(std::uint64_t sub_id);
+  [[nodiscard]] static BusMessage quench_update(std::vector<Filter> filters);
+};
+
+}  // namespace amuse

@@ -1,0 +1,20 @@
+#include "bus/quench.hpp"
+
+namespace amuse {
+
+void QuenchTable::update(const std::vector<Filter>& filters) {
+  // Rebuild: tables are small (one filter per live subscription in a cell).
+  for (std::size_t i = 1; i <= count_; ++i) matcher_.remove(i);
+  count_ = 0;
+  for (const Filter& f : filters) matcher_.add(++count_, f);
+  have_table_ = true;
+}
+
+bool QuenchTable::wanted(const Event& event) const {
+  if (!have_table_) return true;  // fail open
+  std::vector<SubId> hits;
+  matcher_.match(event, hits);
+  return !hits.empty();
+}
+
+}  // namespace amuse

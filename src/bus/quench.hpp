@@ -1,0 +1,34 @@
+// Client-side quench table (Elvin-style quenching, paper §VI).
+//
+// The bus pushes the cell's global filter set to quench-enabled members;
+// before transmitting, a publisher checks its next event against the table
+// and suppresses events no subscription anywhere would match — saving
+// radio transmissions, the dominant power cost on body-worn devices.
+#pragma once
+
+#include <vector>
+
+#include "pubsub/brute_matcher.hpp"
+
+namespace amuse {
+
+class QuenchTable {
+ public:
+  /// Replaces the table with the latest global filter set.
+  void update(const std::vector<Filter>& filters);
+
+  /// Would any current subscription match this event? Publishers may send
+  /// unconditionally while no table has arrived yet (fail-open: quenching
+  /// is an optimisation, never a correctness mechanism).
+  [[nodiscard]] bool wanted(const Event& event) const;
+
+  [[nodiscard]] bool have_table() const { return have_table_; }
+  [[nodiscard]] std::size_t size() const { return matcher_.size(); }
+
+ private:
+  BruteForceMatcher matcher_;
+  std::size_t count_ = 0;
+  bool have_table_ = false;
+};
+
+}  // namespace amuse

@@ -1,0 +1,154 @@
+#include "common/bytes.hpp"
+
+#include <bit>
+
+namespace amuse {
+
+void Writer::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void Writer::u48(std::uint64_t v) {
+  for (int shift = 40; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void Writer::f64(double v) {
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void Writer::blob16(BytesView v) {
+  if (v.size() > 0xFFFF) {
+    throw std::length_error("blob16: payload exceeds 64 KiB");
+  }
+  u16(static_cast<std::uint16_t>(v.size()));
+  raw(v);
+}
+
+void Writer::blob32(BytesView v) {
+  if (v.size() > 0xFFFFFFFFULL) {
+    throw std::length_error("blob32: payload exceeds 4 GiB");
+  }
+  u32(static_cast<std::uint32_t>(v.size()));
+  raw(v);
+}
+
+void Writer::str(std::string_view v) {
+  blob16(BytesView(reinterpret_cast<const std::uint8_t*>(v.data()), v.size()));
+}
+
+void Writer::patch_u16(std::size_t pos, std::uint16_t v) {
+  if (pos + 2 > buf_.size()) {
+    throw std::out_of_range("patch_u16: position past end of buffer");
+  }
+  buf_[pos] = static_cast<std::uint8_t>(v >> 8);
+  buf_[pos + 1] = static_cast<std::uint8_t>(v);
+}
+
+void Reader::need(std::size_t n) const {
+  if (pos_ + n > data_.size()) {
+    throw DecodeError("truncated buffer: need " + std::to_string(n) +
+                      " bytes at offset " + std::to_string(pos_) +
+                      ", have " + std::to_string(data_.size() - pos_));
+  }
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 8;
+  return v;
+}
+
+std::uint64_t Reader::u48() {
+  need(6);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 6; ++i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 6;
+  return v;
+}
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+BytesView Reader::raw(std::size_t n) {
+  need(n);
+  BytesView v = data_.subspan(pos_, n);
+  pos_ += n;
+  return v;
+}
+
+Bytes Reader::blob16() {
+  std::size_t n = u16();
+  BytesView v = raw(n);
+  return Bytes(v.begin(), v.end());
+}
+
+Bytes Reader::blob32() {
+  std::size_t n = u32();
+  BytesView v = raw(n);
+  return Bytes(v.begin(), v.end());
+}
+
+std::string Reader::str() {
+  std::size_t n = u16();
+  BytesView v = raw(n);
+  return std::string(reinterpret_cast<const char*>(v.data()), v.size());
+}
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(BytesView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+std::string to_hex(BytesView b) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t byte : b) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace amuse

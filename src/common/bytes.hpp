@@ -1,0 +1,102 @@
+// Byte-array utilities: the transport boundary of the SMC is raw byte
+// arrays (paper §III-D), so every protocol in this codebase serialises
+// through the bounds-checked Writer/Reader defined here.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace amuse {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Error thrown when a Reader runs past the end of its buffer or a
+/// length prefix is inconsistent. Wire-facing code catches this at the
+/// packet boundary and drops the malformed datagram.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends fixed-width integers (big-endian), length-prefixed strings and
+/// blobs to a growing byte buffer.
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// 48-bit value, for ServiceId (paper §IV: 48-bit service IDs).
+  void u48(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Raw bytes, no length prefix.
+  void raw(BytesView v) { buf_.insert(buf_.end(), v.begin(), v.end()); }
+  /// u16 length prefix + bytes. Throws std::length_error past 64 KiB.
+  void blob16(BytesView v);
+  /// u32 length prefix + bytes.
+  void blob32(BytesView v);
+  /// u16 length prefix + UTF-8 bytes.
+  void str(std::string_view v);
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] const Bytes& bytes() const& { return buf_; }
+  [[nodiscard]] Bytes take() && { return std::move(buf_); }
+
+  /// Patches a previously written u16 at `pos` (used for frame lengths).
+  void patch_u16(std::size_t pos, std::uint16_t v);
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked big-endian reader over a byte view. All accessors throw
+/// DecodeError instead of reading out of bounds.
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::uint64_t u48();
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  [[nodiscard]] double f64();
+  [[nodiscard]] bool boolean() { return u8() != 0; }
+
+  [[nodiscard]] BytesView raw(std::size_t n);
+  [[nodiscard]] Bytes blob16();
+  [[nodiscard]] Bytes blob32();
+  [[nodiscard]] std::string str();
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return remaining() == 0; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+ private:
+  void need(std::size_t n) const;
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+/// Convenience: copy a string's bytes into a Bytes value.
+[[nodiscard]] Bytes to_bytes(std::string_view s);
+/// Convenience: interpret bytes as text (for logging/tests).
+[[nodiscard]] std::string to_string(BytesView b);
+/// Hex dump, lowercase, no separators (for digests in tests/logs).
+[[nodiscard]] std::string to_hex(BytesView b);
+
+}  // namespace amuse

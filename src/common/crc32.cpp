@@ -1,0 +1,34 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace amuse {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, BytesView data) {
+  std::uint32_t c = crc ^ 0xFFFFFFFFU;
+  for (std::uint8_t byte : data) {
+    c = kTable[(c ^ byte) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+std::uint32_t crc32(BytesView data) { return crc32_update(0, data); }
+
+}  // namespace amuse

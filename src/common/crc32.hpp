@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) used to detect corrupted
+// datagrams at the wire layer. Corruption on lossy wireless links is one of
+// the failure modes the event bus reliability protocol must survive.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace amuse {
+
+/// One-shot CRC-32 of a buffer.
+[[nodiscard]] std::uint32_t crc32(BytesView data);
+
+/// Incremental form: feed `crc` from a previous call (start with 0).
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t crc, BytesView data);
+
+}  // namespace amuse

@@ -1,0 +1,35 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace amuse {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+void default_sink(LogLevel level, std::string_view component,
+                  std::string_view message) {
+  static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO",
+                                           "WARN", "ERROR", "OFF"};
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n",
+               kNames[static_cast<int>(level)],
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+std::atomic<LogSink> g_sink{&default_sink};
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+void set_log_sink(LogSink sink) { g_sink.store(sink ? sink : &default_sink); }
+
+namespace detail {
+void emit(LogLevel level, std::string_view component, std::string_view msg) {
+  g_sink.load()(level, component, msg);
+}
+}  // namespace detail
+
+}  // namespace amuse

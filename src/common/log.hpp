@@ -1,0 +1,65 @@
+// Minimal leveled logger. Components log through a named Logger; the global
+// threshold is settable by examples/tests (quiet by default so benchmarks
+// and ctest output stay clean).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace amuse {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Sink for one formatted line; replaceable for tests.
+using LogSink = void (*)(LogLevel, std::string_view component,
+                         std::string_view message);
+void set_log_sink(LogSink sink);
+
+namespace detail {
+void emit(LogLevel level, std::string_view component, std::string_view msg);
+}
+
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  template <typename... Args>
+  void trace(const Args&... args) const {
+    log(LogLevel::kTrace, args...);
+  }
+  template <typename... Args>
+  void debug(const Args&... args) const {
+    log(LogLevel::kDebug, args...);
+  }
+  template <typename... Args>
+  void info(const Args&... args) const {
+    log(LogLevel::kInfo, args...);
+  }
+  template <typename... Args>
+  void warn(const Args&... args) const {
+    log(LogLevel::kWarn, args...);
+  }
+  template <typename... Args>
+  void error(const Args&... args) const {
+    log(LogLevel::kError, args...);
+  }
+
+  [[nodiscard]] const std::string& component() const { return component_; }
+
+ private:
+  template <typename... Args>
+  void log(LogLevel level, const Args&... args) const {
+    if (level < log_level()) return;
+    std::ostringstream oss;
+    (oss << ... << args);
+    detail::emit(level, component_, oss.str());
+  }
+
+  std::string component_;
+};
+
+}  // namespace amuse

@@ -1,0 +1,24 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace amuse {
+
+double Rng::normal() {
+  // Box–Muller; discard the second variate to keep the generator's state
+  // trajectory independent of call interleavings.
+  double u1 = uniform();
+  double u2 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::exponential(double mean) {
+  double u = uniform();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+}  // namespace amuse

@@ -1,0 +1,17 @@
+#include "common/service_id.hpp"
+
+#include <cstdio>
+
+namespace amuse {
+
+std::string ServiceId::to_string() const {
+  if (is_nil()) return "nil";
+  if (*this == broadcast()) return "*";
+  char buf[32];
+  std::uint32_t a = addr();
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u", (a >> 24) & 0xFF,
+                (a >> 16) & 0xFF, (a >> 8) & 0xFF, a & 0xFF, port());
+  return buf;
+}
+
+}  // namespace amuse

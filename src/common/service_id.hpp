@@ -1,0 +1,58 @@
+// 48-bit service identifiers.
+//
+// The prototype (paper §IV) derives a 48-bit ID for each service from the
+// transport's unicast address and port. We keep the same width and the same
+// derivation rule (32-bit address || 16-bit port) so IDs remain meaningful
+// as "where to send the acknowledgement", while also allowing opaque IDs.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace amuse {
+
+class ServiceId {
+ public:
+  constexpr ServiceId() = default;
+  constexpr explicit ServiceId(std::uint64_t raw) : raw_(raw & kMask) {}
+
+  /// The prototype rule: unicast IPv4 address + OS-assigned port.
+  [[nodiscard]] static constexpr ServiceId from_addr_port(std::uint32_t addr,
+                                                          std::uint16_t port) {
+    return ServiceId((static_cast<std::uint64_t>(addr) << 16) | port);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t raw() const { return raw_; }
+  [[nodiscard]] constexpr std::uint32_t addr() const {
+    return static_cast<std::uint32_t>(raw_ >> 16);
+  }
+  [[nodiscard]] constexpr std::uint16_t port() const {
+    return static_cast<std::uint16_t>(raw_ & 0xFFFF);
+  }
+
+  [[nodiscard]] constexpr bool is_nil() const { return raw_ == 0; }
+  /// Reserved destination meaning "every service in the cell" (broadcast).
+  [[nodiscard]] static constexpr ServiceId broadcast() {
+    return ServiceId(kMask);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(ServiceId, ServiceId) = default;
+
+  static constexpr std::uint64_t kMask = 0xFFFFFFFFFFFFULL;
+
+ private:
+  std::uint64_t raw_ = 0;
+};
+
+}  // namespace amuse
+
+template <>
+struct std::hash<amuse::ServiceId> {
+  std::size_t operator()(amuse::ServiceId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.raw());
+  }
+};

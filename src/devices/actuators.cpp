@@ -1,0 +1,133 @@
+#include "devices/actuators.hpp"
+
+#include <cmath>
+
+namespace amuse {
+
+DefibrillatorDevice::DefibrillatorDevice(Executor& executor,
+                                         std::shared_ptr<Transport> transport,
+                                         RawDeviceConfig config)
+    : RawDevice(executor, std::move(transport), std::move(config)) {}
+
+void DefibrillatorDevice::on_command(BytesView payload) {
+  try {
+    Reader r(payload);
+    double joules = static_cast<double>(r.u16());
+    activations_.push_back(Activation{executor().now(), joules});
+    Writer w;
+    w.u16(static_cast<std::uint16_t>(joules));
+    w.u8(1);  // delivered OK
+    emit_reading(std::move(w).take());
+  } catch (const DecodeError&) {
+    // Malformed: refuse to fire.
+  }
+}
+
+InsulinPumpDevice::InsulinPumpDevice(Executor& executor,
+                                     std::shared_ptr<Transport> transport,
+                                     RawDeviceConfig config,
+                                     double reservoir_units)
+    : RawDevice(executor, std::move(transport), std::move(config)),
+      reservoir_(reservoir_units) {}
+
+void InsulinPumpDevice::on_command(BytesView payload) {
+  try {
+    Reader r(payload);
+    double units = static_cast<double>(r.u16()) / 100.0;
+    bool ok = units <= reservoir_;
+    if (ok) {
+      reservoir_ -= units;
+      doses_.push_back(Dose{executor().now(), units});
+    }
+    Writer w;
+    w.u16(static_cast<std::uint16_t>(std::lround(units * 100.0)));
+    w.u8(ok ? 1 : 0);
+    w.u16(static_cast<std::uint16_t>(std::lround(reservoir_ * 10.0)));
+    emit_reading(std::move(w).take());
+  } catch (const DecodeError&) {
+  }
+}
+
+std::optional<Event> DefibrillatorCodec::decode_reading(BytesView payload) {
+  try {
+    Reader r(payload);
+    double joules = static_cast<double>(r.u16());
+    bool ok = r.u8() != 0;
+    Event e("actuator.defib.status");
+    e.set("joules", joules);
+    e.set("ok", ok);
+    e.set("member", static_cast<std::int64_t>(member_.raw()));
+    return e;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<Bytes> DefibrillatorCodec::encode_command(const Event& event) {
+  if (event.type() != "actuator.defib.fire") return std::nullopt;
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(event.get_double("joules", 150.0)));
+  return std::move(w).take();
+}
+
+std::vector<Filter> DefibrillatorCodec::initial_subscriptions() {
+  return {Filter::for_type("actuator.defib.fire")};
+}
+
+std::optional<Event> InsulinPumpCodec::decode_reading(BytesView payload) {
+  try {
+    Reader r(payload);
+    double units = static_cast<double>(r.u16()) / 100.0;
+    bool ok = r.u8() != 0;
+    double reservoir = static_cast<double>(r.u16()) / 10.0;
+    Event e("actuator.insulin.status");
+    e.set("units", units);
+    e.set("ok", ok);
+    e.set("reservoir", reservoir);
+    e.set("member", static_cast<std::int64_t>(member_.raw()));
+    return e;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<Bytes> InsulinPumpCodec::encode_command(const Event& event) {
+  if (event.type() != "actuator.insulin.dose") return std::nullopt;
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(
+      std::lround(event.get_double("units", 0.0) * 100.0)));
+  return std::move(w).take();
+}
+
+std::vector<Filter> InsulinPumpCodec::initial_subscriptions() {
+  return {Filter::for_type("actuator.insulin.dose")};
+}
+
+void register_actuator_proxies(ProxyFactory& factory) {
+  factory.register_type(
+      "actuator.defibrillator",
+      [](BusPort& bus, const MemberInfo& info) {
+        return std::make_unique<TranslatingProxy>(
+            bus, info, std::make_unique<DefibrillatorCodec>(info.id));
+      });
+  factory.register_type(
+      "actuator.insulinpump",
+      [](BusPort& bus, const MemberInfo& info) {
+        return std::make_unique<TranslatingProxy>(
+            bus, info, std::make_unique<InsulinPumpCodec>(info.id));
+      });
+}
+
+RawDeviceConfig actuator_device_config(const std::string& device_type,
+                                       const std::string& cell_name,
+                                       const Bytes& psk) {
+  RawDeviceConfig cfg;
+  cfg.agent.cell_name = cell_name;
+  cfg.agent.pre_shared_key = psk;
+  cfg.agent.device_type = device_type;
+  cfg.agent.role = "actuator";
+  cfg.reading_interval = Duration{};  // no periodic readings
+  return cfg;
+}
+
+}  // namespace amuse

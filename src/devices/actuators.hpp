@@ -1,0 +1,98 @@
+// Actuator devices (§I: "actuator devices such as heart defibrillators,
+// insulin and other drug pumps are being developed that could be triggered
+// by these events").
+//
+// Both are RawDevices with no periodic readings; they execute commands
+// pushed through their proxies and emit a status reading after each
+// activation so the cell can observe the effect.
+//
+//   defibrillator command: u16 joules        → "actuator.defib.status"
+//   insulin pump command:  u16 units×100     → "actuator.insulin.status"
+#pragma once
+
+#include <vector>
+
+#include "devices/device.hpp"
+#include "proxy/bootstrap.hpp"
+#include "proxy/device_codec.hpp"
+#include "proxy/translating_proxy.hpp"
+
+namespace amuse {
+
+class DefibrillatorDevice final : public RawDevice {
+ public:
+  DefibrillatorDevice(Executor& executor, std::shared_ptr<Transport> transport,
+                      RawDeviceConfig config);
+
+  struct Activation {
+    TimePoint when;
+    double joules;
+  };
+  [[nodiscard]] const std::vector<Activation>& activations() const {
+    return activations_;
+  }
+
+ protected:
+  std::optional<Bytes> next_reading() override { return std::nullopt; }
+  void on_command(BytesView payload) override;
+
+ private:
+  std::vector<Activation> activations_;
+};
+
+class InsulinPumpDevice final : public RawDevice {
+ public:
+  InsulinPumpDevice(Executor& executor, std::shared_ptr<Transport> transport,
+                    RawDeviceConfig config, double reservoir_units = 300.0);
+
+  struct Dose {
+    TimePoint when;
+    double units;
+  };
+  [[nodiscard]] const std::vector<Dose>& doses() const { return doses_; }
+  [[nodiscard]] double reservoir() const { return reservoir_; }
+
+ protected:
+  std::optional<Bytes> next_reading() override { return std::nullopt; }
+  void on_command(BytesView payload) override;
+
+ private:
+  std::vector<Dose> doses_;
+  double reservoir_;
+};
+
+/// Codec: subscribes to "actuator.defib.fire", translates {joules} into the
+/// command payload, and decodes the status reading back into
+/// "actuator.defib.status".
+class DefibrillatorCodec final : public DeviceCodec {
+ public:
+  explicit DefibrillatorCodec(ServiceId member) : member_(member) {}
+  std::optional<Event> decode_reading(BytesView payload) override;
+  std::optional<Bytes> encode_command(const Event& event) override;
+  std::vector<Filter> initial_subscriptions() override;
+
+ private:
+  ServiceId member_;
+};
+
+/// Codec for "actuator.insulin.dose" {units} / "actuator.insulin.status".
+class InsulinPumpCodec final : public DeviceCodec {
+ public:
+  explicit InsulinPumpCodec(ServiceId member) : member_(member) {}
+  std::optional<Event> decode_reading(BytesView payload) override;
+  std::optional<Bytes> encode_command(const Event& event) override;
+  std::vector<Filter> initial_subscriptions() override;
+
+ private:
+  ServiceId member_;
+};
+
+/// Registers translating proxies for "actuator.defibrillator" and
+/// "actuator.insulinpump" device types.
+void register_actuator_proxies(ProxyFactory& factory);
+
+[[nodiscard]] RawDeviceConfig actuator_device_config(
+    const std::string& device_type, const std::string& cell_name,
+    const Bytes& psk);
+
+}  // namespace amuse

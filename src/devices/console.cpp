@@ -1,0 +1,54 @@
+#include "devices/console.hpp"
+
+#include "devices/sensors.hpp"
+#include "discovery/discovery_service.hpp"
+
+namespace amuse {
+namespace {
+
+SmcMemberConfig console_config(const std::string& cell_name,
+                               const Bytes& psk) {
+  SmcMemberConfig cfg;
+  cfg.agent.cell_name = cell_name;
+  cfg.agent.pre_shared_key = psk;
+  cfg.agent.device_type = "console.nurse";
+  cfg.agent.role = "nurse";
+  return cfg;
+}
+
+}  // namespace
+
+NurseConsole::NurseConsole(Executor& executor,
+                           std::shared_ptr<Transport> transport,
+                           const std::string& cell_name, const Bytes& psk)
+    : member_(executor, std::move(transport),
+              console_config(cell_name, psk)) {
+  setup_subscriptions(executor);
+}
+
+void NurseConsole::setup_subscriptions(Executor& executor) {
+  member_.subscribe(Filter::for_type_prefix("vitals."),
+                    [this](const Event& e) {
+                      ++vitals_received_;
+                      const VitalKindInfo* hit = nullptr;
+                      for (VitalKind k :
+                           {VitalKind::kHeartRate, VitalKind::kSpO2,
+                            VitalKind::kTemperature,
+                            VitalKind::kBloodPressure}) {
+                        const VitalKindInfo& info = vital_kind_info(k);
+                        if (e.type() == info.event_type) {
+                          hit = &info;
+                          break;
+                        }
+                      }
+                      if (hit) latest_[e.type()] = e.get_double(hit->attr);
+                    });
+  member_.subscribe(
+      Filter::for_type_prefix("alarm."), [this, &executor](const Event& e) {
+        alarms_.push_back(AlarmEntry{executor.now(), e.type(), e.to_string()});
+      });
+  member_.subscribe(Filter::for_type(smc_events::kNewMember),
+                    [this](const Event&) { ++members_seen_; });
+}
+
+}  // namespace amuse

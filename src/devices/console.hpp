@@ -1,0 +1,55 @@
+// NurseConsole: the carer-facing SMC member (a PDA application).
+//
+// A wire-protocol member (SmcMember) that subscribes to the patient's
+// vitals, all alarms and the cell's membership events, keeping a live
+// status board and an alarm log — the "warning to the patient or medical
+// staff" consumer of §I.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "smc/member.hpp"
+
+namespace amuse {
+
+class NurseConsole {
+ public:
+  NurseConsole(Executor& executor, std::shared_ptr<Transport> transport,
+               const std::string& cell_name, const Bytes& psk);
+
+  void start() { member_.start(); }
+  void leave() { member_.leave(); }
+
+  [[nodiscard]] SmcMember& member() { return member_; }
+  [[nodiscard]] bool joined() const { return member_.joined(); }
+
+  struct AlarmEntry {
+    TimePoint when;
+    std::string type;
+    std::string detail;
+  };
+
+  /// Latest value per vitals event type (e.g. "vitals.heartrate" → 71.8).
+  [[nodiscard]] const std::map<std::string, double>& latest_vitals() const {
+    return latest_;
+  }
+  [[nodiscard]] const std::vector<AlarmEntry>& alarms() const {
+    return alarms_;
+  }
+  [[nodiscard]] std::size_t members_seen() const { return members_seen_; }
+  [[nodiscard]] std::size_t vitals_received() const {
+    return vitals_received_;
+  }
+
+ private:
+  void setup_subscriptions(Executor& executor);
+
+  SmcMember member_;
+  std::map<std::string, double> latest_;
+  std::vector<AlarmEntry> alarms_;
+  std::size_t members_seen_ = 0;
+  std::size_t vitals_received_ = 0;
+};
+
+}  // namespace amuse

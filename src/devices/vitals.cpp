@@ -1,0 +1,37 @@
+#include "devices/vitals.hpp"
+
+#include <algorithm>
+
+namespace amuse {
+
+VitalsSample VitalsModel::step() {
+  // Markov episode switching.
+  if (in_episode_) {
+    if (rng_.chance(profile_.episode_end_p)) in_episode_ = false;
+  } else {
+    if (rng_.chance(profile_.episode_start_p)) in_episode_ = true;
+  }
+  // Slow AR(1) baseline wander.
+  drift_ = 0.995 * drift_ + rng_.normal(0.0, 0.05);
+  double drift = std::clamp(drift_, -3.0, 3.0);
+
+  VitalsSample s;
+  s.in_episode = in_episode_;
+  double boost = in_episode_ ? profile_.episode_hr_boost : 0.0;
+  s.heart_rate = profile_.heart_rate_base + drift +
+                 rng_.normal(0.0, profile_.heart_rate_noise) + boost;
+  double spo2_drop = in_episode_ ? profile_.episode_spo2_drop : 0.0;
+  s.spo2 = std::min(100.0, profile_.spo2_base + drift * 0.1 +
+                               rng_.normal(0.0, profile_.spo2_noise) -
+                               spo2_drop);
+  s.temperature =
+      profile_.temp_base + drift * 0.02 + rng_.normal(0.0, profile_.temp_noise);
+  s.systolic = profile_.systolic_base + drift +
+               rng_.normal(0.0, profile_.bp_noise) + (in_episode_ ? 14.0 : 0.0);
+  s.diastolic = profile_.diastolic_base + drift * 0.6 +
+                rng_.normal(0.0, profile_.bp_noise) +
+                (in_episode_ ? 8.0 : 0.0);
+  return s;
+}
+
+}  // namespace amuse

@@ -1,0 +1,62 @@
+// Synthetic patient vital-sign model.
+//
+// Drives the simulated body-area sensors with physiologically plausible
+// (not clinically accurate) signals: baseline values with slow drift,
+// sample noise, and Markov-switched cardiac episodes (tachycardia) that
+// exercise the alarm pathway — the "possible heart attack for a specific
+// patient being monitored" workload of §I.
+#pragma once
+
+#include "common/rng.hpp"
+#include "sim/time.hpp"
+
+namespace amuse {
+
+struct VitalsProfile {
+  double heart_rate_base = 72.0;   // bpm
+  double heart_rate_noise = 2.0;
+  double spo2_base = 97.5;         // %
+  double spo2_noise = 0.4;
+  double temp_base = 36.8;         // °C
+  double temp_noise = 0.05;
+  double systolic_base = 121.0;    // mmHg
+  double diastolic_base = 79.0;
+  double bp_noise = 2.5;
+  /// Per-step probability of a cardiac episode starting / ending.
+  double episode_start_p = 0.002;
+  double episode_end_p = 0.05;
+  /// Heart-rate elevation during an episode.
+  double episode_hr_boost = 85.0;
+  double episode_spo2_drop = 6.0;
+};
+
+struct VitalsSample {
+  double heart_rate = 0;
+  double spo2 = 0;
+  double temperature = 0;
+  double systolic = 0;
+  double diastolic = 0;
+  bool in_episode = false;
+};
+
+class VitalsModel {
+ public:
+  VitalsModel(std::uint64_t seed, VitalsProfile profile = {})
+      : rng_(seed, /*stream=*/0x71745), profile_(profile) {}
+
+  /// Advances the model by one sampling step and returns the new sample.
+  VitalsSample step();
+
+  /// Forces an episode to start (for deterministic scenario scripts).
+  void trigger_episode() { in_episode_ = true; }
+  void end_episode() { in_episode_ = false; }
+  [[nodiscard]] bool in_episode() const { return in_episode_; }
+
+ private:
+  Rng rng_;
+  VitalsProfile profile_;
+  bool in_episode_ = false;
+  double drift_ = 0.0;  // slow baseline wander, shared across vitals
+};
+
+}  // namespace amuse

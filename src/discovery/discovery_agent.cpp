@@ -1,0 +1,205 @@
+#include "discovery/discovery_agent.hpp"
+
+#include "common/log.hpp"
+#include "discovery/discovery_service.hpp"
+
+namespace amuse {
+namespace {
+const Logger kLog("discovery.agent");
+}
+
+DiscoveryAgent::DiscoveryAgent(Executor& executor,
+                               std::shared_ptr<Transport> transport,
+                               DiscoveryAgentConfig config)
+    : executor_(executor),
+      transport_(std::move(transport)),
+      config_(std::move(config)),
+      rng_(config_.seed ^ transport_->local_id().raw(), /*stream=*/0xa9e2) {
+  if (config_.install_receive_handler) {
+    transport_->set_receive_handler([this](ServiceId src, BytesView data) {
+      handle_datagram(src, data);
+    });
+  }
+}
+
+DiscoveryAgent::~DiscoveryAgent() {
+  executor_.cancel(heartbeat_timer_);
+  executor_.cancel(handshake_timer_);
+  executor_.cancel(loss_timer_);
+  if (config_.install_receive_handler) {
+    transport_->set_receive_handler(nullptr);
+  }
+}
+
+void DiscoveryAgent::start() {
+  if (state_ != State::kIdle) return;
+  state_ = State::kSearching;
+}
+
+void DiscoveryAgent::leave() {
+  if (state_ == State::kJoined) {
+    Packet p;
+    p.type = PacketType::kLeave;
+    p.src = id();
+    p.dst = discovery_id_;
+    transport_->send(discovery_id_, p.encode());
+  }
+  executor_.cancel(heartbeat_timer_);
+  executor_.cancel(handshake_timer_);
+  executor_.cancel(loss_timer_);
+  heartbeat_timer_ = handshake_timer_ = loss_timer_ = kNoTimer;
+  bool was_joined = state_ == State::kJoined;
+  state_ = State::kIdle;
+  if (was_joined && on_left_) on_left_();
+}
+
+void DiscoveryAgent::handle_datagram(ServiceId src, BytesView data) {
+  std::optional<Packet> packet = Packet::decode(data);
+  if (!packet) return;
+
+  try {
+    switch (packet->type) {
+      case PacketType::kBeacon:
+        on_beacon(*packet);
+        break;
+      case PacketType::kJoinChallenge: {
+        if (state_ != State::kWaitChallenge || src != discovery_id_) break;
+        Reader r(packet->payload);
+        Bytes nonce = r.blob16();
+        Digest256 mac = admission_mac(config_.pre_shared_key, nonce, id(),
+                                      config_.device_type);
+        Packet out;
+        out.type = PacketType::kJoinResponse;
+        out.src = id();
+        out.dst = discovery_id_;
+        Writer w;
+        w.str(config_.device_type);
+        w.str(config_.role);
+        w.blob16(BytesView(mac.data(), mac.size()));
+        out.payload = std::move(w).take();
+        transport_->send(discovery_id_, out.encode());
+        state_ = State::kWaitAccept;
+        arm_handshake_timeout();
+        break;
+      }
+      case PacketType::kJoinAccept: {
+        if (state_ != State::kWaitAccept || src != discovery_id_) break;
+        Reader r(packet->payload);
+        heartbeat_interval_ = Duration(static_cast<std::int64_t>(r.u64()));
+        (void)r.u64();  // cell's purge_after: informational
+        bus_id_ = ServiceId(r.u48());
+        state_ = State::kJoined;
+        last_heard_ = executor_.now();
+        session_ = rng_.next_u32() | 1U;  // nonzero
+        ++stats_.joins;
+        executor_.cancel(handshake_timer_);
+        handshake_timer_ = kNoTimer;
+        kLog.info(id().to_string(), " joined cell via bus ",
+                  bus_id_.to_string());
+        send_heartbeat();
+        arm_loss_check();
+        if (on_joined_) on_joined_(bus_id_, session_);
+        break;
+      }
+      case PacketType::kJoinReject:
+        if (state_ == State::kWaitAccept && src == discovery_id_) {
+          ++stats_.rejections;
+          kLog.warn(id().to_string(), " join rejected");
+          state_ = State::kSearching;
+          executor_.cancel(handshake_timer_);
+          handshake_timer_ = kNoTimer;
+        } else if (state_ == State::kJoined && src == discovery_id_) {
+          // Eviction notice: the cell purged us while we were unreachable.
+          // Fall back to searching and re-join on the next beacon.
+          kLog.info(id().to_string(), " evicted by cell; re-joining");
+          declare_lost();
+        }
+        break;
+      default:
+        break;
+    }
+  } catch (const DecodeError& e) {
+    kLog.warn("malformed discovery packet: ", e.what());
+  }
+}
+
+void DiscoveryAgent::on_beacon(const Packet& p) {
+  Reader r(p.payload);
+  std::string cell = r.str();
+  ServiceId advertised_bus(r.u48());
+  if (cell != config_.cell_name) return;  // a different SMC's beacon
+  ++stats_.beacons_heard;
+  last_heard_ = executor_.now();
+
+  if (state_ == State::kSearching) {
+    discovery_id_ = p.src;
+    bus_id_ = advertised_bus;
+    send_join_request();
+  }
+}
+
+void DiscoveryAgent::send_join_request() {
+  ++stats_.join_attempts;
+  Packet out;
+  out.type = PacketType::kJoinRequest;
+  out.src = id();
+  out.dst = discovery_id_;
+  Writer w;
+  w.str(config_.device_type);
+  w.str(config_.role);
+  out.payload = std::move(w).take();
+  transport_->send(discovery_id_, out.encode());
+  state_ = State::kWaitChallenge;
+  arm_handshake_timeout();
+}
+
+void DiscoveryAgent::arm_handshake_timeout() {
+  executor_.cancel(handshake_timer_);
+  handshake_timer_ =
+      executor_.schedule_after(config_.handshake_timeout, [this] {
+        handshake_timer_ = kNoTimer;
+        if (state_ == State::kWaitChallenge ||
+            state_ == State::kWaitAccept) {
+          // Back to listening; the next beacon restarts the handshake.
+          state_ = State::kSearching;
+        }
+      });
+}
+
+void DiscoveryAgent::send_heartbeat() {
+  if (state_ != State::kJoined) return;
+  Packet p;
+  p.type = PacketType::kHeartbeat;
+  p.src = id();
+  p.dst = discovery_id_;
+  transport_->send(discovery_id_, p.encode());
+  ++stats_.heartbeats_sent;
+  heartbeat_timer_ = executor_.schedule_after(heartbeat_interval_, [this] {
+    heartbeat_timer_ = kNoTimer;
+    send_heartbeat();
+  });
+}
+
+void DiscoveryAgent::arm_loss_check() {
+  executor_.cancel(loss_timer_);
+  loss_timer_ = executor_.schedule_after(config_.cell_lost_after, [this] {
+    loss_timer_ = kNoTimer;
+    if (state_ != State::kJoined) return;
+    if (executor_.now() - last_heard_ >= config_.cell_lost_after) {
+      declare_lost();
+    } else {
+      arm_loss_check();
+    }
+  });
+}
+
+void DiscoveryAgent::declare_lost() {
+  ++stats_.cell_losses;
+  kLog.info(id().to_string(), " lost contact with cell; searching again");
+  executor_.cancel(heartbeat_timer_);
+  heartbeat_timer_ = kNoTimer;
+  state_ = State::kSearching;
+  if (on_left_) on_left_();
+}
+
+}  // namespace amuse

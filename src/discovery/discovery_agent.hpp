@@ -1,0 +1,102 @@
+// DiscoveryAgent: the device-side half of the discovery protocol.
+//
+// Listens for cell beacons on the agreed broadcast channel, runs the
+// authenticated join handshake, then keeps the membership alive with
+// heartbeats. If beacons and unicast traffic go silent long enough the
+// agent assumes it is out of range and reverts to searching; when the cell
+// is heard again it re-joins with a fresh session — the bus sees that as a
+// purge-then-new-member cycle (or a masked transient, if the silence was
+// shorter than the cell's purge timeout).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/sha256.hpp"
+#include "net/transport.hpp"
+#include "sim/executor.hpp"
+#include "wire/packet.hpp"
+
+namespace amuse {
+
+struct DiscoveryAgentConfig {
+  std::string cell_name = "smc";  // only join this cell
+  Bytes pre_shared_key;
+  std::string device_type = "service";
+  std::string role = "service";
+  /// Give up on a handshake step and wait for the next beacon after this.
+  Duration handshake_timeout = seconds(2);
+  /// Declare the cell lost after this much total silence.
+  Duration cell_lost_after = seconds(5);
+  std::uint64_t seed = 0xa9e27;
+  /// When false the owner feeds handle_datagram() itself (endpoint muxing).
+  bool install_receive_handler = true;
+};
+
+class DiscoveryAgent {
+ public:
+  /// joined(bus_id, session): the member may now construct its BusClient.
+  using JoinedFn = std::function<void(ServiceId bus, std::uint32_t session)>;
+  using LeftFn = std::function<void()>;
+
+  DiscoveryAgent(Executor& executor, std::shared_ptr<Transport> transport,
+                 DiscoveryAgentConfig config);
+  ~DiscoveryAgent();
+
+  DiscoveryAgent(const DiscoveryAgent&) = delete;
+  DiscoveryAgent& operator=(const DiscoveryAgent&) = delete;
+
+  /// Begins listening for beacons (joins automatically when one is heard).
+  void start();
+  /// Graceful exit: sends LEAVE and stops heartbeats.
+  void leave();
+
+  void set_on_joined(JoinedFn fn) { on_joined_ = std::move(fn); }
+  void set_on_left(LeftFn fn) { on_left_ = std::move(fn); }
+
+  void handle_datagram(ServiceId src, BytesView data);
+
+  enum class State { kIdle, kSearching, kWaitChallenge, kWaitAccept, kJoined };
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] bool joined() const { return state_ == State::kJoined; }
+  [[nodiscard]] ServiceId bus_id() const { return bus_id_; }
+  [[nodiscard]] ServiceId id() const { return transport_->local_id(); }
+
+  struct Stats {
+    std::uint64_t beacons_heard = 0;
+    std::uint64_t join_attempts = 0;
+    std::uint64_t joins = 0;
+    std::uint64_t rejections = 0;
+    std::uint64_t cell_losses = 0;
+    std::uint64_t heartbeats_sent = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void on_beacon(const Packet& p);
+  void send_join_request();
+  void send_heartbeat();
+  void arm_handshake_timeout();
+  void arm_loss_check();
+  void declare_lost();
+
+  Executor& executor_;
+  std::shared_ptr<Transport> transport_;
+  DiscoveryAgentConfig config_;
+  Rng rng_;
+  State state_ = State::kIdle;
+  ServiceId discovery_id_;
+  ServiceId bus_id_;
+  Duration heartbeat_interval_ = seconds(1);
+  std::uint32_t session_ = 0;  // fresh per join
+  TimePoint last_heard_{};
+  JoinedFn on_joined_;
+  LeftFn on_left_;
+  TimerId heartbeat_timer_ = kNoTimer;
+  TimerId handshake_timer_ = kNoTimer;
+  TimerId loss_timer_ = kNoTimer;
+  Stats stats_;
+};
+
+}  // namespace amuse

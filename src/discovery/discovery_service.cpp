@@ -1,0 +1,270 @@
+#include "discovery/discovery_service.hpp"
+
+#include "common/log.hpp"
+#include "wire/packet.hpp"
+
+namespace amuse {
+namespace {
+const Logger kLog("discovery");
+
+Event member_event(const char* type, const MemberInfo& info,
+                   const std::string& reason = "") {
+  Event e(type);
+  e.set("member", static_cast<std::int64_t>(info.id.raw()));
+  e.set("device_type", info.device_type);
+  e.set("role", info.role);
+  if (!reason.empty()) e.set("reason", reason);
+  return e;
+}
+
+}  // namespace
+
+Digest256 admission_mac(BytesView psk, BytesView nonce, ServiceId device,
+                        std::string_view device_type) {
+  Writer w;
+  w.raw(nonce);
+  w.u48(device.raw());
+  w.raw(BytesView(reinterpret_cast<const std::uint8_t*>(device_type.data()),
+                  device_type.size()));
+  return hmac_sha256(psk, w.bytes());
+}
+
+DiscoveryService::DiscoveryService(Executor& executor,
+                                   std::shared_ptr<Transport> transport,
+                                   ServiceId bus_id, DiscoveryConfig config)
+    : executor_(executor),
+      transport_(std::move(transport)),
+      bus_id_(bus_id),
+      config_(std::move(config)),
+      rng_(config_.seed, /*stream=*/0xd15c) {
+  transport_->set_receive_handler([this](ServiceId src, BytesView data) {
+    on_datagram(src, data);
+  });
+}
+
+DiscoveryService::~DiscoveryService() {
+  stop();
+  transport_->set_receive_handler(nullptr);
+}
+
+void DiscoveryService::start() {
+  if (running_) return;
+  running_ = true;
+  send_beacon();
+  sweep_timer_ = executor_.schedule_after(config_.sweep_interval, [this] {
+    sweep_timer_ = kNoTimer;
+    sweep();
+  });
+}
+
+void DiscoveryService::stop() {
+  running_ = false;
+  executor_.cancel(beacon_timer_);
+  executor_.cancel(sweep_timer_);
+  beacon_timer_ = kNoTimer;
+  sweep_timer_ = kNoTimer;
+}
+
+void DiscoveryService::send_beacon() {
+  if (!running_) return;
+  Packet p;
+  p.type = PacketType::kBeacon;
+  p.src = id();
+  p.dst = ServiceId::broadcast();
+  Writer w;
+  w.str(config_.cell_name);
+  w.u48(bus_id_.raw());
+  p.payload = std::move(w).take();
+  transport_->broadcast(p.encode());
+  ++stats_.beacons_sent;
+  beacon_timer_ = executor_.schedule_after(config_.beacon_interval, [this] {
+    beacon_timer_ = kNoTimer;
+    send_beacon();
+  });
+}
+
+void DiscoveryService::on_datagram(ServiceId src, BytesView data) {
+  std::optional<Packet> packet = Packet::decode(data);
+  if (!packet) return;
+  // Any authenticated member traffic counts as liveness evidence.
+  if (membership_.contains(src) && packet->type != PacketType::kJoinRequest) {
+    if (membership_.touch(src, executor_.now())) {
+      ++stats_.recoveries;
+      const MemberRecord* rec = membership_.find(src);
+      if (rec) {
+        kLog.debug("member ", src.to_string(), " recovered");
+        if (on_recovered_) on_recovered_(rec->info);
+        if (publish_) {
+          publish_(member_event(smc_events::kRecoveredMember, rec->info));
+        }
+      }
+    }
+  }
+
+  try {
+    switch (packet->type) {
+      case PacketType::kJoinRequest: {
+        ++stats_.join_requests;
+        // (Re-)challenge; idempotent under datagram loss and duplication.
+        Bytes nonce(16);
+        for (auto& b : nonce) b = static_cast<std::uint8_t>(rng_.bounded(256));
+        pending_[src] =
+            PendingJoin{nonce, executor_.now() + config_.challenge_ttl};
+        Packet out;
+        out.type = PacketType::kJoinChallenge;
+        out.src = id();
+        out.dst = src;
+        Writer w;
+        w.blob16(nonce);
+        out.payload = std::move(w).take();
+        transport_->send(src, out.encode());
+        ++stats_.challenges_sent;
+        break;
+      }
+      case PacketType::kJoinResponse: {
+        auto pit = pending_.find(src);
+        if (pit == pending_.end() || pit->second.expires < executor_.now()) {
+          pending_.erase(src);
+          break;  // no live challenge: ignore (device will retry)
+        }
+        Reader r(packet->payload);
+        std::string device_type = r.str();
+        std::string role = r.str();
+        Bytes mac = r.blob16();
+        Digest256 want = admission_mac(config_.pre_shared_key,
+                                       pit->second.nonce, src, device_type);
+        Digest256 got{};
+        bool size_ok = mac.size() == got.size();
+        if (size_ok) std::copy(mac.begin(), mac.end(), got.begin());
+        if (!size_ok || !digest_equal(want, got)) {
+          ++stats_.joins_rejected;
+          Packet out;
+          out.type = PacketType::kJoinReject;
+          out.src = id();
+          out.dst = src;
+          Writer w;
+          w.str("authentication failed");
+          out.payload = std::move(w).take();
+          transport_->send(src, out.encode());
+          pending_.erase(pit);
+          kLog.warn("join rejected for ", src.to_string(),
+                    ": authentication failed");
+          break;
+        }
+        pending_.erase(pit);
+        admit(src, device_type, role);
+        break;
+      }
+      case PacketType::kHeartbeat:
+        if (membership_.contains(src)) {
+          ++stats_.heartbeats;
+        } else {
+          // The device believes it is a member but was purged while it was
+          // unreachable. Without a notice it would stay deaf (its bus
+          // traffic is dropped) until its own loss timer; tell it to
+          // re-join instead.
+          ++stats_.evictions_notified;
+          Packet out;
+          out.type = PacketType::kJoinReject;
+          out.src = id();
+          out.dst = src;
+          Writer w;
+          w.str("not a member");
+          out.payload = std::move(w).take();
+          transport_->send(src, out.encode());
+        }
+        break;  // touch already happened above
+      case PacketType::kLeave: {
+        ++stats_.leaves;
+        auto rec = membership_.find(src);
+        if (rec) {
+          MemberInfo info = rec->info;
+          do_purge(info, "leave");
+        }
+        break;
+      }
+      default:
+        break;  // beacons from other cells, reliable traffic, etc.
+    }
+  } catch (const DecodeError& e) {
+    kLog.warn("malformed discovery packet from ", src.to_string(), ": ",
+              e.what());
+  }
+}
+
+void DiscoveryService::admit(ServiceId device, const std::string& device_type,
+                             const std::string& role) {
+  MemberInfo info{device, device_type, role};
+  bool rejoin = membership_.contains(device);
+  membership_.admit(info, executor_.now());
+  ++stats_.joins_accepted;
+
+  Packet out;
+  out.type = PacketType::kJoinAccept;
+  out.src = id();
+  out.dst = device;
+  Writer w;
+  w.u64(static_cast<std::uint64_t>(config_.heartbeat_interval.count()));
+  w.u64(static_cast<std::uint64_t>(config_.purge_after.count()));
+  w.u48(bus_id_.raw());
+  out.payload = std::move(w).take();
+  transport_->send(device, out.encode());
+
+  kLog.info("member ", device.to_string(), " admitted (", device_type,
+            rejoin ? ", rejoin)" : ")");
+  if (on_new_member_) on_new_member_(info);
+  if (publish_) publish_(member_event(smc_events::kNewMember, info));
+}
+
+void DiscoveryService::purge(ServiceId id_to_purge,
+                             const std::string& reason) {
+  const MemberRecord* rec = membership_.find(id_to_purge);
+  if (!rec) return;
+  MemberInfo info = rec->info;
+  do_purge(info, reason);
+}
+
+void DiscoveryService::do_purge(const MemberInfo& info,
+                                const std::string& reason) {
+  membership_.remove(info.id);
+  ++stats_.purges;
+  kLog.info("member ", info.id.to_string(), " purged (", reason, ")");
+  if (on_purge_) on_purge_(info.id);
+  if (publish_) {
+    publish_(member_event(smc_events::kPurgeMember, info, reason));
+  }
+}
+
+void DiscoveryService::sweep() {
+  if (!running_) return;
+  TimePoint now = executor_.now();
+
+  // Expire stale half-open joins.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.expires < now) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  Membership::Sweep result =
+      membership_.sweep(now, config_.suspect_after, config_.purge_after);
+  for (const MemberInfo& info : result.newly_suspect) {
+    ++stats_.suspects;
+    membership_.mark_suspect(info.id);
+    kLog.debug("member ", info.id.to_string(), " suspect");
+    if (on_suspect_) on_suspect_(info);
+    if (publish_) publish_(member_event(smc_events::kSuspectMember, info));
+  }
+  for (const MemberInfo& info : result.to_purge) {
+    do_purge(info, "timeout");
+  }
+
+  sweep_timer_ = executor_.schedule_after(config_.sweep_interval, [this] {
+    sweep_timer_ = kNoTimer;
+    sweep();
+  });
+}
+
+}  // namespace amuse

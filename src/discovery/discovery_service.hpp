@@ -1,0 +1,143 @@
+// The discovery service (§II-B).
+//
+// Runs beside the event bus on the cell's core host, on its *own* transport
+// endpoint: "the discovery protocol does not use the event bus for
+// monitoring group membership" — it only *informs* the cell of membership
+// changes by publishing "New Member" / "Purge Member" events.
+//
+// Protocol (all unreliable datagrams; every step idempotent):
+//   service --broadcast--> BEACON {cell, bus_id}          every beacon_interval
+//   device  ------------> JOIN_REQ {device_type, role}
+//   service ------------> JOIN_CHAL {nonce}
+//   device  ------------> JOIN_RESP {device_type, role, hmac}
+//   service ------------> JOIN_ACCEPT {heartbeat, purge_after, bus_id}
+//                          (or JOIN_REJECT {reason})
+//   device  ------------> HEARTBEAT                        every heartbeat
+//   device  ------------> LEAVE                            graceful exit
+//
+// Admission is authenticated with HMAC-SHA256 over (nonce ‖ device-id ‖
+// device_type) keyed by the cell's pre-shared key ("employing
+// authentication specific to the application").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "common/sha256.hpp"
+#include "discovery/membership.hpp"
+#include "net/transport.hpp"
+#include "sim/executor.hpp"
+
+namespace amuse {
+
+/// Event types the discovery service publishes onto the bus.
+namespace smc_events {
+inline constexpr const char* kNewMember = "smc.member.new";
+inline constexpr const char* kPurgeMember = "smc.member.purge";
+inline constexpr const char* kSuspectMember = "smc.member.suspect";
+inline constexpr const char* kRecoveredMember = "smc.member.recovered";
+}  // namespace smc_events
+
+struct DiscoveryConfig {
+  std::string cell_name = "smc";
+  Bytes pre_shared_key;
+  Duration beacon_interval = seconds(1);
+  /// Device heartbeat period handed out in JOIN_ACCEPT.
+  Duration heartbeat_interval = seconds(1);
+  /// Silence before a member is suspected (transient-disconnect masking).
+  Duration suspect_after = seconds(3);
+  /// Silence before a "Purge Member" event is launched (§VI scenario).
+  Duration purge_after = seconds(10);
+  /// Membership sweep cadence.
+  Duration sweep_interval = milliseconds(500);
+  /// Challenge lifetime for half-open joins.
+  Duration challenge_ttl = seconds(5);
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Builds the admission MAC: HMAC-SHA256(psk, nonce ‖ id(48-bit BE) ‖ type).
+[[nodiscard]] Digest256 admission_mac(BytesView psk, BytesView nonce,
+                                      ServiceId device, std::string_view
+                                      device_type);
+
+class DiscoveryService {
+ public:
+  using NewMemberFn = std::function<void(const MemberInfo&)>;
+  using PurgeMemberFn = std::function<void(ServiceId)>;
+  using MemberStateFn = std::function<void(const MemberInfo&)>;
+  /// Publishes a membership event onto the bus (wired to
+  /// EventBus::publish_local by the SMC composition).
+  using PublishFn = std::function<void(Event)>;
+
+  DiscoveryService(Executor& executor, std::shared_ptr<Transport> transport,
+                   ServiceId bus_id, DiscoveryConfig config);
+  ~DiscoveryService();
+
+  DiscoveryService(const DiscoveryService&) = delete;
+  DiscoveryService& operator=(const DiscoveryService&) = delete;
+
+  /// Starts beaconing and membership sweeps.
+  void start();
+  void stop();
+
+  void set_on_new_member(NewMemberFn fn) { on_new_member_ = std::move(fn); }
+  void set_on_purge_member(PurgeMemberFn fn) { on_purge_ = std::move(fn); }
+  void set_on_suspect(MemberStateFn fn) { on_suspect_ = std::move(fn); }
+  void set_on_recovered(MemberStateFn fn) { on_recovered_ = std::move(fn); }
+  void set_publisher(PublishFn fn) { publish_ = std::move(fn); }
+
+  /// Administrative removal (e.g. a policy decision), same path as timeout.
+  void purge(ServiceId id, const std::string& reason);
+
+  [[nodiscard]] const Membership& membership() const { return membership_; }
+  [[nodiscard]] ServiceId id() const { return transport_->local_id(); }
+
+  struct Stats {
+    std::uint64_t beacons_sent = 0;
+    std::uint64_t join_requests = 0;
+    std::uint64_t challenges_sent = 0;
+    std::uint64_t joins_accepted = 0;
+    std::uint64_t joins_rejected = 0;
+    std::uint64_t heartbeats = 0;
+    std::uint64_t suspects = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t purges = 0;
+    std::uint64_t leaves = 0;
+    std::uint64_t evictions_notified = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct PendingJoin {
+    Bytes nonce;
+    TimePoint expires;
+  };
+
+  void on_datagram(ServiceId src, BytesView data);
+  void send_beacon();
+  void sweep();
+  void admit(ServiceId device, const std::string& device_type,
+             const std::string& role);
+  void do_purge(const MemberInfo& info, const std::string& reason);
+
+  Executor& executor_;
+  std::shared_ptr<Transport> transport_;
+  ServiceId bus_id_;
+  DiscoveryConfig config_;
+  Rng rng_;
+  Membership membership_;
+  std::unordered_map<ServiceId, PendingJoin> pending_;
+  NewMemberFn on_new_member_;
+  PurgeMemberFn on_purge_;
+  MemberStateFn on_suspect_;
+  MemberStateFn on_recovered_;
+  PublishFn publish_;
+  TimerId beacon_timer_ = kNoTimer;
+  TimerId sweep_timer_ = kNoTimer;
+  bool running_ = false;
+  Stats stats_;
+};
+
+}  // namespace amuse

@@ -1,0 +1,65 @@
+#include "discovery/membership.hpp"
+
+namespace amuse {
+
+void Membership::admit(const MemberInfo& info, TimePoint now) {
+  MemberRecord rec;
+  rec.info = info;
+  rec.state = MemberState::kActive;
+  rec.joined_at = now;
+  rec.last_heard = now;
+  members_.insert_or_assign(info.id, rec);
+}
+
+bool Membership::touch(ServiceId id, TimePoint now) {
+  auto it = members_.find(id);
+  if (it == members_.end()) return false;
+  it->second.last_heard = now;
+  if (it->second.state == MemberState::kSuspect) {
+    it->second.state = MemberState::kActive;
+    return true;
+  }
+  return false;
+}
+
+void Membership::mark_suspect(ServiceId id) {
+  auto it = members_.find(id);
+  if (it != members_.end()) it->second.state = MemberState::kSuspect;
+}
+
+std::optional<MemberRecord> Membership::remove(ServiceId id) {
+  auto it = members_.find(id);
+  if (it == members_.end()) return std::nullopt;
+  MemberRecord rec = std::move(it->second);
+  members_.erase(it);
+  return rec;
+}
+
+Membership::Sweep Membership::sweep(TimePoint now, Duration suspect_after,
+                                    Duration purge_after) const {
+  Sweep result;
+  for (const auto& [id, rec] : members_) {
+    Duration silence = now - rec.last_heard;
+    if (silence >= purge_after) {
+      result.to_purge.push_back(rec.info);
+    } else if (silence >= suspect_after &&
+               rec.state == MemberState::kActive) {
+      result.newly_suspect.push_back(rec.info);
+    }
+  }
+  return result;
+}
+
+const MemberRecord* Membership::find(ServiceId id) const {
+  auto it = members_.find(id);
+  return it == members_.end() ? nullptr : &it->second;
+}
+
+std::vector<MemberRecord> Membership::all() const {
+  std::vector<MemberRecord> out;
+  out.reserve(members_.size());
+  for (const auto& [id, rec] : members_) out.push_back(rec);
+  return out;
+}
+
+}  // namespace amuse

@@ -1,0 +1,62 @@
+// Membership table for the discovery service.
+//
+// Tracks every admitted member's liveness. Two thresholds implement the
+// paper's "mask transient disconnections" requirement (§II-B): a member
+// unheard for `suspect_after` becomes SUSPECT (delivery to it will stall
+// and queue, but it is still a member — "a nurse leaves the room for a
+// short period of time before returning"); only after `purge_after` of
+// silence is it purged and a "Purge Member" event raised.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bus/bus_port.hpp"
+#include "sim/time.hpp"
+
+namespace amuse {
+
+enum class MemberState { kActive, kSuspect };
+
+struct MemberRecord {
+  MemberInfo info;
+  MemberState state = MemberState::kActive;
+  TimePoint joined_at{};
+  TimePoint last_heard{};
+};
+
+class Membership {
+ public:
+  /// Admits (or re-admits) a member.
+  void admit(const MemberInfo& info, TimePoint now);
+  /// Records liveness evidence (heartbeat, join, any packet).
+  /// Returns true if the member was SUSPECT and has now recovered.
+  bool touch(ServiceId id, TimePoint now);
+  /// Flips a member to SUSPECT (after the sweep reported it).
+  void mark_suspect(ServiceId id);
+  /// Removes a member (graceful leave or purge). Returns its record.
+  std::optional<MemberRecord> remove(ServiceId id);
+
+  struct Sweep {
+    std::vector<MemberInfo> newly_suspect;
+    std::vector<MemberInfo> to_purge;
+  };
+  /// Applies the silence thresholds; purge candidates are NOT removed here
+  /// (the caller purges them one by one so events and callbacks stay in
+  /// step with the table).
+  [[nodiscard]] Sweep sweep(TimePoint now, Duration suspect_after,
+                            Duration purge_after) const;
+
+  [[nodiscard]] bool contains(ServiceId id) const {
+    return members_.contains(id);
+  }
+  [[nodiscard]] const MemberRecord* find(ServiceId id) const;
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] std::vector<MemberRecord> all() const;
+
+ private:
+  std::unordered_map<ServiceId, MemberRecord> members_;
+};
+
+}  // namespace amuse

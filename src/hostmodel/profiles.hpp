@@ -1,0 +1,37 @@
+// Calibrated host and bus cost profiles.
+//
+// Calibration targets are the paper's own measurements (§V, Figure 4):
+//   - link: 1.5 ms average latency (0.6 min, 2.3 max), ~575 KB/s capacity;
+//   - Figure 4(a): C-based bus response ≈45 ms at 0 B rising to ≈240 ms at
+//     5000 B; Siena-based ≈90 ms rising to ≈550 ms;
+//   - Figure 4(b): C-based throughput ≈19–21 KB/s at 3000 B payloads,
+//     Siena-based ≈8–9 KB/s — both far below the 575 KB/s the raw link
+//     sustains, because the PDA's CPU is the bottleneck.
+// The derivations of each constant are in profiles.cpp.
+#pragma once
+
+#include "hostmodel/cost_model.hpp"
+
+namespace amuse::profiles {
+
+/// iPAQ hx4700 PDA running Familiar Linux + Blackdown JVM 1.3.1 (the
+/// paper's event-bus host). Slow per-packet path and very slow per-byte
+/// copies (interpreted JVM + JNI crossings).
+[[nodiscard]] CostModel pda_ipaq_hx4700();
+
+/// 1.2 GHz Pentium 3 laptop, 256 MB RAM (the paper's peer host).
+[[nodiscard]] CostModel laptop_p3_1200();
+
+/// An idealised fast host (negligible costs) for pure-protocol tests.
+[[nodiscard]] CostModel ideal_host();
+
+/// The dedicated C-based matching engine: no translation, minimal copies.
+[[nodiscard]] BusCostModel c_bus_costs();
+
+/// The Siena-based engine: every event and filter is translated to/from
+/// Siena's own types ("the much simpler codebase not requiring the same
+/// data translations Siena required"), costing a fixed setup plus a
+/// per-byte conversion, and three extra whole-payload copies.
+[[nodiscard]] BusCostModel siena_bus_costs();
+
+}  // namespace amuse::profiles

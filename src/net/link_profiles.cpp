@@ -1,0 +1,65 @@
+#include "net/link_profiles.hpp"
+
+namespace amuse::profiles {
+
+LinkModel usb_ip_link() {
+  LinkModel m;
+  m.latency_min = microseconds(600);
+  m.latency_spread = microseconds(1700);
+  m.loss = 0.0;
+  m.bandwidth_bps = 575.0 * 1024.0;
+  return m;
+}
+
+LinkModel wifi_11b_link() {
+  LinkModel m;
+  m.latency_min = milliseconds(1);
+  m.latency_spread = milliseconds(3);
+  m.loss = 0.005;
+  m.bandwidth_bps = 600.0 * 1024.0;
+  return m;
+}
+
+LinkModel bluetooth_link() {
+  LinkModel m;
+  m.latency_min = milliseconds(15);
+  m.latency_spread = milliseconds(25);
+  m.loss = 0.01;
+  m.bandwidth_bps = 80.0 * 1024.0;
+  m.bursty = true;
+  m.p_good_to_bad = 0.02;
+  m.p_bad_to_good = 0.3;
+  m.loss_bad = 0.5;
+  return m;
+}
+
+LinkModel zigbee_link() {
+  LinkModel m;
+  m.latency_min = milliseconds(5);
+  m.latency_spread = milliseconds(10);
+  m.loss = 0.02;
+  m.bandwidth_bps = 12.0 * 1024.0;
+  m.mtu = 1024;  // fragmentation is left to the layer above
+  m.bursty = true;
+  m.p_good_to_bad = 0.03;
+  m.p_bad_to_good = 0.25;
+  m.loss_bad = 0.6;
+  return m;
+}
+
+LinkModel perfect_link() {
+  LinkModel m;
+  m.latency_min = microseconds(1);
+  m.latency_spread = Duration{};
+  m.loss = 0.0;
+  m.bandwidth_bps = 0.0;  // infinite
+  return m;
+}
+
+LinkModel lossy_link(double loss) {
+  LinkModel m = usb_ip_link();
+  m.loss = loss;
+  return m;
+}
+
+}  // namespace amuse::profiles

@@ -1,0 +1,30 @@
+// Link model presets for the transports the paper uses or targets (§IV, §VI):
+// the USB-IP PDA⟷laptop link of the prototype, 802.11b WiFi, Bluetooth 1.2
+// and ZigBee. The generic transport layer is the paper's argument that only
+// these parameters change between deployments.
+#pragma once
+
+#include "net/sim_network.hpp"
+
+namespace amuse::profiles {
+
+/// The measured prototype link (§V): latency 0.6–2.3 ms (mean ≈1.45 ms),
+/// raw capacity ≈575 KB/s, effectively lossless.
+[[nodiscard]] LinkModel usb_ip_link();
+
+/// 802.11b in a home: ~1–4 ms latency, ~600 KB/s effective, light loss.
+[[nodiscard]] LinkModel wifi_11b_link();
+
+/// Bluetooth 1.2 ACL: ~15–40 ms latency, ~80 KB/s, moderate bursty loss.
+[[nodiscard]] LinkModel bluetooth_link();
+
+/// ZigBee / 802.15.4: ~5–15 ms latency, ~12 KB/s, small MTU, bursty loss.
+[[nodiscard]] LinkModel zigbee_link();
+
+/// Idealised link for pure protocol tests: instant, lossless, unbounded.
+[[nodiscard]] LinkModel perfect_link();
+
+/// A deliberately bad wireless link for fault-injection tests.
+[[nodiscard]] LinkModel lossy_link(double loss);
+
+}  // namespace amuse::profiles

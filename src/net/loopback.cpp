@@ -1,0 +1,45 @@
+#include "net/loopback.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace amuse {
+
+void LoopbackTransport::send(ServiceId dst, BytesView data) {
+  net_.deliver(id_, dst, Bytes(data.begin(), data.end()));
+}
+
+void LoopbackTransport::broadcast(BytesView data) {
+  net_.deliver_all(id_, Bytes(data.begin(), data.end()));
+}
+
+std::shared_ptr<LoopbackTransport> LoopbackNetwork::create_endpoint() {
+  // 127.0.0.1:<port>, mirroring the prototype's id-derivation rule.
+  ServiceId id = ServiceId::from_addr_port(0x7F000001u, next_port_++);
+  auto ep = std::make_shared<LoopbackTransport>(*this, id);
+  endpoints_[id] = ep;
+  return ep;
+}
+
+void LoopbackNetwork::deliver(ServiceId src, ServiceId dst, Bytes data) {
+  executor_.post([this, src, dst, data = std::move(data)]() {
+    auto it = endpoints_.find(dst);
+    auto ep = it != endpoints_.end() ? it->second.lock() : nullptr;
+    if (ep && ep->handler_) ep->handler_(src, data);
+  });
+}
+
+void LoopbackNetwork::deliver_all(ServiceId src, Bytes data) {
+  std::vector<ServiceId> targets;
+  for (auto it = endpoints_.begin(); it != endpoints_.end();) {
+    if (it->second.expired()) {
+      it = endpoints_.erase(it);
+      continue;
+    }
+    if (it->first != src) targets.push_back(it->first);
+    ++it;
+  }
+  for (ServiceId dst : targets) deliver(src, dst, data);
+}
+
+}  // namespace amuse

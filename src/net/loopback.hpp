@@ -1,0 +1,53 @@
+// In-process loopback transport: zero-cost, lossless, ordered per sender.
+// Used by unit tests that exercise protocol logic without a network model,
+// and by components co-located on one device (a proxy talking to a bus in
+// the same address space still goes through Transport, per §III-D).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "net/transport.hpp"
+#include "sim/executor.hpp"
+
+namespace amuse {
+
+class LoopbackNetwork;
+
+class LoopbackTransport final : public Transport {
+ public:
+  LoopbackTransport(LoopbackNetwork& net, ServiceId id) : net_(net), id_(id) {}
+
+  [[nodiscard]] ServiceId local_id() const override { return id_; }
+  void send(ServiceId dst, BytesView data) override;
+  void broadcast(BytesView data) override;
+  void set_receive_handler(ReceiveHandler handler) override {
+    handler_ = std::move(handler);
+  }
+
+ private:
+  friend class LoopbackNetwork;
+  LoopbackNetwork& net_;
+  ServiceId id_;
+  ReceiveHandler handler_;
+};
+
+class LoopbackNetwork {
+ public:
+  explicit LoopbackNetwork(Executor& executor) : executor_(executor) {}
+
+  std::shared_ptr<LoopbackTransport> create_endpoint();
+
+  [[nodiscard]] Executor& executor() { return executor_; }
+
+ private:
+  friend class LoopbackTransport;
+  void deliver(ServiceId src, ServiceId dst, Bytes data);
+  void deliver_all(ServiceId src, Bytes data);
+
+  Executor& executor_;
+  std::unordered_map<ServiceId, std::weak_ptr<LoopbackTransport>> endpoints_;
+  std::uint16_t next_port_ = 50'000;
+};
+
+}  // namespace amuse

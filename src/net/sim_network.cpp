@@ -1,0 +1,185 @@
+#include "net/sim_network.hpp"
+
+#include <utility>
+
+namespace amuse {
+
+TimePoint SimHost::charge(TimePoint now, Duration cost) {
+  if (cpu_.sched_jitter_max > Duration{}) {
+    cost += Duration(static_cast<std::int64_t>(
+        rng_.uniform() * static_cast<double>(cpu_.sched_jitter_max.count())));
+  }
+  TimePoint start = std::max(now, cpu_free_);
+  cpu_free_ = start + cost;
+  busy_accum_ += cost;
+  return cpu_free_;
+}
+
+void SimTransport::send(ServiceId dst, BytesView data) {
+  net_.send_from(*this, dst, data);
+}
+
+void SimTransport::broadcast(BytesView data) {
+  net_.broadcast_from(*this, data);
+}
+
+SimHost& SimNetwork::add_host(std::string name, const CostModel& cpu) {
+  hosts_.push_back(std::make_unique<SimHost>(
+      std::move(name), cpu, next_addr_++, rng_.next_u64()));
+  return *hosts_.back();
+}
+
+std::shared_ptr<SimTransport> SimNetwork::create_endpoint(SimHost& host) {
+  ServiceId id = ServiceId::from_addr_port(host.addr(), next_port_++);
+  auto ep = std::make_shared<SimTransport>(*this, host, id);
+  endpoints_[id] = ep;
+  return ep;
+}
+
+void SimNetwork::set_link(const SimHost& a, const SimHost& b,
+                          const LinkModel& m) {
+  set_link_oneway(a, b, m);
+  set_link_oneway(b, a, m);
+}
+
+void SimNetwork::set_link_oneway(const SimHost& from, const SimHost& to,
+                                 const LinkModel& m) {
+  links_[{&from, &to}] = DirectedLink{m, {}, false};
+}
+
+SimNetwork::DirectedLink& SimNetwork::link_between(const SimHost& from,
+                                                   const SimHost& to) {
+  auto it = links_.find({&from, &to});
+  if (it == links_.end()) {
+    it = links_.emplace(std::make_pair(&from, &to),
+                        DirectedLink{default_link_, {}, false})
+             .first;
+  }
+  return it->second;
+}
+
+bool SimNetwork::roll_loss(DirectedLink& link) {
+  const LinkModel& m = link.model;
+  if (m.bursty) {
+    if (link.bad_state) {
+      if (rng_.chance(m.p_bad_to_good)) link.bad_state = false;
+    } else {
+      if (rng_.chance(m.p_good_to_bad)) link.bad_state = true;
+    }
+    return rng_.chance(link.bad_state ? m.loss_bad : m.loss);
+  }
+  return rng_.chance(m.loss);
+}
+
+void SimNetwork::send_from(SimTransport& src, ServiceId dst, BytesView data) {
+  ++stats_.datagrams_sent;
+  stats_.bytes_sent += data.size();
+  // Sender pays the CPU cost even when the datagram is later lost.
+  TimePoint ready =
+      src.host().charge(executor_.now(), src.host().cpu().send_cost(data.size()));
+
+  auto it = endpoints_.find(dst);
+  std::shared_ptr<SimTransport> target =
+      it != endpoints_.end() ? it->second.lock() : nullptr;
+  if (!target) {
+    ++stats_.dropped_no_endpoint;
+    return;
+  }
+  transmit(src.host(), target.get(), ready, Bytes(data.begin(), data.end()),
+           src.local_id());
+}
+
+void SimNetwork::broadcast_from(SimTransport& src, BytesView data) {
+  ++stats_.datagrams_sent;
+  stats_.bytes_sent += data.size();
+  TimePoint ready =
+      src.host().charge(executor_.now(), src.host().cpu().send_cost(data.size()));
+  // Snapshot live endpoints first: deliveries scheduled below must not see
+  // endpoints created by earlier deliveries of this same broadcast.
+  std::vector<std::shared_ptr<SimTransport>> targets;
+  for (auto it = endpoints_.begin(); it != endpoints_.end();) {
+    if (auto ep = it->second.lock()) {
+      if (ep.get() != &src) targets.push_back(std::move(ep));
+      ++it;
+    } else {
+      it = endpoints_.erase(it);
+    }
+  }
+  for (auto& target : targets) {
+    transmit(src.host(), target.get(), ready, Bytes(data.begin(), data.end()),
+             src.local_id());
+  }
+}
+
+void SimNetwork::transmit(SimHost& src_host, SimTransport* dst,
+                          TimePoint ready, Bytes data, ServiceId src_id) {
+  SimHost& dst_host = dst->host();
+  DirectedLink& link = link_between(src_host, dst_host);
+  const LinkModel& m = link.model;
+
+  if (data.size() > m.mtu) {
+    ++stats_.dropped_mtu;
+    return;
+  }
+  if (!src_host.up() || !dst_host.up()) {
+    ++stats_.dropped_down;
+    return;
+  }
+  if (roll_loss(link)) {
+    ++stats_.dropped_loss;
+    return;
+  }
+
+  Duration serialisation{};
+  if (m.bandwidth_bps > 0) {
+    serialisation = from_seconds(static_cast<double>(data.size()) /
+                                 m.bandwidth_bps);
+  }
+  TimePoint tx_start = std::max(ready, link.busy_until);
+  link.busy_until = tx_start + serialisation;
+
+  int copies = rng_.chance(m.dup) ? 2 : 1;
+  if (copies == 2) ++stats_.duplicated;
+
+  ServiceId dst_id = dst->local_id();
+  for (int i = 0; i < copies; ++i) {
+    Duration latency =
+        m.latency_min + Duration(static_cast<std::int64_t>(
+                            rng_.uniform() *
+                            static_cast<double>(m.latency_spread.count())));
+    TimePoint arrival = link.busy_until + latency;
+    Bytes payload = (i == copies - 1) ? std::move(data) : data;
+    executor_.schedule_at(
+        arrival, [this, dst_id, src_id, payload = std::move(payload),
+                  arrival]() mutable {
+          auto it = endpoints_.find(dst_id);
+          auto ep = it != endpoints_.end() ? it->second.lock() : nullptr;
+          if (!ep || !ep->handler_) {
+            ++stats_.dropped_no_endpoint;
+            return;
+          }
+          if (!ep->host().up()) {
+            ++stats_.dropped_down;
+            return;
+          }
+          // Receive-side CPU cost: the handler runs when the host gets to it.
+          TimePoint done = ep->host().charge(
+              arrival, ep->host().cpu().recv_cost(payload.size()));
+          executor_.schedule_at(
+              done, [this, dst_id, src_id, payload = std::move(payload)]() {
+                auto it2 = endpoints_.find(dst_id);
+                auto ep2 =
+                    it2 != endpoints_.end() ? it2->second.lock() : nullptr;
+                if (!ep2 || !ep2->handler_ || !ep2->host().up()) {
+                  ++stats_.dropped_no_endpoint;
+                  return;
+                }
+                ++stats_.datagrams_delivered;
+                stats_.bytes_delivered += payload.size();
+                ep2->handler_(src_id, payload);
+              });
+        });
+  }
+}
+
+}  // namespace amuse

@@ -1,0 +1,5 @@
+#include "net/transport.hpp"
+
+namespace amuse {
+Transport::~Transport() = default;
+}  // namespace amuse

@@ -1,0 +1,153 @@
+#include "net/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+#include <utility>
+
+namespace amuse {
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+sockaddr_in make_addr(std::uint32_t host_order_addr, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(host_order_addr);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+std::unique_ptr<UdpTransport> UdpTransport::open(Executor& executor,
+                                                 Options options) {
+  int ufd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (ufd < 0) throw_errno("socket(unicast)");
+
+  // Bind to loopback with port 0: the OS chooses the port (paper §IV).
+  sockaddr_in uaddr = make_addr(INADDR_LOOPBACK, 0);
+  if (::bind(ufd, reinterpret_cast<sockaddr*>(&uaddr), sizeof(uaddr)) < 0) {
+    ::close(ufd);
+    throw_errno("bind(unicast)");
+  }
+  socklen_t len = sizeof(uaddr);
+  if (::getsockname(ufd, reinterpret_cast<sockaddr*>(&uaddr), &len) < 0) {
+    ::close(ufd);
+    throw_errno("getsockname");
+  }
+  ServiceId id = ServiceId::from_addr_port(ntohl(uaddr.sin_addr.s_addr),
+                                           ntohs(uaddr.sin_port));
+
+  int mfd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (mfd < 0) {
+    ::close(ufd);
+    throw_errno("socket(multicast)");
+  }
+  int one = 1;
+  ::setsockopt(mfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in maddr = make_addr(INADDR_ANY, options.broadcast_port);
+  if (::bind(mfd, reinterpret_cast<sockaddr*>(&maddr), sizeof(maddr)) < 0) {
+    ::close(ufd);
+    ::close(mfd);
+    throw_errno("bind(multicast)");
+  }
+  ip_mreq mreq{};
+  mreq.imr_multiaddr.s_addr = inet_addr(options.multicast_group);
+  mreq.imr_interface.s_addr = htonl(INADDR_LOOPBACK);
+  if (::setsockopt(mfd, IPPROTO_IP, IP_ADD_MEMBERSHIP, &mreq, sizeof(mreq)) <
+      0) {
+    ::close(ufd);
+    ::close(mfd);
+    throw_errno("IP_ADD_MEMBERSHIP");
+  }
+  // Send our own multicasts over loopback and hear them locally.
+  int loop = 1;
+  ::setsockopt(ufd, IPPROTO_IP, IP_MULTICAST_LOOP, &loop, sizeof(loop));
+  in_addr mcast_if{};
+  mcast_if.s_addr = htonl(INADDR_LOOPBACK);
+  ::setsockopt(ufd, IPPROTO_IP, IP_MULTICAST_IF, &mcast_if, sizeof(mcast_if));
+
+  return std::unique_ptr<UdpTransport>(
+      new UdpTransport(executor, ufd, mfd, id, options));
+}
+
+UdpTransport::UdpTransport(Executor& executor, int unicast_fd,
+                           int multicast_fd, ServiceId id,
+                           const Options& options)
+    : executor_(executor),
+      unicast_fd_(unicast_fd),
+      multicast_fd_(multicast_fd),
+      id_(id),
+      options_(options),
+      receiver_([this] { receive_loop(); }) {}
+
+UdpTransport::~UdpTransport() {
+  stop_.store(true);
+  receiver_.join();
+  ::close(unicast_fd_);
+  ::close(multicast_fd_);
+  handler_->operator=(nullptr);
+}
+
+void UdpTransport::set_receive_handler(ReceiveHandler handler) {
+  *handler_ = std::move(handler);
+}
+
+void UdpTransport::send(ServiceId dst, BytesView data) {
+  sockaddr_in addr = make_addr(dst.addr(), dst.port());
+  (void)::sendto(unicast_fd_, data.data(), data.size(), 0,
+                 reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+}
+
+void UdpTransport::broadcast(BytesView data) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = inet_addr(options_.multicast_group);
+  addr.sin_port = htons(options_.broadcast_port);
+  (void)::sendto(unicast_fd_, data.data(), data.size(), 0,
+                 reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+}
+
+void UdpTransport::receive_loop() {
+  std::array<pollfd, 2> fds{};
+  fds[0] = {unicast_fd_, POLLIN, 0};
+  fds[1] = {multicast_fd_, POLLIN, 0};
+  Bytes buffer(65536);
+  std::weak_ptr<ReceiveHandler> weak_handler = handler_;
+
+  while (!stop_.load()) {
+    int n = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
+    if (n <= 0) continue;
+    for (pollfd& p : fds) {
+      if (!(p.revents & POLLIN)) continue;
+      sockaddr_in src{};
+      socklen_t slen = sizeof(src);
+      ssize_t got = ::recvfrom(p.fd, buffer.data(), buffer.size(), 0,
+                               reinterpret_cast<sockaddr*>(&src), &slen);
+      if (got < 0) continue;
+      ServiceId src_id = ServiceId::from_addr_port(ntohl(src.sin_addr.s_addr),
+                                                   ntohs(src.sin_port));
+      // A service's own multicasts loop back; the Transport contract is that
+      // broadcast() does not deliver to self, so filter them here.
+      if (src_id == id_) continue;
+      Bytes datagram(buffer.begin(), buffer.begin() + got);
+      executor_.post(
+          [weak_handler, src_id, datagram = std::move(datagram)]() {
+            if (auto h = weak_handler.lock(); h && *h) {
+              (*h)(src_id, datagram);
+            }
+          });
+    }
+  }
+}
+
+}  // namespace amuse

@@ -1,0 +1,62 @@
+// Real UDP datagram transport (the prototype configuration of §IV).
+//
+// - The unicast socket is bound with port 0 so "the operating system is free
+//   to choose the port number", and the 48-bit ServiceId is derived from the
+//   socket's address and port — exactly the prototype's rule.
+// - broadcast() uses a loopback multicast group on a port "known by
+//   services" (the prototype's arbitrarily-chosen broadcast port), so
+//   several endpoints in one or many processes on a machine all hear
+//   discovery beacons.
+// - A background thread polls the sockets and posts datagrams onto the
+//   owning Executor, keeping all protocol logic single-threaded.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "net/transport.hpp"
+#include "sim/executor.hpp"
+
+namespace amuse {
+
+struct UdpOptions {
+  /// The agreed "discovery" port every service listens on for broadcasts.
+  std::uint16_t broadcast_port = 45'999;
+  /// Loopback multicast group used to emulate the shared medium.
+  const char* multicast_group = "239.255.42.1";
+};
+
+class UdpTransport final : public Transport {
+ public:
+  using Options = UdpOptions;
+
+  /// Opens the sockets (throws std::system_error on failure) and starts the
+  /// receive thread. Datagram handlers run on `executor`.
+  static std::unique_ptr<UdpTransport> open(Executor& executor,
+                                            Options options = Options());
+
+  ~UdpTransport() override;
+
+  [[nodiscard]] ServiceId local_id() const override { return id_; }
+  void send(ServiceId dst, BytesView data) override;
+  void broadcast(BytesView data) override;
+  void set_receive_handler(ReceiveHandler handler) override;
+
+ private:
+  UdpTransport(Executor& executor, int unicast_fd, int multicast_fd,
+               ServiceId id, const Options& options);
+  void receive_loop();
+
+  Executor& executor_;
+  int unicast_fd_;
+  int multicast_fd_;
+  ServiceId id_;
+  Options options_;
+  std::shared_ptr<ReceiveHandler> handler_ = std::make_shared<ReceiveHandler>();
+  std::atomic<bool> stop_{false};
+  std::thread receiver_;
+};
+
+}  // namespace amuse

@@ -1,0 +1,55 @@
+#include "policy/deployment.hpp"
+
+#include "common/log.hpp"
+#include "discovery/discovery_service.hpp"
+
+namespace amuse {
+namespace {
+const Logger kLog("policy.deploy");
+}
+
+PolicyDeployer::PolicyDeployer(EventBus& bus, PolicyStore& store)
+    : bus_(bus), store_(store) {}
+
+PolicyDeployer::~PolicyDeployer() {
+  if (started_) bus_.unsubscribe_local(subscription_);
+}
+
+void PolicyDeployer::add_rule(DeploymentRule rule) {
+  rules_.push_back(std::move(rule));
+}
+
+void PolicyDeployer::start() {
+  if (started_) return;
+  started_ = true;
+  subscription_ =
+      bus_.subscribe_local(Filter::for_type(smc_events::kNewMember),
+                           [this](const Event& e) { on_new_member(e); });
+}
+
+void PolicyDeployer::on_new_member(const Event& e) {
+  ++stats_.admissions_seen;
+  std::string device_type = e.get_string("device_type");
+  std::int64_t member_raw = e.get_int("member");
+
+  for (const DeploymentRule& rule : rules_) {
+    if (!device_type.starts_with(rule.device_type_prefix)) continue;
+    ++stats_.rules_applied;
+    for (const std::string& name : rule.enable_policies) {
+      if (store_.enable(name)) {
+        ++stats_.policies_enabled;
+      } else {
+        kLog.warn("deployment rule for ", rule.device_type_prefix,
+                  " enables unknown policy ", name);
+      }
+    }
+    for (const Event& tmpl : rule.control_events) {
+      Event out = tmpl;
+      out.set("member", member_raw);
+      ++stats_.control_events_sent;
+      bus_.publish_local(std::move(out));
+    }
+  }
+}
+
+}  // namespace amuse

@@ -1,0 +1,76 @@
+#include "policy/expr_eval.hpp"
+
+namespace amuse {
+
+bool truthy(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kBool:
+      return v.as_bool();
+    case ValueType::kInt:
+      return v.as_int() != 0;
+    case ValueType::kDouble:
+      return v.as_double() != 0.0;
+    case ValueType::kString:
+      return !v.as_string().empty();
+    case ValueType::kBytes:
+      return !v.as_bytes().empty();
+  }
+  return false;
+}
+
+namespace {
+
+bool truthy_or_false(const std::optional<Value>& v) {
+  return v.has_value() && truthy(*v);
+}
+
+bool compare(Op op, const Value& a, const Value& b) {
+  // Reuse the filter constraint semantics so policies and subscriptions
+  // agree on what "hr > 120" means for every type combination.
+  Constraint c{"", op, b};
+  return c.matches(a);
+}
+
+}  // namespace
+
+std::optional<Value> eval_expr(const PolicyExpr& expr, const Event& trigger) {
+  using Kind = PolicyExpr::Kind;
+  switch (expr.kind) {
+    case Kind::kLiteral:
+      return expr.literal;
+    case Kind::kAttr: {
+      const Value* v = trigger.get(expr.attr);
+      if (v) return *v;
+      return std::nullopt;
+    }
+    case Kind::kExists:
+      return Value(trigger.has(expr.attr));
+    case Kind::kNot:
+      return Value(!truthy_or_false(eval_expr(*expr.lhs, trigger)));
+    case Kind::kAnd: {
+      if (!truthy_or_false(eval_expr(*expr.lhs, trigger))) {
+        return Value(false);
+      }
+      return Value(truthy_or_false(eval_expr(*expr.rhs, trigger)));
+    }
+    case Kind::kOr: {
+      if (truthy_or_false(eval_expr(*expr.lhs, trigger))) return Value(true);
+      return Value(truthy_or_false(eval_expr(*expr.rhs, trigger)));
+    }
+    case Kind::kCmp: {
+      std::optional<Value> a = eval_expr(*expr.lhs, trigger);
+      std::optional<Value> b = eval_expr(*expr.rhs, trigger);
+      if (!a || !b) return Value(false);
+      return Value(compare(expr.cmp_op, *a, *b));
+    }
+  }
+  return std::nullopt;
+}
+
+bool eval_condition(const PolicyExpr* expr, const Event& trigger) {
+  if (!expr) return true;
+  std::optional<Value> v = eval_expr(*expr, trigger);
+  return v.has_value() && truthy(*v);
+}
+
+}  // namespace amuse

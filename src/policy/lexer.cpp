@@ -1,0 +1,173 @@
+#include "policy/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace amuse {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+}  // namespace
+
+std::vector<Token> lex_policy(const std::string& source) {
+  std::vector<Token> out;
+  int line = 1;
+  int col = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  auto peek = [&](std::size_t ahead = 0) -> char {
+    return i + ahead < n ? source[i + ahead] : '\0';
+  };
+  auto advance = [&]() {
+    if (source[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    ++i;
+  };
+  auto push = [&](TokKind kind, int tl, int tc, std::string text = "") {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = tl;
+    t.column = tc;
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = peek();
+    // Whitespace.
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    // Comments: // … or # …
+    if (c == '#' || (c == '/' && peek(1) == '/')) {
+      while (i < n && peek() != '\n') advance();
+      continue;
+    }
+    int tl = line;
+    int tc = col;
+
+    if (ident_start(c)) {
+      std::string text;
+      while (i < n && ident_char(peek())) {
+        text.push_back(peek());
+        advance();
+      }
+      if (peek() == '*') {  // topic patterns like vitals.*
+        text.push_back('*');
+        advance();
+      }
+      push(TokKind::kIdent, tl, tc, std::move(text));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::string text;
+      if (c == '-') {
+        text.push_back(c);
+        advance();
+      }
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                       peek() == '.')) {
+        if (peek() == '.') {
+          // Distinguish "3.5" from a dotted identifier typo "3.x".
+          if (!std::isdigit(static_cast<unsigned char>(peek(1)))) break;
+          is_float = true;
+        }
+        text.push_back(peek());
+        advance();
+      }
+      Token t;
+      t.line = tl;
+      t.column = tc;
+      if (is_float) {
+        t.kind = TokKind::kFloat;
+        t.float_val = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.kind = TokKind::kInt;
+        t.int_val = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    if (c == '"') {
+      advance();
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        char d = peek();
+        if (d == '"') {
+          advance();
+          closed = true;
+          break;
+        }
+        if (d == '\\') {
+          advance();
+          char esc = peek();
+          if (esc == 'n') {
+            text.push_back('\n');
+          } else if (esc == 't') {
+            text.push_back('\t');
+          } else if (esc == '"' || esc == '\\') {
+            text.push_back(esc);
+          } else {
+            throw PolicyParseError(std::string("bad escape \\") + esc, line,
+                                   col);
+          }
+          advance();
+          continue;
+        }
+        text.push_back(d);
+        advance();
+      }
+      if (!closed) throw PolicyParseError("unterminated string", tl, tc);
+      push(TokKind::kString, tl, tc, std::move(text));
+      continue;
+    }
+
+    auto two = [&](char a, char b) { return c == a && peek(1) == b; };
+    if (two('=', '=')) { advance(); advance(); push(TokKind::kEq, tl, tc); continue; }
+    if (two('!', '=')) { advance(); advance(); push(TokKind::kNe, tl, tc); continue; }
+    if (two('<', '=')) { advance(); advance(); push(TokKind::kLe, tl, tc); continue; }
+    if (two('>', '=')) { advance(); advance(); push(TokKind::kGe, tl, tc); continue; }
+    if (two('&', '&')) { advance(); advance(); push(TokKind::kAnd, tl, tc); continue; }
+    if (two('|', '|')) { advance(); advance(); push(TokKind::kOr, tl, tc); continue; }
+
+    advance();
+    switch (c) {
+      case '{': push(TokKind::kLBrace, tl, tc); break;
+      case '}': push(TokKind::kRBrace, tl, tc); break;
+      case '(': push(TokKind::kLParen, tl, tc); break;
+      case ')': push(TokKind::kRParen, tl, tc); break;
+      case ',': push(TokKind::kComma, tl, tc); break;
+      case ';': push(TokKind::kSemi, tl, tc); break;
+      case '=': push(TokKind::kAssign, tl, tc); break;
+      case '<': push(TokKind::kLt, tl, tc); break;
+      case '>': push(TokKind::kGt, tl, tc); break;
+      case '!': push(TokKind::kNot, tl, tc); break;
+      case '*': push(TokKind::kIdent, tl, tc, "*"); break;
+      default:
+        throw PolicyParseError(std::string("unexpected character '") + c +
+                                   "'",
+                               tl, tc);
+    }
+  }
+  push(TokKind::kEnd, line, col);
+  return out;
+}
+
+}  // namespace amuse

@@ -1,0 +1,50 @@
+// Tokeniser for the Ponder-lite policy language.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace amuse {
+
+/// Raised by the lexer and parser; carries 1-based line/column.
+class PolicyParseError : public std::runtime_error {
+ public:
+  PolicyParseError(const std::string& what, int line, int column)
+      : std::runtime_error("policy:" + std::to_string(line) + ":" +
+                           std::to_string(column) + ": " + what),
+        line_(line),
+        column_(column) {}
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+enum class TokKind {
+  kIdent,    // identifiers / keywords / dotted names, optional trailing '*'
+  kInt,      // 42, -7
+  kFloat,    // 3.5, -0.25
+  kString,   // "text" with \" and \\ escapes
+  kLBrace, kRBrace, kLParen, kRParen,
+  kComma, kSemi, kAssign,              // { } ( ) , ; =
+  kEq, kNe, kLt, kLe, kGt, kGe,        // == != < <= > >=
+  kAnd, kOr, kNot,                     // && || !
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;      // ident/string content
+  std::int64_t int_val = 0;
+  double float_val = 0.0;
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenises `source`. Line comments run from "//" or '#' to end of line.
+[[nodiscard]] std::vector<Token> lex_policy(const std::string& source);
+
+}  // namespace amuse

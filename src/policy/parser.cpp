@@ -1,0 +1,282 @@
+#include "policy/parser.hpp"
+
+namespace amuse {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  PolicyDocument parse_document() {
+    PolicyDocument doc;
+    while (!at(TokKind::kEnd)) {
+      if (at_ident("policy")) {
+        doc.obligations.push_back(parse_obligation());
+      } else if (at_ident("auth")) {
+        parse_auth(doc);
+      } else {
+        fail("expected 'policy' or 'auth'");
+      }
+    }
+    return doc;
+  }
+
+  ExprPtr parse_expression_only() {
+    ExprPtr e = parse_expr();
+    expect(TokKind::kEnd, "end of expression");
+    return e;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  bool at(TokKind k) const { return cur().kind == k; }
+  bool at_ident(const char* text) const {
+    return cur().kind == TokKind::kIdent && cur().text == text;
+  }
+  Token take() { return toks_[pos_++]; }
+  [[noreturn]] void fail(const std::string& what) const {
+    throw PolicyParseError(what + " (got '" + describe(cur()) + "')",
+                           cur().line, cur().column);
+  }
+  static std::string describe(const Token& t) {
+    switch (t.kind) {
+      case TokKind::kIdent: return t.text;
+      case TokKind::kString: return "\"" + t.text + "\"";
+      case TokKind::kInt: return std::to_string(t.int_val);
+      case TokKind::kFloat: return std::to_string(t.float_val);
+      case TokKind::kEnd: return "<end>";
+      default: return "<symbol>";
+    }
+  }
+  Token expect(TokKind k, const char* what) {
+    if (!at(k)) fail(std::string("expected ") + what);
+    return take();
+  }
+  Token expect_ident(const char* text) {
+    if (!at_ident(text)) fail(std::string("expected '") + text + "'");
+    return take();
+  }
+
+  ObligationPolicy parse_obligation() {
+    expect_ident("policy");
+    ObligationPolicy p;
+    p.name = expect(TokKind::kIdent, "policy name").text;
+    if (at_ident("disabled")) {
+      take();
+      p.initially_disabled = true;
+    }
+    expect_ident("on");
+    Token topic = expect(TokKind::kIdent, "event type");
+    if (topic.text.ends_with('*')) {
+      p.on_prefix = true;
+      p.on_type = topic.text.substr(0, topic.text.size() - 1);
+    } else {
+      p.on_type = topic.text;
+    }
+    if (at_ident("when")) {
+      take();
+      p.condition = parse_expr();
+    }
+    expect_ident("do");
+    p.actions.push_back(parse_action());
+    while (!at(TokKind::kSemi)) p.actions.push_back(parse_action());
+    take();  // ';'
+    return p;
+  }
+
+  PolicyAction parse_action() {
+    PolicyAction a;
+    if (at_ident("publish")) {
+      take();
+      a.kind = PolicyAction::Kind::kPublish;
+      a.target = expect(TokKind::kIdent, "event type").text;
+      expect(TokKind::kLBrace, "'{'");
+      if (!at(TokKind::kRBrace)) {
+        a.args.push_back(parse_assignment());
+        while (at(TokKind::kComma)) {
+          take();
+          a.args.push_back(parse_assignment());
+        }
+      }
+      expect(TokKind::kRBrace, "'}'");
+      return a;
+    }
+    if (at_ident("log")) {
+      take();
+      a.kind = PolicyAction::Kind::kLog;
+      a.target = expect(TokKind::kString, "log message string").text;
+      return a;
+    }
+    if (at_ident("enable")) {
+      take();
+      a.kind = PolicyAction::Kind::kEnable;
+      a.target = expect(TokKind::kIdent, "policy name").text;
+      return a;
+    }
+    if (at_ident("disable")) {
+      take();
+      a.kind = PolicyAction::Kind::kDisable;
+      a.target = expect(TokKind::kIdent, "policy name").text;
+      return a;
+    }
+    fail("expected action (publish/log/enable/disable)");
+  }
+
+  PolicyAssignment parse_assignment() {
+    PolicyAssignment as;
+    as.name = expect(TokKind::kIdent, "attribute name").text;
+    expect(TokKind::kAssign, "'='");
+    as.expr = parse_expr();
+    return as;
+  }
+
+  void parse_auth(PolicyDocument& doc) {
+    expect_ident("auth");
+    if (at_ident("default")) {
+      take();
+      if (at_ident("permit")) {
+        take();
+        doc.default_verdict = AuthVerdict::kPermit;
+      } else if (at_ident("deny")) {
+        take();
+        doc.default_verdict = AuthVerdict::kDeny;
+      } else {
+        fail("expected 'permit' or 'deny'");
+      }
+      expect(TokKind::kSemi, "';'");
+      return;
+    }
+    AuthPolicy ap;
+    if (at_ident("permit")) {
+      take();
+      ap.verdict = AuthVerdict::kPermit;
+    } else if (at_ident("deny")) {
+      take();
+      ap.verdict = AuthVerdict::kDeny;
+    } else {
+      fail("expected 'permit', 'deny' or 'default'");
+    }
+    expect_ident("role");
+    if (at(TokKind::kString) || at(TokKind::kIdent)) {
+      ap.role = take().text;
+    } else {
+      fail("expected role name");
+    }
+    if (at_ident("publish")) {
+      take();
+      ap.op = AuthOp::kPublish;
+    } else if (at_ident("subscribe")) {
+      take();
+      ap.op = AuthOp::kSubscribe;
+    } else {
+      fail("expected 'publish' or 'subscribe'");
+    }
+    if (at(TokKind::kString) || at(TokKind::kIdent)) {
+      ap.topic_pattern = take().text;
+    } else {
+      fail("expected topic pattern");
+    }
+    expect(TokKind::kSemi, "';'");
+    doc.auths.push_back(std::move(ap));
+  }
+
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr e = parse_and();
+    while (at(TokKind::kOr)) {
+      take();
+      e = PolicyExpr::make_binary(PolicyExpr::Kind::kOr, std::move(e),
+                                  parse_and());
+    }
+    return e;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr e = parse_unary();
+    while (at(TokKind::kAnd)) {
+      take();
+      e = PolicyExpr::make_binary(PolicyExpr::Kind::kAnd, std::move(e),
+                                  parse_unary());
+    }
+    return e;
+  }
+
+  ExprPtr parse_unary() {
+    if (at(TokKind::kNot)) {
+      take();
+      return PolicyExpr::make_not(parse_unary());
+    }
+    return parse_cmp();
+  }
+
+  ExprPtr parse_cmp() {
+    ExprPtr lhs = parse_primary();
+    Op op;
+    switch (cur().kind) {
+      case TokKind::kEq: op = Op::kEq; break;
+      case TokKind::kNe: op = Op::kNe; break;
+      case TokKind::kLt: op = Op::kLt; break;
+      case TokKind::kLe: op = Op::kLe; break;
+      case TokKind::kGt: op = Op::kGt; break;
+      case TokKind::kGe: op = Op::kGe; break;
+      default: return lhs;
+    }
+    take();
+    return PolicyExpr::make_cmp(op, std::move(lhs), parse_primary());
+  }
+
+  ExprPtr parse_primary() {
+    if (at(TokKind::kInt)) {
+      return PolicyExpr::make_literal(Value(take().int_val));
+    }
+    if (at(TokKind::kFloat)) {
+      return PolicyExpr::make_literal(Value(take().float_val));
+    }
+    if (at(TokKind::kString)) {
+      return PolicyExpr::make_literal(Value(take().text));
+    }
+    if (at_ident("true")) {
+      take();
+      return PolicyExpr::make_literal(Value(true));
+    }
+    if (at_ident("false")) {
+      take();
+      return PolicyExpr::make_literal(Value(false));
+    }
+    if (at_ident("exists")) {
+      take();
+      expect(TokKind::kLParen, "'('");
+      std::string name = expect(TokKind::kIdent, "attribute name").text;
+      expect(TokKind::kRParen, "')'");
+      return PolicyExpr::make_exists(std::move(name));
+    }
+    if (at(TokKind::kIdent)) {
+      return PolicyExpr::make_attr(take().text);
+    }
+    if (at(TokKind::kLParen)) {
+      take();
+      ExprPtr e = parse_expr();
+      expect(TokKind::kRParen, "')'");
+      return e;
+    }
+    fail("expected expression");
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+PolicyDocument parse_policies(const std::string& source) {
+  Parser p(lex_policy(source));
+  return p.parse_document();
+}
+
+ExprPtr parse_policy_expr(const std::string& source) {
+  Parser p(lex_policy(source));
+  return p.parse_expression_only();
+}
+
+}  // namespace amuse

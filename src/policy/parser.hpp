@@ -1,0 +1,38 @@
+// Recursive-descent parser for the Ponder-lite policy language.
+//
+// Grammar (EBNF; ';' terminates every statement):
+//
+//   document    := { statement }
+//   statement   := obligation | auth | auth_default
+//   obligation  := "policy" IDENT [ "disabled" ] "on" topic
+//                  [ "when" expr ] "do" action { action } ";"
+//   action      := "publish" topic "{" [ assign { "," assign } ] "}"
+//                | "log" STRING
+//                | "enable" IDENT
+//                | "disable" IDENT
+//   assign      := IDENT "=" expr
+//   auth        := "auth" ("permit"|"deny") "role" (STRING|IDENT|"*")
+//                  ("publish"|"subscribe") (STRING|topic) ";"
+//   auth_default:= "auth" "default" ("permit"|"deny") ";"
+//   topic       := IDENT                      (may end with '*')
+//   expr        := or_expr
+//   or_expr     := and_expr { "||" and_expr }
+//   and_expr    := unary { "&&" unary }
+//   unary       := "!" unary | cmp
+//   cmp         := primary [ ("=="|"!="|"<"|"<="|">"|">=") primary ]
+//   primary     := INT | FLOAT | STRING | "true" | "false"
+//                | "exists" "(" IDENT ")" | IDENT | "(" expr ")"
+#pragma once
+
+#include "policy/ast.hpp"
+#include "policy/lexer.hpp"
+
+namespace amuse {
+
+/// Parses a policy document. Throws PolicyParseError with location info.
+[[nodiscard]] PolicyDocument parse_policies(const std::string& source);
+
+/// Parses a single expression (handy for tests and ad-hoc conditions).
+[[nodiscard]] ExprPtr parse_policy_expr(const std::string& source);
+
+}  // namespace amuse

@@ -1,0 +1,90 @@
+#include "policy/policy_store.hpp"
+
+#include "policy/parser.hpp"
+
+namespace amuse {
+
+void PolicyStore::load(PolicyDocument doc) {
+  for (ObligationPolicy& p : doc.obligations) {
+    bool enabled = !p.initially_disabled;
+    std::string name = p.name;
+    obligations_.insert_or_assign(name, Entry{std::move(p), enabled});
+  }
+  for (AuthPolicy& a : doc.auths) auths_.push_back(std::move(a));
+  if (doc.default_verdict) default_verdict_ = *doc.default_verdict;
+  changed();
+}
+
+void PolicyStore::load_text(const std::string& source) {
+  load(parse_policies(source));
+}
+
+void PolicyStore::add(ObligationPolicy policy) {
+  bool enabled = !policy.initially_disabled;
+  std::string name = policy.name;
+  obligations_.insert_or_assign(name, Entry{std::move(policy), enabled});
+  changed();
+}
+
+bool PolicyStore::remove(const std::string& name) {
+  if (obligations_.erase(name) == 0) return false;
+  changed();
+  return true;
+}
+
+bool PolicyStore::enable(const std::string& name) {
+  auto it = obligations_.find(name);
+  if (it == obligations_.end()) return false;
+  if (!it->second.enabled) {
+    it->second.enabled = true;
+    changed();
+  }
+  return true;
+}
+
+bool PolicyStore::disable(const std::string& name) {
+  auto it = obligations_.find(name);
+  if (it == obligations_.end()) return false;
+  if (it->second.enabled) {
+    it->second.enabled = false;
+    changed();
+  }
+  return true;
+}
+
+bool PolicyStore::is_enabled(const std::string& name) const {
+  auto it = obligations_.find(name);
+  return it != obligations_.end() && it->second.enabled;
+}
+
+const ObligationPolicy* PolicyStore::find(const std::string& name) const {
+  auto it = obligations_.find(name);
+  return it == obligations_.end() ? nullptr : &it->second.policy;
+}
+
+std::vector<const ObligationPolicy*> PolicyStore::enabled() const {
+  std::vector<const ObligationPolicy*> out;
+  for (const auto& [name, entry] : obligations_) {
+    if (entry.enabled) out.push_back(&entry.policy);
+  }
+  return out;
+}
+
+std::vector<std::string> PolicyStore::names() const {
+  std::vector<std::string> out;
+  out.reserve(obligations_.size());
+  for (const auto& [name, entry] : obligations_) out.push_back(name);
+  return out;
+}
+
+void PolicyStore::add_auth(AuthPolicy policy) {
+  auths_.push_back(std::move(policy));
+  changed();
+}
+
+void PolicyStore::set_default_verdict(AuthVerdict v) {
+  default_verdict_ = v;
+  changed();
+}
+
+}  // namespace amuse

@@ -1,0 +1,71 @@
+// PolicyStore: the policy service's database.
+//
+// "Policies can be added, removed, enabled and disabled to change the
+//  behaviour of cell components without reprogramming them." (§II-A)
+// The store holds obligation policies (by name, with an enabled flag) and
+// the ordered authorisation policy list; every mutation fires a change
+// callback so the obligation engine can refresh its bus subscriptions.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "policy/ast.hpp"
+
+namespace amuse {
+
+class PolicyStore {
+ public:
+  using ChangeFn = std::function<void()>;
+
+  /// Loads every policy in a parsed document (replacing same-named ones).
+  void load(PolicyDocument doc);
+  /// Parses and loads policy text. Throws PolicyParseError.
+  void load_text(const std::string& source);
+
+  /// Adds or replaces one obligation policy.
+  void add(ObligationPolicy policy);
+  /// Removes a policy; false if unknown.
+  bool remove(const std::string& name);
+  /// Enables/disables; false if unknown.
+  bool enable(const std::string& name);
+  bool disable(const std::string& name);
+  [[nodiscard]] bool is_enabled(const std::string& name) const;
+  [[nodiscard]] const ObligationPolicy* find(const std::string& name) const;
+
+  /// Enabled obligation policies (pointers valid until the next mutation).
+  [[nodiscard]] std::vector<const ObligationPolicy*> enabled() const;
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t size() const { return obligations_.size(); }
+
+  // Authorisation side.
+  void add_auth(AuthPolicy policy);
+  void set_default_verdict(AuthVerdict v);
+  [[nodiscard]] const std::vector<AuthPolicy>& auths() const {
+    return auths_;
+  }
+  [[nodiscard]] AuthVerdict default_verdict() const {
+    return default_verdict_;
+  }
+
+  void set_on_change(ChangeFn fn) { on_change_ = std::move(fn); }
+
+ private:
+  struct Entry {
+    ObligationPolicy policy;
+    bool enabled = true;
+  };
+
+  void changed() {
+    if (on_change_) on_change_();
+  }
+
+  std::map<std::string, Entry> obligations_;
+  std::vector<AuthPolicy> auths_;
+  AuthVerdict default_verdict_ = AuthVerdict::kPermit;
+  ChangeFn on_change_;
+};
+
+}  // namespace amuse

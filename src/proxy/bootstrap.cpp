@@ -1,0 +1,35 @@
+#include "proxy/bootstrap.hpp"
+
+#include "proxy/forwarding_proxy.hpp"
+
+namespace amuse {
+
+ProxyFactory::ProxyFactory() {
+  default_creator_ = [](BusPort& bus, const MemberInfo& info) {
+    return std::make_unique<ForwardingProxy>(bus, info);
+  };
+}
+
+void ProxyFactory::register_type(std::string prefix, Creator creator) {
+  creators_.insert_or_assign(std::move(prefix), std::move(creator));
+}
+
+void ProxyFactory::set_default(Creator creator) {
+  default_creator_ = std::move(creator);
+}
+
+std::unique_ptr<Proxy> ProxyFactory::create(BusPort& bus,
+                                            const MemberInfo& info) const {
+  // Longest matching prefix wins.
+  const Creator* best = nullptr;
+  std::size_t best_len = 0;
+  for (const auto& [prefix, creator] : creators_) {
+    if (info.device_type.starts_with(prefix) && prefix.size() >= best_len) {
+      best = &creator;
+      best_len = prefix.size();
+    }
+  }
+  return best ? (*best)(bus, info) : default_creator_(bus, info);
+}
+
+}  // namespace amuse

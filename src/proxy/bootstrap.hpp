@@ -1,0 +1,47 @@
+// Proxy bootstrap mechanism (§III-C): reacts to "New Member" events by
+// creating "the appropriate proxy type for the new service", selected by
+// the device type the discovery service reported.
+//
+// Creators are registered against device-type prefixes (longest prefix
+// wins), so "sensor." can install a translating proxy family while
+// "sensor.ecg" overrides with something specific. Members with no
+// registered creator get a ForwardingProxy — they are assumed to speak the
+// bus wire protocol themselves.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "proxy/proxy.hpp"
+
+namespace amuse {
+
+class ProxyFactory {
+ public:
+  using Creator =
+      std::function<std::unique_ptr<Proxy>(BusPort&, const MemberInfo&)>;
+
+  ProxyFactory();
+
+  /// Registers `creator` for member device types starting with `prefix`.
+  void register_type(std::string prefix, Creator creator);
+
+  /// Replaces the fallback creator (initially ForwardingProxy).
+  void set_default(Creator creator);
+
+  /// Instantiates the proxy for a newly admitted member.
+  [[nodiscard]] std::unique_ptr<Proxy> create(BusPort& bus,
+                                              const MemberInfo& info) const;
+
+  [[nodiscard]] std::size_t registered_types() const {
+    return creators_.size();
+  }
+
+ private:
+  std::map<std::string, Creator> creators_;  // keyed by prefix
+  Creator default_creator_;
+};
+
+}  // namespace amuse

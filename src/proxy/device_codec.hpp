@@ -1,0 +1,47 @@
+// DeviceCodec: the device-type-specific half of a translating proxy.
+//
+// "With this design, we can build complex proxies for simple sensors
+//  (capable of performing translation between the device protocol and
+//  higher level event types)…" (§III-B). A codec knows how to turn a
+// device's raw reading bytes into a typed event, how to turn bus events
+// into device command bytes, and which subscriptions the proxy should
+// register "on behalf of the device upon its creation".
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "pubsub/event.hpp"
+#include "pubsub/filter.hpp"
+
+namespace amuse {
+
+class DeviceCodec {
+ public:
+  virtual ~DeviceCodec();
+
+  DeviceCodec() = default;
+  DeviceCodec(const DeviceCodec&) = delete;
+  DeviceCodec& operator=(const DeviceCodec&) = delete;
+
+  /// Raw reading payload → typed event, or nullopt for unparseable/ignored
+  /// readings (the proxy still acknowledges them when configured to).
+  [[nodiscard]] virtual std::optional<Event> decode_reading(
+      BytesView payload) = 0;
+
+  /// Bus event → raw command payload for the device, or nullopt when the
+  /// event carries nothing this device can act on.
+  [[nodiscard]] virtual std::optional<Bytes> encode_command(
+      const Event& event) = 0;
+
+  /// Filters the proxy registers on the device's behalf at creation
+  /// ("the proxy itself might carry enough knowledge to register for
+  /// appropriate events", §III-B).
+  [[nodiscard]] virtual std::vector<Filter> initial_subscriptions() = 0;
+
+  /// Whether readings from this device expect a device-level ack.
+  [[nodiscard]] virtual bool readings_need_ack() const { return true; }
+};
+
+}  // namespace amuse

@@ -1,0 +1,82 @@
+#include "proxy/forwarding_proxy.hpp"
+
+#include "common/log.hpp"
+#include "wire/packet.hpp"
+
+namespace amuse {
+namespace {
+const Logger kLog("proxy.forwarding");
+}
+
+ForwardingProxy::ForwardingProxy(BusPort& bus, MemberInfo info)
+    : Proxy(bus, std::move(info)) {
+  channel_ = std::make_unique<ReliableChannel>(
+      bus.executor(), bus.bus_id(), member_id(), bus.bus_session(),
+      bus.channel_config(),
+      /*send_packet=*/
+      [this](const Packet& p) {
+        this->bus().send_datagram(p.dst, p.encode());
+      },
+      /*deliver=*/
+      [this](BytesView message) { on_message(message); },
+      /*on_fail=*/
+      [this] {
+        kLog.debug("member ", member_id().to_string(),
+                   " unresponsive; queueing until purge or recovery");
+      });
+}
+
+void ForwardingProxy::deliver_event(const Event& event,
+                                    const std::vector<std::uint64_t>& matched) {
+  BusMessage m = BusMessage::deliver(event, matched);
+  if (!channel_->send(m.encode())) {
+    kLog.warn("outbound queue full for member ", member_id().to_string(),
+              "; dropping event ", event.type());
+  }
+}
+
+void ForwardingProxy::on_datagram(BytesView data) {
+  std::optional<Packet> p = Packet::decode(data);
+  if (!p) return;  // corrupt or foreign frame
+  channel_->on_packet(*p);
+}
+
+void ForwardingProxy::on_purge() { channel_->reset(); }
+
+void ForwardingProxy::send_quench_update(const std::vector<Filter>& filters) {
+  (void)channel_->send(BusMessage::quench_update(filters).encode());
+}
+
+std::size_t ForwardingProxy::pending() const {
+  return channel_->queued() + channel_->in_flight();
+}
+
+void ForwardingProxy::on_message(BytesView message) {
+  BusMessage m;
+  try {
+    m = BusMessage::decode(message);
+  } catch (const DecodeError& e) {
+    kLog.warn("malformed bus message from ", member_id().to_string(), ": ",
+              e.what());
+    return;
+  }
+  switch (m.type) {
+    case BusMsgType::kPublish:
+      bus().member_publish(member_id(), std::move(*m.event));
+      break;
+    case BusMsgType::kSubscribe:
+      bus().member_subscribe(member_id(), m.sub_id, std::move(*m.filter));
+      break;
+    case BusMsgType::kUnsubscribe:
+      bus().member_unsubscribe(member_id(), m.sub_id);
+      break;
+    case BusMsgType::kEvent:
+    case BusMsgType::kQuenchUpdate:
+      // Bus-to-member messages are nonsense coming from a member.
+      kLog.warn("unexpected ", to_string(m.type), " from member ",
+                member_id().to_string());
+      break;
+  }
+}
+
+}  // namespace amuse

@@ -1,0 +1,44 @@
+// ForwardingProxy: "simple proxies for complex sensors (resembling a mere
+// forwarding mechanism between the services)" (§III-B).
+//
+// The member speaks the bus wire protocol itself (a BusClient); the proxy's
+// job is the generic part only — the reliable, ordered, exactly-once
+// channel with its persistent outbound queue, and dispatch of the member's
+// bus messages (publish/subscribe/unsubscribe) into the core.
+#pragma once
+
+#include <memory>
+
+#include "bus/messages.hpp"
+#include "proxy/proxy.hpp"
+#include "wire/reliable_channel.hpp"
+
+namespace amuse {
+
+class ForwardingProxy final : public Proxy {
+ public:
+  ForwardingProxy(BusPort& bus, MemberInfo info);
+
+  void deliver_event(const Event& event,
+                     const std::vector<std::uint64_t>& matched) override;
+  void on_datagram(BytesView data) override;
+  void on_purge() override;
+  void send_quench_update(const std::vector<Filter>& filters) override;
+  [[nodiscard]] std::size_t pending() const override;
+
+  [[nodiscard]] const ReliableChannelStats& channel_stats() const {
+    return channel_->stats();
+  }
+  /// True when retransmissions to the member are exhausted and the channel
+  /// is waiting for the member (or the discovery service's verdict).
+  [[nodiscard]] bool stalled() const { return channel_->failed(); }
+  /// Restart delivery attempts (the member was heard from again).
+  void resume() { channel_->poke(); }
+
+ private:
+  void on_message(BytesView message);
+
+  std::unique_ptr<ReliableChannel> channel_;
+};
+
+}  // namespace amuse

@@ -1,0 +1,15 @@
+#include "proxy/proxy.hpp"
+
+#include "proxy/device_codec.hpp"
+
+namespace amuse {
+
+BusPort::~BusPort() = default;
+Proxy::~Proxy() = default;
+DeviceCodec::~DeviceCodec() = default;
+
+void Proxy::send_quench_update(const std::vector<Filter>& filters) {
+  (void)filters;
+}
+
+}  // namespace amuse

@@ -1,0 +1,60 @@
+// Proxy: the per-member object the event bus communicates through.
+//
+// "Each service granted membership of the SMC is represented by a proxy
+//  object, which provides a standard interface to that service. … A proxy
+//  is modelled as an abstract class containing generic code applicable to
+//  all SMC services, completed by a concrete class containing
+//  implementation details specific to the device/service type." (§III-B)
+//
+// Generic responsibilities implemented here: identity, lifetime (a proxy
+// destroys itself and any queued outbound data on "Purge Member"), and the
+// delivery-statistics surface. Queueing/acknowledgement strategy is the
+// concrete class's business: ForwardingProxy runs a ReliableChannel for
+// members that speak the wire protocol; TranslatingProxy implements a
+// stop-and-wait device protocol and data translation for dumb sensors.
+#pragma once
+
+#include <cstddef>
+
+#include "bus/bus_port.hpp"
+
+namespace amuse {
+
+class Proxy {
+ public:
+  Proxy(BusPort& bus, MemberInfo info) : bus_(bus), info_(std::move(info)) {}
+  virtual ~Proxy();
+
+  Proxy(const Proxy&) = delete;
+  Proxy& operator=(const Proxy&) = delete;
+
+  /// Bus → member: queue a matched event for ordered, acknowledged
+  /// delivery. `matched` holds the member's local subscription ids.
+  virtual void deliver_event(const Event& event,
+                             const std::vector<std::uint64_t>& matched) = 0;
+
+  /// Raw datagram arriving on the bus endpoint from this member.
+  virtual void on_datagram(BytesView data) = 0;
+
+  /// "Purge Member": drop any outbound data awaiting delivery and stop all
+  /// timers. The bus destroys the proxy right after calling this.
+  virtual void on_purge() = 0;
+
+  /// Quench table changed (default: device cannot use it; ignore).
+  virtual void send_quench_update(const std::vector<Filter>& filters);
+
+  /// Outbound events queued but not yet acknowledged by the member.
+  [[nodiscard]] virtual std::size_t pending() const = 0;
+
+  [[nodiscard]] const MemberInfo& info() const { return info_; }
+  [[nodiscard]] ServiceId member_id() const { return info_.id; }
+
+ protected:
+  [[nodiscard]] BusPort& bus() { return bus_; }
+
+ private:
+  BusPort& bus_;
+  MemberInfo info_;
+};
+
+}  // namespace amuse

@@ -1,0 +1,80 @@
+// TranslatingProxy: a "complex proxy for a simple sensor" (§III-B).
+//
+// Speaks the raw device protocol with the member and fully translates in
+// both directions:
+//   device reading bytes → typed Event → bus (publish, with dedup + ack);
+//   bus Event → command bytes → device (ordered stop-and-wait queue,
+//   retransmitted until the device acknowledges — "events unacknowledged by
+//   the device [are] resent by the proxy").
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "proxy/device_codec.hpp"
+#include "proxy/device_protocol.hpp"
+#include "proxy/proxy.hpp"
+
+namespace amuse {
+
+struct TranslatingProxyConfig {
+  Duration resend_interval = milliseconds(250);
+  double resend_backoff = 2.0;
+  Duration resend_max = seconds(4);
+  int max_retries = 10;
+  std::size_t max_queue = 1024;
+};
+
+class TranslatingProxy final : public Proxy {
+ public:
+  TranslatingProxy(BusPort& bus, MemberInfo info,
+                   std::unique_ptr<DeviceCodec> codec,
+                   TranslatingProxyConfig config = {});
+  ~TranslatingProxy() override;
+
+  void deliver_event(const Event& event,
+                     const std::vector<std::uint64_t>& matched) override;
+  void on_datagram(BytesView data) override;
+  void on_purge() override;
+  [[nodiscard]] std::size_t pending() const override { return queue_.size(); }
+
+  struct Stats {
+    std::uint64_t readings_decoded = 0;
+    std::uint64_t readings_undecodable = 0;
+    std::uint64_t readings_duplicate = 0;
+    std::uint64_t commands_sent = 0;
+    std::uint64_t commands_acked = 0;
+    std::uint64_t command_retransmits = 0;
+    std::uint64_t events_untranslatable = 0;
+    std::uint64_t queue_overflow = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] bool stalled() const { return stalled_; }
+
+ private:
+  void pump();             // start transmitting the queue head
+  void transmit_head();
+  void arm_timer();
+  void on_timeout();
+
+  std::unique_ptr<DeviceCodec> codec_;
+  TranslatingProxyConfig config_;
+
+  // Device → bus.
+  bool seen_any_reading_ = false;
+  std::uint16_t last_reading_seq_ = 0;
+
+  // Bus → device (stop-and-wait).
+  std::deque<Bytes> queue_;  // encoded command payloads, head is in flight
+  bool head_in_flight_ = false;
+  std::uint16_t next_cmd_seq_ = 1;
+  std::uint16_t head_seq_ = 0;
+  Duration rto_;
+  int retries_ = 0;
+  TimerId timer_ = kNoTimer;
+  bool stalled_ = false;
+
+  Stats stats_;
+};
+
+}  // namespace amuse

@@ -1,0 +1,19 @@
+#include "pubsub/brute_matcher.hpp"
+
+namespace amuse {
+
+Matcher::~Matcher() = default;
+
+void BruteForceMatcher::add(SubId id, const Filter& filter) {
+  subs_.insert_or_assign(id, filter);
+}
+
+void BruteForceMatcher::remove(SubId id) { subs_.erase(id); }
+
+void BruteForceMatcher::match(const Event& e, std::vector<SubId>& out) const {
+  for (const auto& [id, filter] : subs_) {
+    if (filter.matches(e)) out.push_back(id);
+  }
+}
+
+}  // namespace amuse

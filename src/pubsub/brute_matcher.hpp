@@ -1,0 +1,25 @@
+// Linear-scan matcher: evaluates every registered filter against every
+// event. O(subscriptions) per match, trivially correct — the oracle the
+// property tests compare the indexed engines against, and a fine choice for
+// the handful of subscriptions a single body-area SMC actually holds.
+#pragma once
+
+#include <unordered_map>
+
+#include "pubsub/matcher.hpp"
+
+namespace amuse {
+
+class BruteForceMatcher final : public Matcher {
+ public:
+  void add(SubId id, const Filter& filter) override;
+  void remove(SubId id) override;
+  void match(const Event& e, std::vector<SubId>& out) const override;
+  [[nodiscard]] std::size_t size() const override { return subs_.size(); }
+  [[nodiscard]] std::string name() const override { return "brute"; }
+
+ private:
+  std::unordered_map<SubId, Filter> subs_;
+};
+
+}  // namespace amuse

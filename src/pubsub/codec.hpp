@@ -1,0 +1,18 @@
+// Standalone byte-array codecs for events and filters — the representation
+// that crosses the generic transport layer (paper §III-D: byte arrays keep
+// the SMC core independent of any language serialisation).
+#pragma once
+
+#include "pubsub/event.hpp"
+#include "pubsub/filter.hpp"
+
+namespace amuse {
+
+[[nodiscard]] Bytes encode_event(const Event& e);
+/// Throws DecodeError on malformed input.
+[[nodiscard]] Event decode_event(BytesView b);
+
+[[nodiscard]] Bytes encode_filter(const Filter& f);
+[[nodiscard]] Filter decode_filter(BytesView b);
+
+}  // namespace amuse

@@ -1,0 +1,77 @@
+// Events (Siena "notifications"): named, typed attribute sets.
+//
+// By convention every SMC event carries a string attribute "type" — e.g.
+// "smc.member.new", "vitals.heartrate", "alarm.cardiac" — which obligation
+// policies and simple subscribers key on, while content filters may
+// constrain any attribute. Bus metadata (publisher id, publisher sequence
+// number, timestamp) travels beside the attributes so the event bus can
+// enforce per-sender ordering end to end.
+#pragma once
+
+#include <initializer_list>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/service_id.hpp"
+#include "pubsub/value.hpp"
+#include "sim/time.hpp"
+
+namespace amuse {
+
+class Event {
+ public:
+  Event() = default;
+  /// Shorthand: Event("alarm.cardiac", {{"level", "high"}, {"hr", 188}}).
+  explicit Event(std::string type,
+                 std::initializer_list<std::pair<const std::string, Value>>
+                     attrs = {});
+
+  Event& set(std::string name, Value value);
+  [[nodiscard]] bool has(std::string_view name) const;
+  /// Returns nullptr when absent.
+  [[nodiscard]] const Value* get(std::string_view name) const;
+  /// Returns `fallback` when absent or not the requested type.
+  [[nodiscard]] std::int64_t get_int(std::string_view name,
+                                     std::int64_t fallback = 0) const;
+  [[nodiscard]] double get_double(std::string_view name,
+                                  double fallback = 0.0) const;
+  [[nodiscard]] std::string get_string(std::string_view name,
+                                       std::string fallback = "") const;
+
+  /// The conventional "type" attribute ("" when unset).
+  [[nodiscard]] std::string type() const { return get_string("type"); }
+
+  [[nodiscard]] const std::map<std::string, Value, std::less<>>& attributes()
+      const {
+    return attrs_;
+  }
+  [[nodiscard]] std::size_t size() const { return attrs_.size(); }
+
+  // Bus metadata (not attributes; set by the bus client on publish).
+  [[nodiscard]] ServiceId publisher() const { return publisher_; }
+  [[nodiscard]] std::uint64_t publisher_seq() const { return publisher_seq_; }
+  [[nodiscard]] TimePoint timestamp() const { return timestamp_; }
+  void set_publisher(ServiceId id) { publisher_ = id; }
+  void set_publisher_seq(std::uint64_t seq) { publisher_seq_ = seq; }
+  void set_timestamp(TimePoint t) { timestamp_ = t; }
+
+  [[nodiscard]] bool operator==(const Event& other) const;
+
+  /// Approximate wire size in bytes (used by cost models).
+  [[nodiscard]] std::size_t payload_size() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  void encode(Writer& w) const;
+  [[nodiscard]] static Event decode(Reader& r);
+
+ private:
+  std::map<std::string, Value, std::less<>> attrs_;
+  ServiceId publisher_;
+  std::uint64_t publisher_seq_ = 0;
+  TimePoint timestamp_{};
+};
+
+}  // namespace amuse

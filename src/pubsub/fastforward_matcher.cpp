@@ -1,0 +1,186 @@
+#include "pubsub/fastforward_matcher.hpp"
+
+#include <algorithm>
+
+namespace amuse {
+namespace {
+
+void sorted_insert(std::vector<std::pair<double, std::uint32_t>>& v,
+                   double bound, std::uint32_t slot) {
+  auto it = std::lower_bound(
+      v.begin(), v.end(), bound,
+      [](const auto& entry, double b) { return entry.first < b; });
+  v.insert(it, {bound, slot});
+}
+
+}  // namespace
+
+void FastForwardMatcher::add(SubId id, const Filter& filter) {
+  auto it = slot_of_.find(id);
+  if (it != slot_of_.end()) {
+    // Re-add replaces the filter: the old constraints must leave the index
+    // immediately (a tombstone is not enough — the resurrected id would be
+    // bumped by stale entries), so force a compaction.
+    drop_slot(it->second);
+    compact();
+  }
+  Slot slot = static_cast<Slot>(slots_.size());
+  slots_.push_back(SlotInfo{id, filter,
+                            static_cast<std::uint32_t>(filter.size()), true});
+  slot_of_.emplace(id, slot);
+  ++live_count_;
+  index_filter(slot, filter);
+}
+
+void FastForwardMatcher::index_filter(Slot slot, const Filter& filter) {
+  if (filter.empty()) {
+    empty_filters_.push_back(slot);
+    return;
+  }
+  for (const Constraint& c : filter.constraints()) {
+    AttrIndex& ai = attrs_[c.attribute];
+    switch (c.op) {
+      case Op::kExists:
+        ai.exists.push_back(slot);
+        break;
+      case Op::kEq:
+        if (c.value.is_numeric()) {
+          ai.eq_num[c.value.as_double()].push_back(slot);
+        } else if (c.value.type() == ValueType::kString) {
+          ai.eq_str[c.value.as_string()].push_back(slot);
+        } else {
+          ai.scan.push_back({c.op, c.value, slot});
+        }
+        break;
+      case Op::kLt:
+      case Op::kLe:
+      case Op::kGt:
+      case Op::kGe:
+        if (c.value.is_numeric()) {
+          double bound = c.value.as_double();
+          switch (c.op) {
+            case Op::kLt: sorted_insert(ai.lt, bound, slot); break;
+            case Op::kLe: sorted_insert(ai.le, bound, slot); break;
+            case Op::kGt: sorted_insert(ai.gt, bound, slot); break;
+            default: sorted_insert(ai.ge, bound, slot); break;
+          }
+        } else {
+          ai.scan.push_back({c.op, c.value, slot});
+        }
+        break;
+      default:
+        ai.scan.push_back({c.op, c.value, slot});
+        break;
+    }
+  }
+}
+
+void FastForwardMatcher::drop_slot(Slot slot) {
+  if (!slots_[slot].alive) return;
+  slots_[slot].alive = false;
+  --live_count_;
+  ++dead_count_;
+}
+
+void FastForwardMatcher::remove(SubId id) {
+  auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) return;
+  drop_slot(it->second);
+  slot_of_.erase(it);
+  if (dead_count_ > live_count_ && dead_count_ > 16) compact();
+}
+
+void FastForwardMatcher::compact() {
+  std::vector<SlotInfo> live;
+  live.reserve(live_count_);
+  for (SlotInfo& info : slots_) {
+    if (info.alive) live.push_back(std::move(info));
+  }
+  slots_ = std::move(live);
+  slot_of_.clear();
+  attrs_.clear();
+  empty_filters_.clear();
+  dead_count_ = 0;
+  for (Slot slot = 0; slot < slots_.size(); ++slot) {
+    slot_of_.emplace(slots_[slot].id, slot);
+    index_filter(slot, slots_[slot].filter);
+  }
+  counts_.clear();
+  stamps_.clear();
+}
+
+void FastForwardMatcher::match(const Event& e, std::vector<SubId>& out) const {
+  if (counts_.size() < slots_.size()) {
+    counts_.resize(slots_.size(), 0);
+    stamps_.resize(slots_.size(), 0);
+  }
+  ++epoch_;
+
+  auto bump = [&](Slot slot) {
+    const SlotInfo& info = slots_[slot];
+    if (!info.alive) return;
+    if (stamps_[slot] != epoch_) {
+      stamps_[slot] = epoch_;
+      counts_[slot] = 0;
+    }
+    if (++counts_[slot] == info.total) out.push_back(info.id);
+  };
+
+  for (const auto& [name, value] : e.attributes()) {
+    auto ait = attrs_.find(name);
+    if (ait == attrs_.end()) continue;
+    const AttrIndex& ai = ait->second;
+
+    for (Slot slot : ai.exists) bump(slot);
+
+    if (value.is_numeric()) {
+      double v = value.as_double();
+      if (auto eq = ai.eq_num.find(v); eq != ai.eq_num.end()) {
+        for (Slot slot : eq->second) bump(slot);
+      }
+      // v < bound  ⇔  bound > v: suffix starting at upper_bound(v).
+      {
+        auto from = std::upper_bound(
+            ai.lt.begin(), ai.lt.end(), v,
+            [](double x, const auto& entry) { return x < entry.first; });
+        for (auto it2 = from; it2 != ai.lt.end(); ++it2) bump(it2->second);
+      }
+      // v <= bound ⇔ bound >= v: suffix starting at lower_bound(v).
+      {
+        auto from = std::lower_bound(
+            ai.le.begin(), ai.le.end(), v,
+            [](const auto& entry, double x) { return entry.first < x; });
+        for (auto it2 = from; it2 != ai.le.end(); ++it2) bump(it2->second);
+      }
+      // v > bound ⇔ bound < v: prefix ending at lower_bound(v).
+      {
+        auto to = std::lower_bound(
+            ai.gt.begin(), ai.gt.end(), v,
+            [](const auto& entry, double x) { return entry.first < x; });
+        for (auto it2 = ai.gt.begin(); it2 != to; ++it2) bump(it2->second);
+      }
+      // v >= bound ⇔ bound <= v: prefix ending at upper_bound(v).
+      {
+        auto to = std::upper_bound(
+            ai.ge.begin(), ai.ge.end(), v,
+            [](double x, const auto& entry) { return x < entry.first; });
+        for (auto it2 = ai.ge.begin(); it2 != to; ++it2) bump(it2->second);
+      }
+    } else if (value.type() == ValueType::kString) {
+      if (auto eq = ai.eq_str.find(value.as_string()); eq != ai.eq_str.end()) {
+        for (Slot slot : eq->second) bump(slot);
+      }
+    }
+
+    for (const ScanEntry& entry : ai.scan) {
+      Constraint c{name, entry.op, entry.value};
+      if (c.matches(value)) bump(entry.slot);
+    }
+  }
+
+  for (Slot slot : empty_filters_) {
+    if (slots_[slot].alive) out.push_back(slots_[slot].id);
+  }
+}
+
+}  // namespace amuse

@@ -1,0 +1,78 @@
+// FastForwardMatcher — the counting algorithm behind Siena's "fast
+// forwarding" module (Carzaniga & Wolf, "Forwarding in a content-based
+// network", SIGCOMM 2003), which the paper's dedicated C engine is "based
+// on" (§IV).
+//
+// Constraints are indexed per attribute: equality constraints in hash
+// tables, numeric range constraints in sorted bound arrays (so an event
+// value selects every satisfied bound with two binary searches), and the
+// irregular operators (string ranges, substring ops, !=) in small per-
+// attribute scan lists. Matching an event bumps a counter per filter for
+// each satisfied constraint; a filter whose counter reaches its constraint
+// count matches. Cost scales with the number of *satisfied constraints*,
+// not the number of subscriptions.
+//
+// Filters are assigned dense slots so the per-match counters live in flat,
+// epoch-stamped arrays — no hashing or clearing in the hot loop.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pubsub/matcher.hpp"
+
+namespace amuse {
+
+class FastForwardMatcher final : public Matcher {
+ public:
+  void add(SubId id, const Filter& filter) override;
+  void remove(SubId id) override;
+  void match(const Event& e, std::vector<SubId>& out) const override;
+  [[nodiscard]] std::size_t size() const override { return live_count_; }
+  [[nodiscard]] std::string name() const override { return "fastforward"; }
+
+ private:
+  using Slot = std::uint32_t;
+
+  struct SlotInfo {
+    SubId id = 0;
+    Filter filter;
+    std::uint32_t total = 0;  // number of constraints
+    bool alive = false;
+  };
+
+  struct ScanEntry {
+    Op op;
+    Value value;
+    Slot slot;
+  };
+
+  struct AttrIndex {
+    std::unordered_map<double, std::vector<Slot>> eq_num;
+    std::unordered_map<std::string, std::vector<Slot>> eq_str;
+    // Numeric range constraints, each sorted by bound.
+    std::vector<std::pair<double, Slot>> lt, le, gt, ge;
+    // !=, string ranges, prefix/suffix/contains, bool/bytes equality.
+    std::vector<ScanEntry> scan;
+    std::vector<Slot> exists;
+  };
+
+  void index_filter(Slot slot, const Filter& filter);
+  void drop_slot(Slot slot);
+  void compact();
+
+  std::vector<SlotInfo> slots_;
+  std::unordered_map<SubId, Slot> slot_of_;
+  std::unordered_map<std::string, AttrIndex> attrs_;
+  std::vector<Slot> empty_filters_;  // constraint-free: match everything
+  std::size_t live_count_ = 0;
+  std::size_t dead_count_ = 0;
+
+  // Per-match scratch (epoch-stamped so it never needs clearing).
+  mutable std::vector<std::uint32_t> counts_;
+  mutable std::vector<std::uint64_t> stamps_;
+  mutable std::uint64_t epoch_ = 0;
+};
+
+}  // namespace amuse

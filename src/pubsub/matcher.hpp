@@ -1,0 +1,45 @@
+// Matcher: the interchangeable matching engine behind the event bus.
+//
+// The paper's "EventBus" interface "has allowed us to replace Siena with a
+// more lightweight mechanism" (§III-A); this is that seam. Three engines:
+//   - BruteForceMatcher — linear scan; the semantic oracle for tests;
+//   - SienaMatcher      — subscription poset with covering relations, used
+//                         through a translation layer (the Siena-based bus);
+//   - FastForwardMatcher — the counting algorithm of Siena's fast
+//                         forwarding module (Carzaniga & Wolf, SIGCOMM'03),
+//                         the model for the paper's dedicated C engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pubsub/filter.hpp"
+
+namespace amuse {
+
+/// Opaque subscription identity assigned by the caller (the bus maps these
+/// to proxies).
+using SubId = std::uint64_t;
+
+class Matcher {
+ public:
+  virtual ~Matcher();
+
+  Matcher() = default;
+  Matcher(const Matcher&) = delete;
+  Matcher& operator=(const Matcher&) = delete;
+
+  /// Registers `filter` under `id`. Re-adding an existing id replaces its
+  /// filter.
+  virtual void add(SubId id, const Filter& filter) = 0;
+  /// Removes a subscription; unknown ids are ignored.
+  virtual void remove(SubId id) = 0;
+  /// Appends the ids of all subscriptions whose filter matches `e`.
+  /// Order is unspecified; ids appear at most once.
+  virtual void match(const Event& e, std::vector<SubId>& out) const = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace amuse

@@ -1,0 +1,159 @@
+#include "pubsub/siena_matcher.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace amuse {
+
+SienaMatcher::~SienaMatcher() = default;
+
+void SienaMatcher::unlink(std::vector<Node*>& list, Node* n) {
+  list.erase(std::remove(list.begin(), list.end(), n), list.end());
+}
+
+void SienaMatcher::find_direct_parents(const Filter& filter,
+                                       std::vector<Node*>& out) const {
+  std::unordered_set<const Node*> visited;
+  // DFS from each covering root towards the most specific covering nodes.
+  auto descend = [&](auto&& self, Node* n) -> void {
+    if (!visited.insert(n).second) return;
+    std::vector<Node*> deeper;
+    for (Node* c : n->children) {
+      if (covers(c->filter, filter)) deeper.push_back(c);
+    }
+    if (deeper.empty()) {
+      out.push_back(n);
+      return;
+    }
+    for (Node* c : deeper) self(self, c);
+  };
+  for (Node* r : roots_) {
+    if (covers(r->filter, filter)) descend(descend, r);
+  }
+  // Deduplicate (a node can be reached via several paths; `visited` already
+  // prevents double-descent but a parent may be pushed once per path edge).
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+void SienaMatcher::add(SubId id, const Filter& filter) {
+  remove(id);  // re-adding replaces
+
+  auto owned = std::make_unique<Node>();
+  Node* node = owned.get();
+  node->id = id;
+  node->filter = filter;
+
+  std::vector<Node*> parents;
+  find_direct_parents(filter, parents);
+
+  if (parents.empty()) {
+    // New root. Any current root covered by the new filter becomes a child.
+    std::vector<Node*> captured;
+    for (Node* r : roots_) {
+      if (covers(filter, r->filter)) captured.push_back(r);
+    }
+    for (Node* c : captured) {
+      unlink(roots_, c);
+      c->parents.push_back(node);
+      node->children.push_back(c);
+    }
+    roots_.push_back(node);
+  } else {
+    for (Node* p : parents) {
+      // Children of p that the new, more specific node also covers move
+      // under the new node (it sits between them and p).
+      std::vector<Node*> captured;
+      for (Node* c : p->children) {
+        if (c != node && covers(filter, c->filter)) captured.push_back(c);
+      }
+      for (Node* c : captured) {
+        unlink(p->children, c);
+        unlink(c->parents, p);
+        if (std::find(c->parents.begin(), c->parents.end(), node) ==
+            c->parents.end()) {
+          c->parents.push_back(node);
+          node->children.push_back(c);
+        }
+      }
+      p->children.push_back(node);
+      node->parents.push_back(p);
+    }
+  }
+  nodes_.emplace(id, std::move(owned));
+}
+
+void SienaMatcher::remove(SubId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return;
+  Node* node = it->second.get();
+
+  // Splice children up to the node's parents (or to the roots).
+  for (Node* c : node->children) {
+    unlink(c->parents, node);
+    if (node->parents.empty()) {
+      if (c->parents.empty()) roots_.push_back(c);
+    } else {
+      for (Node* p : node->parents) {
+        if (std::find(c->parents.begin(), c->parents.end(), p) ==
+            c->parents.end()) {
+          c->parents.push_back(p);
+          p->children.push_back(c);
+        }
+      }
+    }
+  }
+  for (Node* p : node->parents) unlink(p->children, node);
+  unlink(roots_, node);
+  nodes_.erase(it);
+}
+
+void SienaMatcher::match(const Event& e, std::vector<SubId>& out) const {
+  std::unordered_set<const Node*> visited;
+  std::deque<Node*> frontier(roots_.begin(), roots_.end());
+  while (!frontier.empty()) {
+    Node* n = frontier.front();
+    frontier.pop_front();
+    if (!visited.insert(n).second) continue;
+    if (!n->filter.matches(e)) continue;  // prune: descendants are stricter
+    out.push_back(n->id);
+    for (Node* c : n->children) frontier.push_back(c);
+  }
+}
+
+bool SienaMatcher::check_invariants() const {
+  // Edge soundness + parent/child symmetry.
+  for (const auto& [id, node] : nodes_) {
+    for (Node* c : node->children) {
+      if (!covers(node->filter, c->filter)) return false;
+      if (std::find(c->parents.begin(), c->parents.end(), node.get()) ==
+          c->parents.end()) {
+        return false;
+      }
+    }
+    for (Node* p : node->parents) {
+      if (std::find(p->children.begin(), p->children.end(), node.get()) ==
+          p->children.end()) {
+        return false;
+      }
+    }
+    bool is_root =
+        std::find(roots_.begin(), roots_.end(), node.get()) != roots_.end();
+    if (node->parents.empty() != is_root) return false;
+  }
+  // Reachability: every node visited from the roots.
+  std::unordered_set<const Node*> visited;
+  std::deque<const Node*> frontier(roots_.begin(), roots_.end());
+  std::size_t steps = 0;
+  const std::size_t limit = nodes_.size() * nodes_.size() + 16;
+  while (!frontier.empty()) {
+    const Node* n = frontier.front();
+    frontier.pop_front();
+    if (++steps > limit) return false;  // cycle guard
+    if (!visited.insert(n).second) continue;
+    for (const Node* c : n->children) frontier.push_back(c);
+  }
+  return visited.size() == nodes_.size();
+}
+
+}  // namespace amuse

@@ -1,0 +1,55 @@
+// SienaMatcher — a faithful reconstruction of the Siena server's
+// subscription structure: a partially ordered set (DAG) of filters under
+// the *covering* relation (Carzaniga, Rosenblum & Wolf, TOCS 2001).
+//
+// covers(f, g) means every event matching g matches f; the poset keeps the
+// most general filters at the roots. Matching walks from the roots and
+// prunes an entire subtree as soon as a node fails to match (a descendant
+// is more specific, so it cannot match either). This was the engine of the
+// paper's first prototype, used through a translation layer — see
+// pubsub/siena_translation.hpp and bus/event_bus.hpp.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "pubsub/matcher.hpp"
+
+namespace amuse {
+
+class SienaMatcher final : public Matcher {
+ public:
+  ~SienaMatcher() override;
+
+  void add(SubId id, const Filter& filter) override;
+  void remove(SubId id) override;
+  void match(const Event& e, std::vector<SubId>& out) const override;
+  [[nodiscard]] std::size_t size() const override { return nodes_.size(); }
+  [[nodiscard]] std::string name() const override { return "siena"; }
+
+  // Introspection for tests and the matcher-ablation bench.
+  [[nodiscard]] std::size_t root_count() const { return roots_.size(); }
+  /// Checks poset invariants: every edge parent→child satisfies
+  /// covers(parent, child); every node is reachable from a root; no cycles.
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  struct Node {
+    SubId id;
+    Filter filter;
+    std::vector<Node*> parents;
+    std::vector<Node*> children;
+  };
+
+  /// Most specific existing nodes that cover `filter`.
+  void find_direct_parents(const Filter& filter,
+                           std::vector<Node*>& out) const;
+  static void unlink(std::vector<Node*>& list, Node* n);
+
+  std::unordered_map<SubId, std::unique_ptr<Node>> nodes_;
+  std::vector<Node*> roots_;
+};
+
+}  // namespace amuse

@@ -1,0 +1,44 @@
+// The Siena translation layer.
+//
+// The first prototype wrapped Siena "with an appropriate interface to allow
+// translation of Siena subscription/notification types to or from our own"
+// (§III-A), and the paper attributes the Siena-based bus's extra latency to
+// exactly these translations and the copies they imply (§V). This module
+// reconstructs that layer: events and filters are converted to and from a
+// Siena-style *string-typed* representation (`SienaNotification`), doing
+// genuine formatting/parsing work so the cost is real in wall-clock
+// benchmarks as well as modelled in the simulator (BusCostModel).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "pubsub/event.hpp"
+#include "pubsub/filter.hpp"
+
+namespace amuse {
+
+/// Siena's AttributeValue set rendered as text, e.g.
+///   {"type" -> "str:14:vitals.spo2.ok", "value" -> "int:97"}.
+struct SienaNotification {
+  std::map<std::string, std::string> attrs;
+};
+
+/// Formats every attribute to the string representation (one full pass +
+/// one string allocation per attribute — the translation cost).
+[[nodiscard]] SienaNotification to_siena(const Event& e);
+
+/// Parses the string representation back to a typed Event.
+/// Throws DecodeError on malformed input.
+[[nodiscard]] Event from_siena(const SienaNotification& n);
+
+/// Textual Siena filter, one "attr op value" clause per constraint.
+[[nodiscard]] std::string to_siena_filter(const Filter& f);
+[[nodiscard]] Filter parse_siena_filter(const std::string& text);
+
+/// Round-trips an event through the Siena representation, as the prototype
+/// effectively did on every publish (our types → Siena types at the input,
+/// Siena types → our types at each delivery). Returns the re-parsed event.
+[[nodiscard]] Event siena_round_trip(const Event& e);
+
+}  // namespace amuse

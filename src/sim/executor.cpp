@@ -1,0 +1,11 @@
+#include "sim/executor.hpp"
+
+namespace amuse {
+
+Executor::~Executor() = default;
+
+TimerId Executor::schedule_after(Duration delay, Task fn) {
+  return schedule_at(now() + delay, std::move(fn));
+}
+
+}  // namespace amuse

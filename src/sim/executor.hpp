@@ -1,0 +1,46 @@
+// Executor: the event-loop abstraction every SMC component is written
+// against. Components never call OS timers or sleep; they schedule closures.
+// Two implementations exist:
+//  - SimExecutor: discrete-event virtual time (all tests and benches);
+//  - RealExecutor: wall-clock time (the real-UDP demo).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/time.hpp"
+
+namespace amuse {
+
+using Task = std::function<void()>;
+
+/// Handle for cancelling a scheduled task. 0 is "no timer".
+using TimerId = std::uint64_t;
+inline constexpr TimerId kNoTimer = 0;
+
+class Executor {
+ public:
+  virtual ~Executor();
+
+  Executor() = default;
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Current time on this executor's clock.
+  [[nodiscard]] virtual TimePoint now() const = 0;
+
+  /// Runs `fn` as soon as possible, after already-queued work.
+  virtual void post(Task fn) = 0;
+
+  /// Runs `fn` at absolute time `t` (or immediately if `t` has passed).
+  virtual TimerId schedule_at(TimePoint t, Task fn) = 0;
+
+  /// Runs `fn` after `delay`.
+  TimerId schedule_after(Duration delay, Task fn);
+
+  /// Cancels a pending timer. Cancelling an already-fired or unknown id is
+  /// a harmless no-op (components race their own timers against packets).
+  virtual void cancel(TimerId id) = 0;
+};
+
+}  // namespace amuse

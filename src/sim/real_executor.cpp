@@ -1,0 +1,78 @@
+#include "sim/real_executor.hpp"
+
+#include <utility>
+
+namespace amuse {
+
+RealExecutor::RealExecutor() : epoch_(std::chrono::steady_clock::now()) {}
+
+TimePoint RealExecutor::now() const {
+  auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return TimePoint(std::chrono::duration_cast<Duration>(elapsed));
+}
+
+void RealExecutor::post(Task fn) { (void)schedule_at(now(), std::move(fn)); }
+
+TimerId RealExecutor::schedule_at(TimePoint t, Task fn) {
+  std::lock_guard lock(mu_);
+  TimerId id = next_id_++;
+  Key key{t, next_seq_++};
+  queue_.emplace(key, std::make_pair(id, std::move(fn)));
+  by_id_.emplace(id, key);
+  cv_.notify_all();
+  return id;
+}
+
+void RealExecutor::cancel(TimerId id) {
+  std::lock_guard lock(mu_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return;
+  queue_.erase(it->second);
+  by_id_.erase(it);
+}
+
+void RealExecutor::run() {
+  run_until_wall(TimePoint{}, /*has_deadline=*/false);
+}
+
+void RealExecutor::run_for(Duration d) {
+  run_until_wall(now() + d, /*has_deadline=*/true);
+}
+
+void RealExecutor::run_until_wall(TimePoint deadline, bool has_deadline) {
+  stop_.store(false);
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mu_);
+      for (;;) {
+        if (stop_.load()) return;
+        if (has_deadline && now() >= deadline) return;
+        if (!queue_.empty() && queue_.begin()->first.when <= now()) break;
+        auto wall_deadline = std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(50);
+        if (!queue_.empty()) {
+          auto next = epoch_ + queue_.begin()->first.when.time_since_epoch();
+          if (next < wall_deadline) wall_deadline = next;
+        }
+        if (has_deadline) {
+          auto dl = epoch_ + deadline.time_since_epoch();
+          if (dl < wall_deadline) wall_deadline = dl;
+        }
+        cv_.wait_until(lock, wall_deadline);
+      }
+      auto it = queue_.begin();
+      task = std::move(it->second.second);
+      by_id_.erase(it->second.first);
+      queue_.erase(it);
+    }
+    task();
+  }
+}
+
+void RealExecutor::stop() {
+  stop_.store(true);
+  cv_.notify_all();
+}
+
+}  // namespace amuse

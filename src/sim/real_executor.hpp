@@ -1,0 +1,53 @@
+// Wall-clock executor for running the SMC stack on a real network (the
+// prototype's UDP configuration, paper §IV). Single consumer thread calls
+// run(); producers (e.g. the UDP receive thread) post from any thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "sim/executor.hpp"
+
+namespace amuse {
+
+class RealExecutor final : public Executor {
+ public:
+  RealExecutor();
+
+  [[nodiscard]] TimePoint now() const override;
+  void post(Task fn) override;
+  TimerId schedule_at(TimePoint t, Task fn) override;
+  void cancel(TimerId id) override;
+
+  /// Runs tasks on the calling thread until stop() is called.
+  void run();
+  /// Runs tasks until `d` of wall time has elapsed.
+  void run_for(Duration d);
+  /// Wakes run() and makes it return. Thread-safe.
+  void stop();
+
+ private:
+  struct Key {
+    TimePoint when;
+    std::uint64_t seq;
+    bool operator<(const Key& o) const {
+      return when != o.when ? when < o.when : seq < o.seq;
+    }
+  };
+
+  void run_until_wall(TimePoint deadline, bool has_deadline);
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Key, std::pair<TimerId, Task>> queue_;
+  std::map<TimerId, Key> by_id_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace amuse

@@ -1,0 +1,55 @@
+#include "sim/sim_executor.hpp"
+
+#include <utility>
+
+namespace amuse {
+
+void SimExecutor::post(Task fn) { (void)schedule_at(now_, std::move(fn)); }
+
+TimerId SimExecutor::schedule_at(TimePoint t, Task fn) {
+  if (t < now_) t = now_;
+  TimerId id = next_id_++;
+  queue_.push(Entry{t, next_seq_++, id});
+  tasks_.emplace(id, std::move(fn));
+  return id;
+}
+
+void SimExecutor::cancel(TimerId id) { tasks_.erase(id); }
+
+bool SimExecutor::step() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    auto it = tasks_.find(e.id);
+    if (it == tasks_.end()) continue;  // cancelled
+    Task fn = std::move(it->second);
+    tasks_.erase(it);
+    now_ = e.when;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t SimExecutor::run(std::size_t limit) {
+  std::size_t n = 0;
+  while (n < limit && step()) ++n;
+  return n;
+}
+
+void SimExecutor::run_until(TimePoint deadline) {
+  while (!queue_.empty()) {
+    // Skip over cancelled entries without advancing time.
+    Entry e = queue_.top();
+    if (!tasks_.contains(e.id)) {
+      queue_.pop();
+      continue;
+    }
+    if (e.when > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace amuse

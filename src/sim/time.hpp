@@ -1,0 +1,42 @@
+// Simulation time. One nanosecond resolution, chrono-compatible so the same
+// component code runs unchanged on the virtual clock (SimExecutor) and the
+// wall clock (RealExecutor).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace amuse {
+
+/// Chrono clock tag for virtual time. Epoch = simulation start.
+struct SimClock {
+  using rep = std::int64_t;
+  using period = std::nano;
+  using duration = std::chrono::nanoseconds;
+  using time_point = std::chrono::time_point<SimClock>;
+  static constexpr bool is_steady = true;
+};
+
+using Duration = SimClock::duration;
+using TimePoint = SimClock::time_point;
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+using std::chrono::nanoseconds;
+using std::chrono::seconds;
+
+/// Seconds as a double, for reporting.
+[[nodiscard]] inline double to_seconds(Duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+/// Milliseconds as a double, for reporting (the paper's figures use ms).
+[[nodiscard]] inline double to_millis(Duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+[[nodiscard]] inline Duration from_seconds(double s) {
+  return std::chrono::duration_cast<Duration>(std::chrono::duration<double>(s));
+}
+
+}  // namespace amuse

@@ -1,0 +1,34 @@
+#include "smc/federation.hpp"
+
+namespace amuse {
+
+FederationBridge::FederationBridge(EventBus& from, EventBus& to,
+                                   FederationConfig config)
+    : from_(from), to_(to), config_(std::move(config)) {}
+
+FederationBridge::~FederationBridge() {
+  for (std::uint64_t sub : subscriptions_) from_.unsubscribe_local(sub);
+}
+
+void FederationBridge::share(const Filter& filter) {
+  subscriptions_.push_back(
+      from_.subscribe_local(filter, [this](const Event& e) { forward(e); }));
+}
+
+void FederationBridge::forward(const Event& e) {
+  std::int64_t hops = e.get_int(config_.hop_attr, 0);
+  if (hops >= config_.max_hops) {
+    ++stats_.hop_limited;
+    return;
+  }
+  Event out = e;
+  out.set(config_.hop_attr, hops + 1);
+  out.set("x-fed-origin", static_cast<std::int64_t>(
+                              e.publisher().is_nil()
+                                  ? from_.bus_id().raw()
+                                  : e.publisher().raw()));
+  ++stats_.forwarded;
+  to_.publish_local(std::move(out));
+}
+
+}  // namespace amuse

@@ -1,0 +1,54 @@
+// FederationBridge: peer-to-peer composition of self-managed cells.
+//
+// "Autonomous, self-managed cells must be composable to form larger cells
+//  but also need to collaborate and integrate with each other in
+//  peer-to-peer relationships" (§I; developed further in the authors'
+//  "Self-managed cells and their federation"). The bridge re-publishes
+// events matching an export filter from one cell's bus into another's,
+// tagging them with a hop count so federated loops terminate.
+#pragma once
+
+#include <vector>
+
+#include "bus/event_bus.hpp"
+
+namespace amuse {
+
+struct FederationConfig {
+  /// Maximum number of cell-to-cell hops an event may take.
+  int max_hops = 2;
+  /// Attribute carrying the hop count.
+  std::string hop_attr = "x-fed-hops";
+};
+
+class FederationBridge {
+ public:
+  /// Bridges `from` → `to`; create a second bridge for the reverse
+  /// direction.
+  FederationBridge(EventBus& from, EventBus& to,
+                   FederationConfig config = {});
+  ~FederationBridge();
+
+  FederationBridge(const FederationBridge&) = delete;
+  FederationBridge& operator=(const FederationBridge&) = delete;
+
+  /// Exports events matching `filter` into the destination cell.
+  void share(const Filter& filter);
+
+  struct Stats {
+    std::uint64_t forwarded = 0;
+    std::uint64_t hop_limited = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void forward(const Event& e);
+
+  EventBus& from_;
+  EventBus& to_;
+  FederationConfig config_;
+  std::vector<std::uint64_t> subscriptions_;
+  Stats stats_;
+};
+
+}  // namespace amuse

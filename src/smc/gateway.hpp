@@ -1,0 +1,70 @@
+// FederationGateway: peer-to-peer cell composition *over the network*.
+//
+// FederationBridge (smc/federation.hpp) connects two buses in one address
+// space; a gateway is the deployable version — a dual-homed service that
+// is simultaneously an ordinary member of two cells (it discovers, joins,
+// heartbeats and re-joins each like any other member) and re-publishes
+// events matching its export filters from one cell into the other. Each
+// direction is an independent gateway instance. Hop counts terminate
+// federation loops exactly as in the in-process bridge.
+#pragma once
+
+#include "smc/member.hpp"
+
+namespace amuse {
+
+struct GatewayConfig {
+  int max_hops = 2;
+  std::string hop_attr = "x-fed-hops";
+  std::string origin_attr = "x-fed-origin";
+};
+
+class FederationGateway {
+ public:
+  /// Forwards `from` → `to`. Both members are owned by the caller and must
+  /// outlive the gateway; the caller also start()s them.
+  FederationGateway(SmcMember& from, SmcMember& to,
+                    GatewayConfig config = {})
+      : from_(from), to_(to), config_(std::move(config)) {}
+
+  /// Exports events matching `filter` into the destination cell. Durable
+  /// across re-joins (SmcMember re-registers subscriptions).
+  void share(const Filter& filter) {
+    subscriptions_.push_back(
+        from_.subscribe(filter, [this](const Event& e) { forward(e); }));
+  }
+
+  struct Stats {
+    std::uint64_t forwarded = 0;
+    std::uint64_t hop_limited = 0;
+    std::uint64_t dropped_disconnected = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void forward(const Event& e) {
+    std::int64_t hops = e.get_int(config_.hop_attr, 0);
+    if (hops >= config_.max_hops) {
+      ++stats_.hop_limited;
+      return;
+    }
+    Event out = e;
+    out.set(config_.hop_attr, hops + 1);
+    out.set(config_.origin_attr,
+            static_cast<std::int64_t>(e.publisher().raw()));
+    if (!to_.publish(std::move(out))) {
+      // Destination cell out of range and the offline buffer is full.
+      ++stats_.dropped_disconnected;
+      return;
+    }
+    ++stats_.forwarded;
+  }
+
+  SmcMember& from_;
+  SmcMember& to_;
+  GatewayConfig config_;
+  std::vector<std::uint64_t> subscriptions_;
+  Stats stats_;
+};
+
+}  // namespace amuse

@@ -1,0 +1,98 @@
+#include "smc/member.hpp"
+
+namespace amuse {
+
+SmcMember::SmcMember(Executor& executor, std::shared_ptr<Transport> transport,
+                     SmcMemberConfig config)
+    : executor_(executor),
+      transport_(std::move(transport)),
+      config_(std::move(config)) {
+  DiscoveryAgentConfig ac = config_.agent;
+  ac.install_receive_handler = false;  // we own the endpoint and mux
+  agent_ = std::make_unique<DiscoveryAgent>(executor_, transport_, ac);
+  agent_->set_on_joined([this](ServiceId bus, std::uint32_t session) {
+    on_cell_joined(bus, session);
+  });
+  agent_->set_on_left([this] { on_cell_left(); });
+
+  transport_->set_receive_handler([this](ServiceId src, BytesView data) {
+    // Mux: reliable-channel frames go to the bus client, the discovery
+    // protocol to the agent. Peek at the decoded type once.
+    std::optional<Packet> p = Packet::decode(data);
+    if (!p) return;
+    if (p->type == PacketType::kData || p->type == PacketType::kAck) {
+      if (client_) client_->handle_datagram(src, data);
+    } else {
+      agent_->handle_datagram(src, data);
+    }
+  });
+}
+
+SmcMember::~SmcMember() { transport_->set_receive_handler(nullptr); }
+
+void SmcMember::start() { agent_->start(); }
+
+void SmcMember::leave() {
+  agent_->leave();
+  // on_cell_left() runs via the agent callback.
+}
+
+std::uint64_t SmcMember::subscribe(const Filter& filter, Handler handler) {
+  std::uint64_t id = next_id_++;
+  desired_.emplace(id, DesiredSub{filter, handler});
+  if (client_) {
+    live_ids_[id] = client_->subscribe(filter, std::move(handler));
+  }
+  return id;
+}
+
+void SmcMember::unsubscribe(std::uint64_t id) {
+  desired_.erase(id);
+  auto it = live_ids_.find(id);
+  if (it != live_ids_.end()) {
+    if (client_) client_->unsubscribe(it->second);
+    live_ids_.erase(it);
+  }
+}
+
+bool SmcMember::publish(Event event) {
+  if (client_) return client_->publish(std::move(event));
+  if (offline_.size() >= config_.offline_buffer) {
+    ++stats_.buffer_dropped;
+    return false;
+  }
+  offline_.push_back(std::move(event));
+  ++stats_.buffered;
+  return true;
+}
+
+void SmcMember::on_cell_joined(ServiceId bus, std::uint32_t session) {
+  ++stats_.joins;
+  BusClientConfig cc;
+  cc.channel = config_.channel;
+  cc.quench = config_.quench;
+  cc.session = session;
+  cc.install_receive_handler = false;
+  client_ = std::make_unique<BusClient>(executor_, transport_, bus, cc);
+
+  // Re-register durable subscriptions under the fresh session.
+  live_ids_.clear();
+  for (const auto& [id, sub] : desired_) {
+    live_ids_[id] = client_->subscribe(sub.filter, sub.handler);
+  }
+  // Flush events queued while out of range.
+  while (!offline_.empty()) {
+    ++stats_.flushed;
+    (void)client_->publish(std::move(offline_.front()));
+    offline_.pop_front();
+  }
+  if (on_joined_) on_joined_();
+}
+
+void SmcMember::on_cell_left() {
+  client_.reset();
+  live_ids_.clear();
+  if (on_left_) on_left_();
+}
+
+}  // namespace amuse

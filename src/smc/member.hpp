@@ -1,0 +1,91 @@
+// SmcMember: the member-side runtime for services that speak the bus wire
+// protocol (nurse consoles, analysis services, smart sensors).
+//
+// Owns one transport endpoint and muxes it between the discovery agent
+// (beacons, handshake, heartbeats) and the bus client (reliable event
+// traffic). Subscriptions registered here are *durable across re-joins*:
+// when the member roams out of range and later re-joins the cell (with a
+// fresh session), every subscription is re-registered automatically.
+// Publishes while out of cell range are buffered (bounded) and flushed on
+// (re-)join.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "bus/bus_client.hpp"
+#include "discovery/discovery_agent.hpp"
+
+namespace amuse {
+
+struct SmcMemberConfig {
+  DiscoveryAgentConfig agent;
+  ReliableChannelConfig channel;
+  bool quench = false;
+  /// Events buffered while not joined (0 = drop when out of range).
+  std::size_t offline_buffer = 256;
+};
+
+class SmcMember {
+ public:
+  using Handler = BusClient::Handler;
+
+  SmcMember(Executor& executor, std::shared_ptr<Transport> transport,
+            SmcMemberConfig config);
+  ~SmcMember();
+
+  SmcMember(const SmcMember&) = delete;
+  SmcMember& operator=(const SmcMember&) = delete;
+
+  /// Starts searching for the cell.
+  void start();
+  /// Graceful leave.
+  void leave();
+
+  std::uint64_t subscribe(const Filter& filter, Handler handler);
+  void unsubscribe(std::uint64_t id);
+  /// Publishes now if joined, otherwise buffers (returns false when the
+  /// event was dropped because the offline buffer is full or quenched).
+  bool publish(Event event);
+
+  [[nodiscard]] bool joined() const { return client_ != nullptr; }
+  [[nodiscard]] ServiceId id() const { return transport_->local_id(); }
+  [[nodiscard]] DiscoveryAgent& agent() { return *agent_; }
+  /// Null while not joined.
+  [[nodiscard]] BusClient* client() { return client_.get(); }
+
+  void set_on_joined(std::function<void()> fn) { on_joined_ = std::move(fn); }
+  void set_on_left(std::function<void()> fn) { on_left_ = std::move(fn); }
+
+  struct Stats {
+    std::uint64_t joins = 0;
+    std::uint64_t buffered = 0;
+    std::uint64_t buffer_dropped = 0;
+    std::uint64_t flushed = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct DesiredSub {
+    Filter filter;
+    Handler handler;
+  };
+
+  void on_cell_joined(ServiceId bus, std::uint32_t session);
+  void on_cell_left();
+
+  Executor& executor_;
+  std::shared_ptr<Transport> transport_;
+  SmcMemberConfig config_;
+  std::unique_ptr<DiscoveryAgent> agent_;
+  std::unique_ptr<BusClient> client_;
+  std::map<std::uint64_t, DesiredSub> desired_;
+  std::map<std::uint64_t, std::uint64_t> live_ids_;  // desired id → client id
+  std::uint64_t next_id_ = 1;
+  std::deque<Event> offline_;
+  std::function<void()> on_joined_;
+  std::function<void()> on_left_;
+  Stats stats_;
+};
+
+}  // namespace amuse

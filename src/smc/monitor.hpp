@@ -1,0 +1,57 @@
+// SelfMonitor: the cell observing itself through its own event bus.
+//
+// "Many management systems perform control actions as a result of receiving
+//  events that an error threshold has been exceeded … or a component has
+//  failed" (§II) — and the SMC's own health is managed the same way: the
+// monitor periodically publishes an "smc.health" event carrying bus,
+// policy and membership statistics, so ordinary obligation policies can
+// close the autonomic loop (e.g. raise "alarm.overload" when the event
+// rate or a member's delivery backlog crosses a threshold).
+//
+// Health event attributes:
+//   members            current membership size
+//   published_total    cumulative events through the bus
+//   event_rate         events/second over the last interval
+//   deliveries_total   cumulative member deliveries
+//   denied_total       authorisation denials (publish + subscribe)
+//   max_backlog        largest per-member outbound queue
+//   policy_triggers    cumulative obligation-engine triggers
+#pragma once
+
+#include "smc/cell.hpp"
+
+namespace amuse {
+
+struct SelfMonitorConfig {
+  Duration interval = seconds(5);
+  /// Event type published each interval.
+  std::string event_type = "smc.health";
+};
+
+class SelfMonitor {
+ public:
+  SelfMonitor(Executor& executor, SelfManagedCell& cell,
+              SelfMonitorConfig config = {});
+  ~SelfMonitor();
+
+  SelfMonitor(const SelfMonitor&) = delete;
+  SelfMonitor& operator=(const SelfMonitor&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] std::uint64_t reports_published() const { return reports_; }
+
+ private:
+  void tick();
+
+  Executor& executor_;
+  SelfManagedCell& cell_;
+  SelfMonitorConfig config_;
+  TimerId timer_ = kNoTimer;
+  bool running_ = false;
+  std::uint64_t last_published_ = 0;
+  std::uint64_t reports_ = 0;
+};
+
+}  // namespace amuse

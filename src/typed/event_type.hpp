@@ -1,0 +1,110 @@
+// Type-based publish/subscribe (§VI future work).
+//
+// "We also intend to replace the content-based publish/subscribe mechanism
+//  with a type-based publish/subscribe mechanism, to remove the reliance on
+//  arbitrary tags as event identifiers." (after Eugster, Guerraoui &
+//  Sventek, "Type-Based Publish/Subscribe").
+//
+// An EventType declares a named schema — typed, required/optional fields —
+// and may extend a parent type (single inheritance, fields inherited).
+// The TypeRegistry owns the hierarchy and provides:
+//   - schema validation of outgoing events (no more mistyped ad-hoc tags);
+//   - the subtype relation, so a subscription to "vitals" receives
+//     "vitals.heartrate" events by *declared* subtyping, not by string
+//     prefix conventions.
+// The layer compiles down to the existing content-based machinery: one
+// equality filter per concrete type in the subscribed subtree.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pubsub/event.hpp"
+#include "pubsub/filter.hpp"
+
+namespace amuse {
+
+struct FieldSpec {
+  std::string name;
+  ValueType type = ValueType::kInt;
+  bool required = true;
+};
+
+class EventType {
+ public:
+  EventType(std::string name, const EventType* parent,
+            std::vector<FieldSpec> fields)
+      : name_(std::move(name)), parent_(parent), fields_(std::move(fields)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  /// Null for root types.
+  [[nodiscard]] const EventType* parent() const { return parent_; }
+  /// Own fields only; all_fields() includes inherited ones.
+  [[nodiscard]] const std::vector<FieldSpec>& own_fields() const {
+    return fields_;
+  }
+  [[nodiscard]] std::vector<FieldSpec> all_fields() const;
+
+  /// True when `this` is `ancestor` or a (transitive) subtype of it.
+  [[nodiscard]] bool is_a(const EventType& ancestor) const;
+
+ private:
+  std::string name_;
+  const EventType* parent_;
+  std::vector<FieldSpec> fields_;
+};
+
+/// Thrown on bad declarations (duplicate name, unknown parent, field
+/// redefinition with a different type).
+class TypeError : public std::runtime_error {
+ public:
+  explicit TypeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class TypeRegistry {
+ public:
+  /// Declares a root type.
+  const EventType& declare(const std::string& name,
+                           std::vector<FieldSpec> fields);
+  /// Declares a subtype of `parent` (which must already be declared).
+  const EventType& declare(const std::string& name, const std::string& parent,
+                           std::vector<FieldSpec> fields);
+
+  [[nodiscard]] const EventType* find(const std::string& name) const;
+  [[nodiscard]] bool is_subtype(const std::string& name,
+                                const std::string& ancestor) const;
+  /// `ancestor` itself plus all its declared descendants.
+  [[nodiscard]] std::vector<const EventType*> subtree(
+      const std::string& ancestor) const;
+
+  /// Checks an event against its declared type's schema (the event's
+  /// "type" attribute selects the schema). Returns an error description or
+  /// nullopt when valid. Unknown types are invalid — that is the point of
+  /// removing arbitrary tags.
+  [[nodiscard]] std::optional<std::string> validate(const Event& e) const;
+
+  /// One equality filter per concrete type in `ancestor`'s subtree, each
+  /// AND-ed with `refinement`'s constraints. Subscribing all of them
+  /// realises type-based subscription on the content-based bus.
+  [[nodiscard]] std::vector<Filter> subscription_filters(
+      const std::string& ancestor, const Filter& refinement = {}) const;
+
+  [[nodiscard]] std::size_t size() const { return types_.size(); }
+
+ private:
+  const EventType& declare_impl(const std::string& name,
+                                const EventType* parent,
+                                std::vector<FieldSpec> fields);
+
+  // Stable addresses: parent pointers reference into this map's nodes.
+  std::map<std::string, EventType> types_;
+};
+
+/// Declares the reproduction's e-health vocabulary: vitals (heartrate,
+/// spo2, temperature, bloodpressure), alarms (cardiac, desaturation,
+/// fever), actuator commands and SMC membership events.
+void declare_ehealth_types(TypeRegistry& registry);
+
+}  // namespace amuse

@@ -1,0 +1,56 @@
+#include "typed/typed_client.hpp"
+
+namespace amuse {
+
+bool TypedClient::publish(Event event) {
+  if (std::optional<std::string> error = registry_.validate(event)) {
+    last_error_ = *error;
+    ++stats_.schema_rejections;
+    return false;
+  }
+  ++stats_.published;
+  return client_.publish(std::move(event));
+}
+
+std::uint64_t TypedClient::subscribe(const std::string& type_name,
+                                     Handler handler,
+                                     const Filter& refinement) {
+  if (!registry_.find(type_name)) {
+    last_error_ = "unknown event type '" + type_name + "'";
+    return 0;
+  }
+  TypedSub sub{type_name, refinement, std::move(handler), {}};
+  // One content filter per concrete type in the subtree. An event's type
+  // attribute equals exactly one concrete type name, so exactly one of
+  // these filters can match any given event — no double delivery.
+  for (const Filter& f :
+       registry_.subscription_filters(type_name, refinement)) {
+    sub.client_ids.push_back(client_.subscribe(f, sub.handler));
+  }
+  ++stats_.subscriptions;
+  std::uint64_t id = next_id_++;
+  subs_.emplace(id, std::move(sub));
+  return id;
+}
+
+void TypedClient::unsubscribe(std::uint64_t id) {
+  auto it = subs_.find(id);
+  if (it == subs_.end()) return;
+  for (std::uint64_t cid : it->second.client_ids) {
+    client_.unsubscribe(cid);
+  }
+  subs_.erase(it);
+}
+
+void TypedClient::resubscribe_all() {
+  for (auto& [id, sub] : subs_) {
+    for (std::uint64_t cid : sub.client_ids) client_.unsubscribe(cid);
+    sub.client_ids.clear();
+    for (const Filter& f :
+         registry_.subscription_filters(sub.type_name, sub.refinement)) {
+      sub.client_ids.push_back(client_.subscribe(f, sub.handler));
+    }
+  }
+}
+
+}  // namespace amuse

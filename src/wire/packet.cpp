@@ -1,0 +1,91 @@
+#include "wire/packet.hpp"
+
+#include "common/crc32.hpp"
+
+namespace amuse {
+
+const char* to_string(PacketType t) {
+  switch (t) {
+    case PacketType::kData: return "DATA";
+    case PacketType::kAck: return "ACK";
+    case PacketType::kBeacon: return "BEACON";
+    case PacketType::kJoinRequest: return "JOIN_REQ";
+    case PacketType::kJoinChallenge: return "JOIN_CHAL";
+    case PacketType::kJoinResponse: return "JOIN_RESP";
+    case PacketType::kJoinAccept: return "JOIN_ACCEPT";
+    case PacketType::kJoinReject: return "JOIN_REJECT";
+    case PacketType::kLeave: return "LEAVE";
+    case PacketType::kHeartbeat: return "HEARTBEAT";
+  }
+  return "?";
+}
+
+namespace {
+bool valid_type(std::uint8_t t) {
+  switch (static_cast<PacketType>(t)) {
+    case PacketType::kData:
+    case PacketType::kAck:
+    case PacketType::kBeacon:
+    case PacketType::kJoinRequest:
+    case PacketType::kJoinChallenge:
+    case PacketType::kJoinResponse:
+    case PacketType::kJoinAccept:
+    case PacketType::kJoinReject:
+    case PacketType::kLeave:
+    case PacketType::kHeartbeat:
+      return true;
+  }
+  return false;
+}
+}  // namespace
+
+Bytes Packet::encode() const {
+  Writer w(kOverhead + payload.size());
+  w.u16(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u16(flags);
+  w.u32(session);
+  w.u48(src.raw());
+  w.u48(dst.raw());
+  w.u32(seq);
+  w.u32(ack);
+  w.blob16(payload);
+  std::uint32_t crc = crc32(w.bytes());
+  w.u32(crc);
+  return std::move(w).take();
+}
+
+std::optional<Packet> Packet::decode(BytesView datagram) {
+  if (datagram.size() < kOverhead) return std::nullopt;
+  // CRC covers everything before the trailing 4 bytes.
+  BytesView body = datagram.subspan(0, datagram.size() - 4);
+  Reader crc_reader(datagram.subspan(datagram.size() - 4));
+  std::uint32_t want = 0;
+  try {
+    want = crc_reader.u32();
+    if (crc32(body) != want) return std::nullopt;
+
+    Reader r(body);
+    if (r.u16() != kMagic) return std::nullopt;
+    if (r.u8() != kVersion) return std::nullopt;
+    std::uint8_t raw_type = r.u8();
+    if (!valid_type(raw_type)) return std::nullopt;
+
+    Packet p;
+    p.type = static_cast<PacketType>(raw_type);
+    p.flags = r.u16();
+    p.session = r.u32();
+    p.src = ServiceId(r.u48());
+    p.dst = ServiceId(r.u48());
+    p.seq = r.u32();
+    p.ack = r.u32();
+    p.payload = r.blob16();
+    if (!r.done()) return std::nullopt;  // trailing garbage under valid CRC
+    return p;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace amuse

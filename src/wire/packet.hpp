@@ -1,0 +1,78 @@
+// Datagram packet format.
+//
+// Everything the SMC puts on the wire is one of these frames inside a
+// transport datagram: reliable-channel DATA/ACK (carrying bus messages) and
+// the discovery service's unreliable beacon/handshake packets. The format is
+// self-describing and CRC-protected so corrupted or foreign datagrams are
+// dropped at this boundary.
+//
+// Layout (big-endian):
+//   magic   u16  = 0xA5EB ("AMUSE Event Bus")
+//   version u8   = 1
+//   type    u8   PacketType
+//   flags   u16
+//   session u32  sender's incarnation (distinguishes re-joins, see
+//                ReliableChannel)
+//   src     u48  ServiceId
+//   dst     u48  ServiceId (broadcast() frames use ServiceId::broadcast())
+//   seq     u32  data sequence number (DATA) / unused
+//   ack     u32  cumulative acknowledgement: next seq expected from peer
+//   payload u16-length-prefixed bytes
+//   crc     u32  CRC-32 of all preceding bytes
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/service_id.hpp"
+
+namespace amuse {
+
+enum class PacketType : std::uint8_t {
+  // Reliable channel.
+  kData = 1,
+  kAck = 2,
+  // Discovery protocol (unreliable, idempotent).
+  kBeacon = 16,
+  kJoinRequest = 17,
+  kJoinChallenge = 18,
+  kJoinResponse = 19,
+  kJoinAccept = 20,
+  kJoinReject = 21,
+  kLeave = 22,
+  kHeartbeat = 23,
+};
+
+[[nodiscard]] const char* to_string(PacketType t);
+
+/// Packet flag bits.
+/// kFlagMoreFragments: this DATA frame carries a non-final fragment of a
+/// larger message; the receiver reassembles consecutive fragments (the
+/// channel already guarantees order) until a frame without the flag.
+inline constexpr std::uint16_t kFlagMoreFragments = 0x0001;
+
+struct Packet {
+  PacketType type = PacketType::kData;
+  std::uint16_t flags = 0;
+  std::uint32_t session = 0;
+  ServiceId src;
+  ServiceId dst;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  Bytes payload;
+
+  static constexpr std::uint16_t kMagic = 0xA5EB;
+  static constexpr std::uint8_t kVersion = 1;
+  /// Frame bytes excluding the payload itself.
+  static constexpr std::size_t kOverhead = 2 + 1 + 1 + 2 + 4 + 6 + 6 + 4 + 4 +
+                                           2 + 4;
+
+  [[nodiscard]] Bytes encode() const;
+
+  /// Returns nullopt for frames that are foreign (bad magic/version), too
+  /// short, corrupt (CRC), or otherwise malformed — the caller drops them.
+  [[nodiscard]] static std::optional<Packet> decode(BytesView datagram);
+};
+
+}  // namespace amuse

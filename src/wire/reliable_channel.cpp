@@ -1,0 +1,310 @@
+#include "wire/reliable_channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace amuse {
+
+ReliableChannel::ReliableChannel(Executor& executor, ServiceId self,
+                                 ServiceId peer, std::uint32_t session,
+                                 ReliableChannelConfig config,
+                                 SendPacketFn send_packet, DeliverFn deliver,
+                                 FailFn on_fail)
+    : executor_(executor),
+      self_(self),
+      peer_(peer),
+      session_(session),
+      config_(config),
+      send_packet_(std::move(send_packet)),
+      deliver_(std::move(deliver)),
+      on_fail_(std::move(on_fail)),
+      rto_(config.rto_initial) {}
+
+ReliableChannel::~ReliableChannel() { executor_.cancel(timer_); }
+
+std::size_t ReliableChannel::in_flight() const { return window_.size(); }
+
+bool ReliableChannel::send(Bytes message) {
+  std::size_t frag = config_.max_fragment_payload;
+  if (frag == 0 || message.size() <= frag) {
+    if (queue_.size() >= config_.max_queue) return false;
+    queue_.push_back(Outbound{0, 0, std::move(message)});
+    pump();
+    return true;
+  }
+  // Fragment: all pieces must fit in the queue or none are sent.
+  std::size_t pieces = (message.size() + frag - 1) / frag;
+  if (queue_.size() + pieces > config_.max_queue) return false;
+  for (std::size_t off = 0; off < message.size(); off += frag) {
+    std::size_t len = std::min(frag, message.size() - off);
+    bool last = off + len >= message.size();
+    Outbound o{0, last ? std::uint16_t{0} : kFlagMoreFragments,
+               Bytes(message.begin() + static_cast<std::ptrdiff_t>(off),
+                     message.begin() + static_cast<std::ptrdiff_t>(off + len))};
+    ++stats_.fragments_sent;
+    queue_.push_back(std::move(o));
+  }
+  pump();
+  return true;
+}
+
+void ReliableChannel::pump() {
+  while (!queue_.empty() && window_.size() < config_.window) {
+    Outbound o = std::move(queue_.front());
+    o.seq = next_seq_++;
+    queue_.pop_front();
+    window_.push_back(std::move(o));
+    ++stats_.messages_sent;
+    if (!failed_) {
+      transmit(window_.back());
+      // First transmission of a fresh message: candidate RTT sample.
+      if (config_.adaptive_rto && !rtt_pending_) {
+        rtt_pending_ = true;
+        rtt_seq_ = window_.back().seq;
+        rtt_sent_ = executor_.now();
+      }
+    }
+  }
+  if (!window_.empty() && !failed_) arm_timer();
+}
+
+void ReliableChannel::transmit(const Outbound& o) {
+  Packet p;
+  p.type = PacketType::kData;
+  p.flags = o.flags;
+  p.session = session_;
+  p.src = self_;
+  p.dst = peer_;
+  p.seq = o.seq;
+  p.ack = expected_;  // piggyback the cumulative ack
+  p.payload = o.message;
+  send_packet_(p);
+}
+
+void ReliableChannel::send_ack() {
+  Packet p;
+  p.type = PacketType::kAck;
+  p.session = session_;
+  p.src = self_;
+  p.dst = peer_;
+  p.ack = expected_;
+  ++stats_.acks_sent;
+  send_packet_(p);
+}
+
+void ReliableChannel::arm_timer() {
+  if (timer_ != kNoTimer) return;
+  timer_ = executor_.schedule_after(rto_, [this] {
+    timer_ = kNoTimer;
+    on_timeout();
+  });
+}
+
+void ReliableChannel::on_timeout() {
+  if (window_.empty() || failed_) return;
+  if (retries_ >= config_.max_retries) {
+    failed_ = true;
+    if (on_fail_) on_fail_();
+    return;
+  }
+  ++retries_;
+  rto_ = std::min(
+      Duration(static_cast<std::int64_t>(
+          static_cast<double>(rto_.count()) * config_.rto_backoff)),
+      config_.rto_max);
+  // Karn's rule: a retransmitted message cannot yield an RTT sample.
+  rtt_pending_ = false;
+  // Go-back-N: retransmit the whole window.
+  for (const Outbound& o : window_) {
+    ++stats_.retransmissions;
+    transmit(o);
+  }
+  arm_timer();
+}
+
+Duration ReliableChannel::base_rto() const {
+  if (!config_.adaptive_rto || !have_srtt_) return config_.rto_initial;
+  Duration rto(static_cast<std::int64_t>(srtt_ns_ + 4.0 * rttvar_ns_));
+  return std::clamp(rto, config_.rto_min, config_.rto_max);
+}
+
+void ReliableChannel::take_rtt_sample(Duration sample) {
+  double s = static_cast<double>(sample.count());
+  if (!have_srtt_) {
+    srtt_ns_ = s;
+    rttvar_ns_ = s / 2.0;
+    have_srtt_ = true;
+  } else {
+    rttvar_ns_ = 0.75 * rttvar_ns_ + 0.25 * std::abs(srtt_ns_ - s);
+    srtt_ns_ = 0.875 * srtt_ns_ + 0.125 * s;
+  }
+}
+
+void ReliableChannel::poke() {
+  if (!failed_) return;
+  failed_ = false;
+  retries_ = 0;
+  rto_ = base_rto();
+  for (const Outbound& o : window_) transmit(o);
+  pump();
+  if (!window_.empty()) arm_timer();
+}
+
+void ReliableChannel::reset() {
+  executor_.cancel(timer_);
+  timer_ = kNoTimer;
+  window_.clear();
+  queue_.clear();
+  // Keep next_seq_ monotonic within this session so a reset sender can't
+  // collide with sequence numbers the peer may already have buffered.
+  base_ = next_seq_;
+  retries_ = 0;
+  rto_ = base_rto();
+  rtt_pending_ = false;
+  failed_ = false;
+}
+
+void ReliableChannel::on_packet(const Packet& packet) {
+  if (packet.src != peer_) return;
+  switch (packet.type) {
+    case PacketType::kData:
+      handle_data(packet);
+      // DATA also piggybacks the peer's cumulative ack of our stream.
+      handle_ack(packet);
+      break;
+    case PacketType::kAck:
+      handle_ack(packet);
+      break;
+    default:
+      break;
+  }
+}
+
+void ReliableChannel::handle_data(const Packet& packet) {
+  // Session handling: adopt a new peer incarnation only at its seq 0.
+  if (!peer_session_known_ || packet.session != peer_session_) {
+    if (packet.seq != 0) {
+      ++stats_.stale_session_dropped;
+      return;
+    }
+    peer_session_known_ = true;
+    peer_session_ = packet.session;
+    expected_ = 0;
+    reorder_.clear();
+    reassembly_.clear();
+    reassembling_ = false;
+    discarding_ = false;
+  }
+
+  if (packet.seq < expected_) {
+    // Duplicate of something already delivered: re-ack, drop.
+    ++stats_.duplicates_dropped;
+    send_ack();
+    return;
+  }
+  if (packet.seq == expected_) {
+    ++expected_;
+    deliver_or_reassemble(packet.flags, packet.payload);
+    // Drain any buffered successors.
+    auto it = reorder_.begin();
+    while (it != reorder_.end() && it->first == expected_) {
+      ++expected_;
+      auto [flags, msg] = std::move(it->second);
+      it = reorder_.erase(it);
+      deliver_or_reassemble(flags, msg);
+    }
+  } else {
+    // Out of order: buffer unless it's a duplicate or the buffer is full.
+    if (reorder_.size() < config_.max_reorder &&
+        !reorder_.contains(packet.seq)) {
+      ++stats_.out_of_order_buffered;
+      reorder_.emplace(packet.seq,
+                       std::make_pair(packet.flags, packet.payload));
+    } else {
+      ++stats_.duplicates_dropped;
+    }
+  }
+  send_ack();
+}
+
+void ReliableChannel::deliver_or_reassemble(std::uint16_t flags,
+                                            BytesView payload) {
+  bool more = (flags & kFlagMoreFragments) != 0;
+  if (discarding_) {
+    // An earlier fragment of this message overflowed: swallow the rest.
+    if (!more) discarding_ = false;
+    return;
+  }
+  if (!more && !reassembling_) {
+    // The common case: an unfragmented message.
+    ++stats_.messages_delivered;
+    if (deliver_) deliver_(payload);
+    return;
+  }
+  if (reassembly_.size() + payload.size() > config_.max_reassembly_bytes) {
+    ++stats_.reassembly_overflow_dropped;
+    reassembly_.clear();
+    reassembling_ = false;
+    discarding_ = more;  // skip this message's remaining fragments
+    return;
+  }
+  reassembly_.insert(reassembly_.end(), payload.begin(), payload.end());
+  reassembling_ = more;
+  if (!more) {
+    ++stats_.messages_delivered;
+    ++stats_.messages_reassembled;
+    Bytes whole = std::move(reassembly_);
+    reassembly_ = Bytes{};
+    if (deliver_) deliver_(whole);
+  }
+}
+
+void ReliableChannel::handle_ack(const Packet& packet) {
+  std::uint32_t acked = packet.ack;
+  if (acked == base_ && !window_.empty() && !failed_) {
+    // Duplicate cumulative ack: the peer is receiving our later messages
+    // past a hole. Fast-retransmit the window head without waiting for the
+    // (possibly heavily backed-off) timer.
+    if (config_.dup_ack_threshold > 0 &&
+        ++dup_acks_ >= config_.dup_ack_threshold) {
+      dup_acks_ = 0;
+      ++stats_.fast_retransmits;
+      if (rtt_pending_ && rtt_seq_ == window_.front().seq) {
+        rtt_pending_ = false;  // Karn: head is being retransmitted
+      }
+      transmit(window_.front());
+    }
+    return;
+  }
+  if (acked <= base_) return;  // stale
+  if (acked > next_seq_) return;  // nonsense (corrupt peer)
+  dup_acks_ = 0;
+  while (!window_.empty() && window_.front().seq < acked) {
+    window_.pop_front();
+  }
+  base_ = acked;
+  bool sampled = false;
+  if (rtt_pending_ && acked > rtt_seq_) {
+    take_rtt_sample(executor_.now() - rtt_sent_);
+    rtt_pending_ = false;
+    sampled = true;
+  }
+  retries_ = 0;
+  // RFC 6298 §5.7: after a retransmission, keep the backed-off RTO until a
+  // *fresh* RTT sample arrives (Karn's rule invalidates samples from
+  // retransmitted messages, so resetting here on every ack would let a
+  // stale, small SRTT sustain a retransmission storm under load).
+  if (sampled || rto_ < base_rto()) {
+    rto_ = base_rto();
+  }
+  executor_.cancel(timer_);
+  timer_ = kNoTimer;
+  if (failed_) {
+    failed_ = false;  // the peer is evidently alive again
+  }
+  pump();
+  if (!window_.empty()) arm_timer();
+}
+
+}  // namespace amuse

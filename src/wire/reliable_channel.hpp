@@ -1,0 +1,189 @@
+// ReliableChannel: per-peer reliable, ordered, exactly-once message delivery
+// over the unreliable datagram transport.
+//
+// This is the mechanism behind the paper's delivery semantics (§II-C):
+//   - "all events are delivered to each interested component exactly once as
+//      long as the component remains a member" — the receiver half dedups
+//      and never delivers a sequence number twice;
+//   - "all events from a particular sender are delivered … in the order
+//      sent" — in-order delivery with a bounded reorder buffer;
+//   - "events are always acknowledged … so that events cannot be lost in
+//      transit" (§III-B) — cumulative ACKs, go-back-N retransmission with
+//      exponential backoff, bounded retries reporting peer failure.
+//
+// Sessions: each channel incarnation carries a random session id in every
+// frame. A receiver adopts a new peer session only at seq 0, so stale
+// packets from a purged-and-readmitted service's previous life are ignored
+// rather than corrupting ordering state.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "common/bytes.hpp"
+#include "common/service_id.hpp"
+#include "sim/executor.hpp"
+#include "wire/packet.hpp"
+
+namespace amuse {
+
+struct ReliableChannelConfig {
+  Duration rto_initial = milliseconds(200);
+  double rto_backoff = 2.0;
+  Duration rto_max = seconds(5);
+  /// Adapt the retransmission timeout to measured round-trip times
+  /// (RFC 6298-style SRTT/RTTVAR with Karn's rule: samples from
+  /// retransmitted messages are discarded). Essential on slow hosts where
+  /// end-to-end times vary with payload size.
+  bool adaptive_rto = true;
+  /// Floor for the adaptive timeout. Generous for this domain: end-to-end
+  /// times through a PDA-class bus host are tens to hundreds of ms and
+  /// grow under load.
+  Duration rto_min = milliseconds(200);
+  /// Consecutive retransmissions of the oldest unacked message before the
+  /// channel reports failure. The discovery service, not this layer,
+  /// decides when a silent member is purged; failure here just pauses the
+  /// channel (the proxy keeps the queue until a Purge Member event).
+  int max_retries = 12;
+  /// Go-back-N send window (messages in flight without an ack).
+  std::size_t window = 8;
+  /// Bound on the outbound queue (send() fails beyond it).
+  std::size_t max_queue = 4096;
+  /// Bound on the receive-side reorder buffer.
+  std::size_t max_reorder = 64;
+  /// Duplicate cumulative acks before the window head is retransmitted
+  /// immediately (fast retransmit); 0 disables.
+  int dup_ack_threshold = 3;
+  /// Split messages larger than this into fragments of at most this many
+  /// bytes (0 = never fragment). Needed on small-MTU transports like
+  /// 802.15.4/ZigBee, one of the paper's target radios (§VI): a frame is
+  /// max_fragment_payload + Packet::kOverhead bytes on the wire.
+  std::size_t max_fragment_payload = 0;
+  /// Bound on a partially reassembled inbound message.
+  std::size_t max_reassembly_bytes = 1 << 20;
+};
+
+struct ReliableChannelStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t out_of_order_buffered = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t stale_session_dropped = 0;
+  std::uint64_t fragments_sent = 0;
+  std::uint64_t messages_reassembled = 0;
+  std::uint64_t reassembly_overflow_dropped = 0;
+};
+
+class ReliableChannel {
+ public:
+  /// Hands an encoded frame to the transport.
+  using SendPacketFn = std::function<void(const Packet&)>;
+  /// Exactly-once, in-order message delivery to the layer above.
+  using DeliverFn = std::function<void(BytesView message)>;
+  /// Retries exhausted for the oldest in-flight message. The channel stops
+  /// retransmitting until poke() or a packet from the peer arrives.
+  using FailFn = std::function<void()>;
+
+  ReliableChannel(Executor& executor, ServiceId self, ServiceId peer,
+                  std::uint32_t session, ReliableChannelConfig config,
+                  SendPacketFn send_packet, DeliverFn deliver,
+                  FailFn on_fail = nullptr);
+  ~ReliableChannel();
+
+  ReliableChannel(const ReliableChannel&) = delete;
+  ReliableChannel& operator=(const ReliableChannel&) = delete;
+
+  /// Queues one message for reliable delivery. Returns false (and drops the
+  /// message) only when the outbound queue bound is hit.
+  bool send(Bytes message);
+
+  /// Feed every DATA/ACK packet from this peer here.
+  void on_packet(const Packet& packet);
+
+  /// Restart retransmission after a failure report (e.g. the discovery
+  /// service saw a heartbeat again before the purge timeout).
+  void poke();
+
+  /// Drops all queued and in-flight outbound data and stops timers — the
+  /// paper's proxy behaviour on "Purge Member": destroy "any outbound data
+  /// awaiting delivery".
+  void reset();
+
+  [[nodiscard]] std::size_t in_flight() const;
+  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+  [[nodiscard]] bool failed() const { return failed_; }
+  /// Current retransmission timeout (for tests and diagnostics).
+  [[nodiscard]] Duration current_rto() const { return rto_; }
+  /// Smoothed round-trip time; zero until the first sample.
+  [[nodiscard]] Duration srtt() const {
+    return Duration(static_cast<std::int64_t>(srtt_ns_));
+  }
+  [[nodiscard]] const ReliableChannelStats& stats() const { return stats_; }
+  [[nodiscard]] ServiceId peer() const { return peer_; }
+  [[nodiscard]] std::uint32_t session() const { return session_; }
+
+ private:
+  struct Outbound {
+    std::uint32_t seq;
+    std::uint16_t flags;
+    Bytes message;
+  };
+
+  void pump();           // move queue_ entries into the window
+  void transmit(const Outbound& o);
+  void send_ack();
+  void arm_timer();
+  void on_timeout();
+  void handle_data(const Packet& packet);
+  void handle_ack(const Packet& packet);
+  void take_rtt_sample(Duration sample);
+  [[nodiscard]] Duration base_rto() const;
+
+  Executor& executor_;
+  ServiceId self_;
+  ServiceId peer_;
+  std::uint32_t session_;
+  ReliableChannelConfig config_;
+  SendPacketFn send_packet_;
+  DeliverFn deliver_;
+  FailFn on_fail_;
+
+  // Sender state.
+  std::uint32_t next_seq_ = 0;   // next sequence number to assign
+  std::uint32_t base_ = 0;       // oldest unacked sequence
+  std::deque<Outbound> window_;  // in flight: [base_, next_seq_)
+  std::deque<Outbound> queue_;   // not yet in the window (seq unassigned)
+  Duration rto_;
+  int retries_ = 0;
+  int dup_acks_ = 0;
+  TimerId timer_ = kNoTimer;
+  bool failed_ = false;
+
+  // RTT estimation (one outstanding sample; Karn's rule).
+  bool rtt_pending_ = false;
+  std::uint32_t rtt_seq_ = 0;
+  TimePoint rtt_sent_{};
+  double srtt_ns_ = 0.0;
+  double rttvar_ns_ = 0.0;
+  bool have_srtt_ = false;
+
+  void deliver_or_reassemble(std::uint16_t flags, BytesView payload);
+
+  // Receiver state.
+  bool peer_session_known_ = false;
+  std::uint32_t peer_session_ = 0;
+  std::uint32_t expected_ = 0;  // next sequence to deliver
+  std::map<std::uint32_t, std::pair<std::uint16_t, Bytes>> reorder_;
+  Bytes reassembly_;  // accumulated fragments of the in-progress message
+  bool reassembling_ = false;
+  bool discarding_ = false;  // skipping the rest of an overflowed message
+
+  ReliableChannelStats stats_;
+};
+
+}  // namespace amuse

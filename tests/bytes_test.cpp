@@ -1,0 +1,154 @@
+// Unit tests for the byte-array Writer/Reader — the serialisation substrate
+// every wire format in the SMC builds on.
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace amuse {
+namespace {
+
+TEST(Writer, FixedWidthIntegersAreBigEndian) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  const Bytes& b = w.bytes();
+  ASSERT_EQ(b.size(), 7u);
+  EXPECT_EQ(b[0], 0xAB);
+  EXPECT_EQ(b[1], 0x12);
+  EXPECT_EQ(b[2], 0x34);
+  EXPECT_EQ(b[3], 0xDE);
+  EXPECT_EQ(b[4], 0xAD);
+  EXPECT_EQ(b[5], 0xBE);
+  EXPECT_EQ(b[6], 0xEF);
+}
+
+TEST(Writer, U48UsesSixBytes) {
+  Writer w;
+  w.u48(0x0000FFFFFFFFFFFFULL);
+  EXPECT_EQ(w.size(), 6u);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u48(), 0x0000FFFFFFFFFFFFULL);
+}
+
+TEST(RoundTrip, AllScalarTypes) {
+  Writer w;
+  w.u8(7);
+  w.u16(65535);
+  w.u32(4'000'000'000U);
+  w.u64(0x0123456789ABCDEFULL);
+  w.u48(0x123456789ABCULL);
+  w.i64(-42);
+  w.f64(3.14159265358979);
+  w.boolean(true);
+  w.boolean(false);
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 65535);
+  EXPECT_EQ(r.u32(), 4'000'000'000U);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.u48(), 0x123456789ABCULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159265358979);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(RoundTrip, FloatSpecialValues) {
+  Writer w;
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::denorm_min());
+  Reader r(w.bytes());
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+  double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(RoundTrip, StringsAndBlobs) {
+  Writer w;
+  w.str("hello");
+  w.str("");
+  w.str(std::string("emb\0edded", 9));
+  Bytes blob{1, 2, 3, 255};
+  w.blob16(blob);
+  w.blob32(blob);
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), std::string("emb\0edded", 9));
+  EXPECT_EQ(r.blob16(), blob);
+  EXPECT_EQ(r.blob32(), blob);
+}
+
+TEST(Writer, Blob16RejectsOversize) {
+  Writer w;
+  Bytes big(0x10000, 0);
+  EXPECT_THROW(w.blob16(big), std::length_error);
+}
+
+TEST(Writer, PatchU16FixesUpLengths) {
+  Writer w;
+  w.u16(0);  // placeholder
+  w.str("payload");
+  w.patch_u16(0, static_cast<std::uint16_t>(w.size()));
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u16(), w.size());
+}
+
+TEST(Writer, PatchU16OutOfRangeThrows) {
+  Writer w;
+  w.u8(1);
+  EXPECT_THROW(w.patch_u16(0, 5), std::out_of_range);
+}
+
+TEST(Reader, TruncatedReadsThrowDecodeError) {
+  Bytes b{1, 2, 3};
+  Reader r(b);
+  EXPECT_EQ(r.u16(), 0x0102);  // NOLINT
+  EXPECT_THROW(r.u16(), DecodeError);
+  // Reader survives the throw with its position intact.
+  EXPECT_EQ(r.u8(), 3);
+  EXPECT_THROW(r.u8(), DecodeError);
+}
+
+TEST(Reader, BlobLengthBeyondBufferThrows) {
+  Writer w;
+  w.u16(100);  // claims 100 bytes follow
+  w.u8(1);
+  Reader r(w.bytes());
+  EXPECT_THROW(r.blob16(), DecodeError);
+}
+
+TEST(Reader, RemainingAndPositionTrack) {
+  Bytes b{1, 2, 3, 4};
+  Reader r(b);
+  EXPECT_EQ(r.remaining(), 4u);
+  (void)r.u16();
+  EXPECT_EQ(r.position(), 2u);
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_FALSE(r.done());
+  (void)r.raw(2);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Hex, EncodesLowercase) {
+  Bytes b{0x00, 0xFF, 0xA5};
+  EXPECT_EQ(to_hex(b), "00ffa5");
+  EXPECT_EQ(to_hex(Bytes{}), "");
+}
+
+TEST(Conversions, StringBytesRoundTrip) {
+  EXPECT_EQ(to_string(to_bytes("round trip")), "round trip");
+}
+
+}  // namespace
+}  // namespace amuse

@@ -1,0 +1,128 @@
+// Known-answer tests for CRC-32, SHA-256 (FIPS 180-4) and HMAC-SHA256
+// (RFC 4231) — the primitives behind frame integrity and the discovery
+// service's admission handshake.
+#include <gtest/gtest.h>
+
+#include "common/crc32.hpp"
+#include "common/sha256.hpp"
+
+namespace amuse {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  EXPECT_EQ(crc32(to_bytes("")), 0x00000000U);
+  EXPECT_EQ(crc32(to_bytes("123456789")), 0xCBF43926U);  // classic check value
+  EXPECT_EQ(crc32(to_bytes("The quick brown fox jumps over the lazy dog")),
+            0x414FA339U);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  Bytes data = to_bytes("split into several pieces for incremental hashing");
+  std::uint32_t whole = crc32(data);
+  std::uint32_t crc = 0;
+  // Note: IEEE CRC-32 with pre/post-inversion is not naively resumable via
+  // crc32_update(previous, …) across chunk boundaries unless the update
+  // function handles the inversions — ours does.
+  crc = crc32_update(crc, BytesView(data.data(), 10));
+  crc = crc32_update(crc, BytesView(data.data() + 10, data.size() - 10));
+  EXPECT_EQ(crc, whole);
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  Bytes data = to_bytes("event bus payload");
+  std::uint32_t good = crc32(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    Bytes corrupt = data;
+    corrupt[i] ^= 0x01;
+    EXPECT_NE(crc32(corrupt), good) << "flip at byte " << i;
+  }
+}
+
+std::string hex_digest(const Digest256& d) {
+  return to_hex(BytesView(d.data(), d.size()));
+}
+
+TEST(Sha256, Fips180Vectors) {
+  EXPECT_EQ(hex_digest(Sha256::hash(to_bytes(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(hex_digest(Sha256::hash(to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(hex_digest(Sha256::hash(to_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex_digest(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalSplitInvariance) {
+  Bytes msg = to_bytes("the block boundary at 64 bytes is where bugs hide, "
+                       "so split across it in several ways");
+  Digest256 expect = Sha256::hash(msg);
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.update(BytesView(msg.data(), split));
+    h.update(BytesView(msg.data() + split, msg.size() - split));
+    EXPECT_EQ(hex_digest(h.finish()), hex_digest(expect)) << split;
+  }
+}
+
+TEST(Sha256, PaddingEdgeLengths) {
+  // Messages of length 55, 56, 63, 64 exercise every padding branch.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u}) {
+    Bytes msg(len, 'x');
+    Digest256 one = Sha256::hash(msg);
+    Sha256 h;
+    for (std::size_t i = 0; i < len; ++i) {
+      h.update(BytesView(msg.data() + i, 1));
+    }
+    EXPECT_EQ(hex_digest(h.finish()), hex_digest(one)) << "len " << len;
+  }
+}
+
+// RFC 4231 test case 1.
+TEST(HmacSha256, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  Digest256 mac = hmac_sha256(key, to_bytes("Hi There"));
+  EXPECT_EQ(hex_digest(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(HmacSha256, Rfc4231Case2) {
+  Digest256 mac = hmac_sha256(to_bytes("Jefe"),
+                              to_bytes("what do ya want for nothing?"));
+  EXPECT_EQ(hex_digest(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 6: key longer than the block size.
+TEST(HmacSha256, Rfc4231LongKey) {
+  Bytes key(131, 0xaa);
+  Digest256 mac = hmac_sha256(
+      key, to_bytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(hex_digest(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, DifferentKeysDiffer) {
+  Bytes msg = to_bytes("admission challenge nonce");
+  EXPECT_NE(hex_digest(hmac_sha256(to_bytes("key-a"), msg)),
+            hex_digest(hmac_sha256(to_bytes("key-b"), msg)));
+}
+
+TEST(DigestEqual, ComparesCorrectly) {
+  Digest256 a = Sha256::hash(to_bytes("x"));
+  Digest256 b = a;
+  EXPECT_TRUE(digest_equal(a, b));
+  b[31] ^= 1;
+  EXPECT_FALSE(digest_equal(a, b));
+}
+
+}  // namespace
+}  // namespace amuse

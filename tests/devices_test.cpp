@@ -1,0 +1,273 @@
+// Device tests: vitals model, sensor payload codecs, actuators, ECG stream.
+#include <gtest/gtest.h>
+
+#include "devices/actuators.hpp"
+#include "devices/ecg_stream.hpp"
+#include "devices/sensors.hpp"
+#include "devices/vitals.hpp"
+#include "bus/event_bus.hpp"
+#include "discovery/discovery_service.hpp"
+#include "hostmodel/profiles.hpp"
+#include "net/link_profiles.hpp"
+#include "net/sim_network.hpp"
+#include "sim/sim_executor.hpp"
+
+namespace amuse {
+namespace {
+
+TEST(VitalsModel, ProducesPlausibleBaselines) {
+  VitalsModel model(42);
+  double hr_sum = 0;
+  double spo2_min = 100;
+  double temp_sum = 0;
+  int episodes = 0;
+  constexpr int kSteps = 2000;
+  for (int i = 0; i < kSteps; ++i) {
+    VitalsSample s = model.step();
+    hr_sum += s.heart_rate;
+    spo2_min = std::min(spo2_min, s.spo2);
+    temp_sum += s.temperature;
+    if (s.in_episode) ++episodes;
+  }
+  // Baseline 72 bpm plus episode boosts: mean in a sane band.
+  EXPECT_GT(hr_sum / kSteps, 65.0);
+  EXPECT_LT(hr_sum / kSteps, 95.0);
+  EXPECT_GT(temp_sum / kSteps, 36.0);
+  EXPECT_LT(temp_sum / kSteps, 38.0);
+  EXPECT_GT(episodes, 0);       // some episodes occurred
+  EXPECT_LT(episodes, kSteps);  // …but not permanently
+}
+
+TEST(VitalsModel, EpisodesElevateHeartRate) {
+  VitalsModel model(7);
+  model.trigger_episode();
+  double in_episode_hr = 0;
+  int n = 0;
+  for (int i = 0; i < 50; ++i) {
+    model.trigger_episode();  // hold the episode open
+    VitalsSample s = model.step();
+    if (s.in_episode) {
+      in_episode_hr += s.heart_rate;
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_GT(in_episode_hr / n, 130.0);
+}
+
+TEST(VitalsModel, DeterministicForSeed) {
+  VitalsModel a(99);
+  VitalsModel b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.step().heart_rate, b.step().heart_rate);
+  }
+}
+
+TEST(VitalCodec, ReadingDecodesToTypedEvent) {
+  VitalCodec codec(VitalKind::kHeartRate, ServiceId(0x77));
+  Writer w;
+  w.u16(723);  // 72.3 bpm ×10
+  w.u8(0x00);
+  auto e = codec.decode_reading(w.bytes());
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->type(), "vitals.heartrate");
+  EXPECT_DOUBLE_EQ(e->get_double("hr"), 72.3);
+  EXPECT_EQ(e->get_string("unit"), "bpm");
+  EXPECT_FALSE(e->get("alarm")->as_bool());
+  EXPECT_EQ(e->get_int("member"), 0x77);
+}
+
+TEST(VitalCodec, AlarmFlagCarriesThrough) {
+  VitalCodec codec(VitalKind::kSpO2, ServiceId(1));
+  Writer w;
+  w.u16(885);
+  w.u8(0x01);
+  auto e = codec.decode_reading(w.bytes());
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(e->get("alarm")->as_bool());
+}
+
+TEST(VitalCodec, BloodPressureHasTwoValues) {
+  VitalCodec codec(VitalKind::kBloodPressure, ServiceId(1));
+  Writer w;
+  w.u16(1224);
+  w.u16(815);
+  w.u8(0);
+  auto e = codec.decode_reading(w.bytes());
+  ASSERT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(e->get_double("systolic"), 122.4);
+  EXPECT_DOUBLE_EQ(e->get_double("diastolic"), 81.5);
+}
+
+TEST(VitalCodec, TruncatedReadingRejected) {
+  VitalCodec codec(VitalKind::kHeartRate, ServiceId(1));
+  Bytes short_payload{0x01};
+  EXPECT_FALSE(codec.decode_reading(short_payload).has_value());
+}
+
+TEST(VitalCodec, ThresholdCommandOnlyForOwnMember) {
+  VitalCodec codec(VitalKind::kHeartRate, ServiceId(0x11));
+  Event mine("control.threshold");
+  mine.set("member", std::int64_t{0x11});
+  mine.set("value", 140.0);
+  Event other("control.threshold");
+  other.set("member", std::int64_t{0x22});
+  other.set("value", 140.0);
+
+  auto cmd = codec.encode_command(mine);
+  ASSERT_TRUE(cmd.has_value());
+  Reader r(*cmd);
+  EXPECT_EQ(r.u8(), 1);  // high threshold
+  EXPECT_EQ(r.u16(), 1400);
+  EXPECT_FALSE(codec.encode_command(other).has_value());
+}
+
+TEST(VitalCodec, LowBoundAndIntervalCommands) {
+  VitalCodec codec(VitalKind::kHeartRate, ServiceId(0x11));
+  Event low("control.threshold");
+  low.set("member", std::int64_t{0x11});
+  low.set("bound", "low");
+  low.set("value", 45.0);
+  auto cmd = codec.encode_command(low);
+  ASSERT_TRUE(cmd.has_value());
+  Reader r(*cmd);
+  EXPECT_EQ(r.u8(), 2);
+  EXPECT_EQ(r.u16(), 450);
+
+  Event interval("control.interval");
+  interval.set("member", std::int64_t{0x11});
+  interval.set("ms", std::int64_t{250});
+  auto cmd2 = codec.encode_command(interval);
+  ASSERT_TRUE(cmd2.has_value());
+  Reader r2(*cmd2);
+  EXPECT_EQ(r2.u8(), 3);
+  EXPECT_EQ(r2.u32(), 250u);
+}
+
+TEST(VitalCodec, TemperatureDoesNotNeedAcks) {
+  EXPECT_FALSE(
+      VitalCodec(VitalKind::kTemperature, ServiceId(1)).readings_need_ack());
+  EXPECT_TRUE(
+      VitalCodec(VitalKind::kHeartRate, ServiceId(1)).readings_need_ack());
+}
+
+TEST(ActuatorCodecs, DefibrillatorRoundTrip) {
+  DefibrillatorCodec codec(ServiceId(0x99));
+  Event fire("actuator.defib.fire");
+  fire.set("joules", 200.0);
+  auto cmd = codec.encode_command(fire);
+  ASSERT_TRUE(cmd.has_value());
+  Reader r(*cmd);
+  EXPECT_EQ(r.u16(), 200);
+  EXPECT_FALSE(codec.encode_command(Event("other")).has_value());
+
+  Writer w;
+  w.u16(200);
+  w.u8(1);
+  auto status = codec.decode_reading(w.bytes());
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->type(), "actuator.defib.status");
+  EXPECT_DOUBLE_EQ(status->get_double("joules"), 200.0);
+  EXPECT_TRUE(status->get("ok")->as_bool());
+}
+
+TEST(ActuatorCodecs, InsulinPumpRoundTrip) {
+  InsulinPumpCodec codec(ServiceId(0x99));
+  Event dose("actuator.insulin.dose");
+  dose.set("units", 2.5);
+  auto cmd = codec.encode_command(dose);
+  ASSERT_TRUE(cmd.has_value());
+  Reader r(*cmd);
+  EXPECT_EQ(r.u16(), 250);
+
+  Writer w;
+  w.u16(250);
+  w.u8(1);
+  w.u16(2975);
+  auto status = codec.decode_reading(w.bytes());
+  ASSERT_TRUE(status.has_value());
+  EXPECT_DOUBLE_EQ(status->get_double("units"), 2.5);
+  EXPECT_DOUBLE_EQ(status->get_double("reservoir"), 297.5);
+}
+
+TEST(EcgStream, StreamsOutsideTheBusAndTracksLoss) {
+  SimExecutor ex;
+  SimNetwork net(ex, 5);
+  LinkModel lossy = profiles::lossy_link(0.2);
+  net.set_default_link(lossy);
+  SimHost& a = net.add_host("sensor", profiles::ideal_host());
+  SimHost& b = net.add_host("station", profiles::ideal_host());
+  auto viewer_transport = net.create_endpoint(b);
+  ServiceId viewer_id = viewer_transport->local_id();
+  EcgViewer viewer(std::move(viewer_transport));
+
+  EcgStreamConfig cfg;
+  cfg.sample_rate_hz = 250;
+  cfg.samples_per_packet = 25;  // 10 packets/s
+  EcgStreamer streamer(ex, net.create_endpoint(a), viewer_id, cfg);
+  streamer.start();
+  ex.run_for(seconds(20));
+  streamer.stop();
+  ex.run();
+
+  const auto& s = viewer.stats();
+  EXPECT_GT(s.packets, 100u);
+  EXPECT_GT(s.lost_packets, 10u);  // lossy link, no retransmission
+  EXPECT_EQ(s.samples, s.packets * 25);
+  // Loss ≈ 20%.
+  double rate = static_cast<double>(s.lost_packets) /
+                static_cast<double>(s.packets + s.lost_packets);
+  EXPECT_NEAR(rate, 0.2, 0.06);
+}
+
+TEST(RawDeviceIntegration, SensorJoinsStreamsAndHonoursThresholdCommands) {
+  SimExecutor ex;
+  SimNetwork net(ex, 11);
+  net.set_default_link(profiles::usb_ip_link());
+  SimHost& core = net.add_host("core", profiles::ideal_host());
+  SimHost& body = net.add_host("body", profiles::ideal_host());
+
+  // A bus with sensor proxies registered, plus a discovery service.
+  EventBus bus(ex, net.create_endpoint(core));
+  register_vital_sensor_proxies(bus.factory());
+  DiscoveryConfig dc;
+  dc.cell_name = "cell";
+  dc.pre_shared_key = to_bytes("k");
+  dc.beacon_interval = milliseconds(300);
+  dc.heartbeat_interval = milliseconds(300);
+  DiscoveryService disco(ex, net.create_endpoint(core), bus.bus_id(), dc);
+  disco.set_on_new_member([&](const MemberInfo& m) { bus.add_member(m); });
+  disco.set_on_purge_member([&](ServiceId id) { bus.purge_member(id); });
+  disco.start();
+
+  auto patient = std::make_shared<PatientBody>(ex, 1234);
+  RawDeviceConfig cfg = sensor_device_config(
+      VitalKind::kHeartRate, "cell", to_bytes("k"), milliseconds(500));
+  VitalSensor sensor(ex, net.create_endpoint(body), patient,
+                     VitalKind::kHeartRate, cfg);
+
+  std::vector<Event> readings;
+  bus.subscribe_local(Filter::for_type("vitals.heartrate"),
+                      [&](const Event& e) { readings.push_back(e); });
+
+  sensor.start();
+  ex.run_for(seconds(10));
+  ASSERT_TRUE(sensor.joined());
+  EXPECT_GT(readings.size(), 10u);
+  EXPECT_GT(readings.back().get_double("hr"), 30.0);
+  EXPECT_GT(sensor.stats().readings_acked, 5u);
+
+  // Push a threshold command through the bus to the device.
+  EXPECT_DOUBLE_EQ(sensor.threshold_hi(), 120.0);
+  Event cmd("control.threshold");
+  cmd.set("member",
+          static_cast<std::int64_t>(sensor.id().raw()));
+  cmd.set("value", 90.0);
+  bus.publish_local(cmd);
+  ex.run_for(seconds(3));
+  EXPECT_DOUBLE_EQ(sensor.threshold_hi(), 90.0);
+  EXPECT_EQ(sensor.stats().commands_received, 1u);
+}
+
+}  // namespace
+}  // namespace amuse

@@ -1,0 +1,211 @@
+// Federation tests: peer-to-peer event sharing between two cells' buses
+// with hop-count loop termination.
+#include "smc/federation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hostmodel/profiles.hpp"
+#include "net/link_profiles.hpp"
+#include "net/loopback.hpp"
+#include "net/sim_network.hpp"
+#include "sim/sim_executor.hpp"
+#include "smc/cell.hpp"
+#include "smc/gateway.hpp"
+
+namespace amuse {
+namespace {
+
+struct FederationFixture : ::testing::Test {
+  FederationFixture()
+      : net(ex),
+        cell_a(ex, net.create_endpoint()),
+        cell_b(ex, net.create_endpoint()) {}
+
+  SimExecutor ex;
+  LoopbackNetwork net;
+  EventBus cell_a;
+  EventBus cell_b;
+};
+
+TEST_F(FederationFixture, SharedEventsCrossCells) {
+  FederationBridge bridge(cell_a, cell_b);
+  bridge.share(Filter::for_type_prefix("alarm."));
+
+  std::vector<Event> in_b;
+  cell_b.subscribe_local(Filter::for_type_prefix("alarm."),
+                         [&](const Event& e) { in_b.push_back(e); });
+
+  cell_a.publish_local(Event("alarm.cardiac", {{"level", "high"}}));
+  cell_a.publish_local(Event("vitals.heartrate"));  // not shared
+  ex.run();
+
+  ASSERT_EQ(in_b.size(), 1u);
+  EXPECT_EQ(in_b[0].type(), "alarm.cardiac");
+  EXPECT_EQ(in_b[0].get_int("x-fed-hops"), 1);
+  EXPECT_TRUE(in_b[0].has("x-fed-origin"));
+  EXPECT_EQ(bridge.stats().forwarded, 1u);
+}
+
+TEST_F(FederationFixture, BidirectionalBridgesTerminateLoops) {
+  FederationConfig cfg;
+  cfg.max_hops = 2;
+  FederationBridge ab(cell_a, cell_b, cfg);
+  FederationBridge ba(cell_b, cell_a, cfg);
+  ab.share(Filter::for_type("alarm.cardiac"));
+  ba.share(Filter::for_type("alarm.cardiac"));
+
+  int seen_a = 0;
+  int seen_b = 0;
+  cell_a.subscribe_local(Filter::for_type("alarm.cardiac"),
+                         [&](const Event&) { ++seen_a; });
+  cell_b.subscribe_local(Filter::for_type("alarm.cardiac"),
+                         [&](const Event&) { ++seen_b; });
+
+  cell_a.publish_local(Event("alarm.cardiac"));
+  ex.run();
+
+  // a: original + the one bounced back (hops=2). b: one forwarded copy.
+  // The hops=2 copy in a is NOT forwarded again (max_hops reached).
+  EXPECT_EQ(seen_b, 1);
+  EXPECT_EQ(seen_a, 2);
+  EXPECT_GE(ab.stats().forwarded + ba.stats().forwarded, 2u);
+  EXPECT_GE(ab.stats().hop_limited + ba.stats().hop_limited, 1u);
+}
+
+TEST_F(FederationFixture, MultipleShares) {
+  FederationBridge bridge(cell_a, cell_b);
+  bridge.share(Filter::for_type("a"));
+  bridge.share(Filter::for_type("b"));
+  std::vector<std::string> types;
+  cell_b.subscribe_local(Filter(),
+                         [&](const Event& e) { types.push_back(e.type()); });
+  cell_a.publish_local(Event("a"));
+  cell_a.publish_local(Event("b"));
+  cell_a.publish_local(Event("c"));
+  ex.run();
+  EXPECT_EQ(types, (std::vector<std::string>{"a", "b"}));
+}
+
+// ---- Networked federation via a dual-homed gateway member.
+
+struct GatewayFixture : ::testing::Test {
+  GatewayFixture() : net(ex, 0xF3D) {
+    net.set_default_link(profiles::usb_ip_link());
+    host_a = &net.add_host("cell-a-core", profiles::ideal_host());
+    host_b = &net.add_host("cell-b-core", profiles::ideal_host());
+    gw_host = &net.add_host("gateway", profiles::ideal_host());
+
+    cell_a = make_cell(*host_a, "cell-a", to_bytes("key-a"));
+    cell_b = make_cell(*host_b, "cell-b", to_bytes("key-b"));
+
+    gw_in_a = make_member(*gw_host, "cell-a", to_bytes("key-a"), seconds(5));
+    gw_in_b = make_member(*gw_host, "cell-b", to_bytes("key-b"), seconds(5));
+    gateway = std::make_unique<FederationGateway>(*gw_in_a, *gw_in_b);
+  }
+
+  std::unique_ptr<SelfManagedCell> make_cell(SimHost& host,
+                                             const std::string& name,
+                                             Bytes psk) {
+    SmcCellConfig cfg;
+    cfg.name = name;
+    cfg.pre_shared_key = std::move(psk);
+    cfg.discovery.beacon_interval = milliseconds(300);
+    cfg.discovery.heartbeat_interval = milliseconds(300);
+    auto cell = std::make_unique<SelfManagedCell>(
+        ex, net.create_endpoint(host), net.create_endpoint(host), cfg);
+    cell->start();
+    return cell;
+  }
+
+  std::unique_ptr<SmcMember> make_member(SimHost& host,
+                                         const std::string& cell, Bytes psk,
+                                         Duration lost_after) {
+    SmcMemberConfig mc;
+    mc.agent.cell_name = cell;
+    mc.agent.pre_shared_key = std::move(psk);
+    mc.agent.device_type = "gateway";
+    mc.agent.role = "gateway";
+    mc.agent.cell_lost_after = lost_after;
+    mc.offline_buffer = 64;
+    return std::make_unique<SmcMember>(ex, net.create_endpoint(host), mc);
+  }
+
+  SimExecutor ex;
+  SimNetwork net;
+  SimHost* host_a = nullptr;
+  SimHost* host_b = nullptr;
+  SimHost* gw_host = nullptr;
+  std::unique_ptr<SelfManagedCell> cell_a;
+  std::unique_ptr<SelfManagedCell> cell_b;
+  std::unique_ptr<SmcMember> gw_in_a;
+  std::unique_ptr<SmcMember> gw_in_b;
+  std::unique_ptr<FederationGateway> gateway;
+};
+
+TEST_F(GatewayFixture, EventsCrossCellsOverTheNetwork) {
+  gateway->share(Filter::for_type_prefix("alarm."));
+  gw_in_a->start();
+  gw_in_b->start();
+  ex.run_for(seconds(3));
+  ASSERT_TRUE(gw_in_a->joined() && gw_in_b->joined());
+
+  std::vector<Event> in_b;
+  cell_b->bus().subscribe_local(Filter::for_type_prefix("alarm."),
+                                [&](const Event& e) { in_b.push_back(e); });
+
+  cell_a->bus().publish_local(Event("alarm.cardiac", {{"level", "high"}}));
+  cell_a->bus().publish_local(Event("vitals.heartrate"));  // not shared
+  ex.run_for(seconds(3));
+
+  ASSERT_EQ(in_b.size(), 1u);
+  EXPECT_EQ(in_b[0].type(), "alarm.cardiac");
+  EXPECT_EQ(in_b[0].get_int("x-fed-hops"), 1);
+  EXPECT_EQ(gateway->stats().forwarded, 1u);
+  // Different pre-shared keys: each cell only admitted its own members.
+  EXPECT_EQ(cell_a->bus().members().size(), 1u);
+  EXPECT_EQ(cell_b->bus().members().size(), 1u);
+}
+
+TEST_F(GatewayFixture, DestinationOutageBuffersAndFlushes) {
+  gateway->share(Filter::for_type("alarm.cardiac"));
+  gw_in_a->start();
+  gw_in_b->start();
+  ex.run_for(seconds(3));
+
+  int in_b = 0;
+  cell_b->bus().subscribe_local(Filter::for_type("alarm.cardiac"),
+                                [&](const Event&) { ++in_b; });
+
+  // Cell B's core goes dark; once the gateway's B-side member notices the
+  // loss (cell_lost_after = 5 s), forwarded events land in its offline
+  // buffer …
+  host_b->set_up(false);
+  ex.run_for(seconds(11));  // past the loss-detection window
+  cell_a->bus().publish_local(Event("alarm.cardiac", {{"level", "high"}}));
+  ex.run_for(seconds(3));
+  EXPECT_EQ(in_b, 0);
+
+  // … and flushes when cell B returns and the gateway re-joins.
+  host_b->set_up(true);
+  ex.run_for(seconds(15));
+  EXPECT_EQ(in_b, 1);
+}
+
+TEST_F(FederationFixture, BridgeDestructionStopsForwarding) {
+  int seen_b = 0;
+  cell_b.subscribe_local(Filter::for_type("x"),
+                         [&](const Event&) { ++seen_b; });
+  {
+    FederationBridge bridge(cell_a, cell_b);
+    bridge.share(Filter::for_type("x"));
+    cell_a.publish_local(Event("x"));
+    ex.run();
+    EXPECT_EQ(seen_b, 1);
+  }
+  cell_a.publish_local(Event("x"));
+  ex.run();
+  EXPECT_EQ(seen_b, 1);
+}
+
+}  // namespace
+}  // namespace amuse

@@ -1,0 +1,259 @@
+// Filter semantics: every operator, conjunction behaviour, serialisation,
+// and the covering relation the Siena poset is built on.
+#include "pubsub/filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pubsub/codec.hpp"
+
+namespace amuse {
+namespace {
+
+Event ev(std::initializer_list<std::pair<const std::string, Value>> attrs) {
+  Event e;
+  for (auto& [k, v] : attrs) e.set(k, v);
+  return e;
+}
+
+TEST(Constraint, NumericOperators) {
+  Constraint lt{"x", Op::kLt, 10};
+  EXPECT_TRUE(lt.matches(Value(9)));
+  EXPECT_TRUE(lt.matches(Value(9.999)));
+  EXPECT_FALSE(lt.matches(Value(10)));
+  EXPECT_FALSE(lt.matches(Value("9")));  // type mismatch
+
+  Constraint le{"x", Op::kLe, 10};
+  EXPECT_TRUE(le.matches(Value(10)));
+  EXPECT_FALSE(le.matches(Value(10.001)));
+
+  Constraint gt{"x", Op::kGt, 10};
+  EXPECT_TRUE(gt.matches(Value(11)));
+  EXPECT_FALSE(gt.matches(Value(10)));
+
+  Constraint ge{"x", Op::kGe, 10};
+  EXPECT_TRUE(ge.matches(Value(10.0)));
+  EXPECT_FALSE(ge.matches(Value(9)));
+
+  Constraint eq{"x", Op::kEq, 10};
+  EXPECT_TRUE(eq.matches(Value(10)));
+  EXPECT_TRUE(eq.matches(Value(10.0)));
+  EXPECT_FALSE(eq.matches(Value(11)));
+
+  Constraint ne{"x", Op::kNe, 10};
+  EXPECT_TRUE(ne.matches(Value(11)));
+  EXPECT_FALSE(ne.matches(Value(10)));
+  EXPECT_FALSE(ne.matches(Value("ten")));  // incomparable → not "not equal"
+}
+
+TEST(Constraint, StringOperators) {
+  EXPECT_TRUE((Constraint{"s", Op::kPrefix, "vitals."}.matches(
+      Value("vitals.heartrate"))));
+  EXPECT_FALSE((Constraint{"s", Op::kPrefix, "vitals."}.matches(
+      Value("alarm.cardiac"))));
+  EXPECT_TRUE((Constraint{"s", Op::kSuffix, "rate"}.matches(
+      Value("vitals.heartrate"))));
+  EXPECT_FALSE((Constraint{"s", Op::kSuffix, "rate"}.matches(
+      Value("vitals.spo2"))));
+  EXPECT_TRUE((Constraint{"s", Op::kContains, "heart"}.matches(
+      Value("vitals.heartrate"))));
+  EXPECT_FALSE((Constraint{"s", Op::kContains, "heart"}.matches(
+      Value("vitals.spo2"))));
+  // String ordering is lexicographic.
+  EXPECT_TRUE((Constraint{"s", Op::kLt, "b"}.matches(Value("a"))));
+  EXPECT_FALSE((Constraint{"s", Op::kLt, "b"}.matches(Value("c"))));
+  // Substring ops on non-strings fail rather than match.
+  EXPECT_FALSE((Constraint{"s", Op::kPrefix, "1"}.matches(Value(123))));
+}
+
+TEST(Constraint, ExistsMatchesAnyValue) {
+  Constraint ex{"x", Op::kExists, Value()};
+  EXPECT_TRUE(ex.matches(Value(1)));
+  EXPECT_TRUE(ex.matches(Value("s")));
+  EXPECT_TRUE(ex.matches(Value(false)));
+}
+
+TEST(Constraint, BoolAndBytesEquality) {
+  EXPECT_TRUE((Constraint{"b", Op::kEq, true}.matches(Value(true))));
+  EXPECT_FALSE((Constraint{"b", Op::kEq, true}.matches(Value(false))));
+  EXPECT_TRUE((Constraint{"y", Op::kEq, Bytes{1, 2}}.matches(
+      Value(Bytes{1, 2}))));
+  EXPECT_FALSE((Constraint{"y", Op::kEq, Bytes{1, 2}}.matches(
+      Value(Bytes{1}))));
+}
+
+TEST(Filter, ConjunctionRequiresAllConstraints) {
+  Filter f;
+  f.where("type", Op::kEq, "vitals.heartrate").where("hr", Op::kGt, 120);
+  EXPECT_TRUE(f.matches(ev({{"type", "vitals.heartrate"}, {"hr", 130}})));
+  EXPECT_FALSE(f.matches(ev({{"type", "vitals.heartrate"}, {"hr", 110}})));
+  EXPECT_FALSE(f.matches(ev({{"type", "vitals.spo2"}, {"hr", 130}})));
+  EXPECT_FALSE(f.matches(ev({{"hr", 130}})));  // missing attribute
+}
+
+TEST(Filter, EmptyFilterMatchesEverything) {
+  Filter f;
+  EXPECT_TRUE(f.empty());
+  EXPECT_TRUE(f.matches(ev({})));
+  EXPECT_TRUE(f.matches(ev({{"anything", 1}})));
+}
+
+TEST(Filter, RangeViaTwoConstraintsOnSameAttribute) {
+  Filter f;
+  f.where("hr", Op::kGe, 60).where("hr", Op::kLe, 100);
+  EXPECT_TRUE(f.matches(ev({{"hr", 72}})));
+  EXPECT_FALSE(f.matches(ev({{"hr", 55}})));
+  EXPECT_FALSE(f.matches(ev({{"hr", 140}})));
+}
+
+TEST(Filter, ForTypeHelpers) {
+  EXPECT_TRUE(Filter::for_type("a.b").matches(ev({{"type", "a.b"}})));
+  EXPECT_FALSE(Filter::for_type("a.b").matches(ev({{"type", "a.c"}})));
+  EXPECT_TRUE(Filter::for_type_prefix("a.").matches(ev({{"type", "a.c"}})));
+  EXPECT_FALSE(Filter::for_type_prefix("a.").matches(ev({{"type", "b.c"}})));
+}
+
+TEST(Filter, SerialisationRoundTrip) {
+  Filter f;
+  f.where("type", Op::kPrefix, "vitals.")
+      .where("hr", Op::kGt, 120)
+      .where("note", Op::kContains, "urgent")
+      .where("flag", Op::kExists);
+  Filter g = decode_filter(encode_filter(f));
+  EXPECT_EQ(f, g);
+  EXPECT_EQ(g.to_string(), f.to_string());
+}
+
+TEST(Filter, DecodeRejectsBadOp) {
+  Writer w;
+  w.u16(1);
+  w.str("attr");
+  w.u8(200);  // invalid op
+  Value(1).encode(w);
+  EXPECT_THROW((void)decode_filter(w.bytes()), DecodeError);
+}
+
+// ---- Covering relation (the poset order).
+
+TEST(Covers, EmptyFilterCoversEverything) {
+  Filter any;
+  Filter strict;
+  strict.where("x", Op::kEq, 1);
+  EXPECT_TRUE(covers(any, strict));
+  EXPECT_FALSE(covers(strict, any));
+}
+
+TEST(Covers, ReflexiveOnEqualFilters) {
+  Filter f;
+  f.where("x", Op::kGt, 10).where("t", Op::kEq, "a");
+  Filter g;
+  g.where("x", Op::kGt, 10).where("t", Op::kEq, "a");
+  EXPECT_TRUE(covers(f, g));
+  EXPECT_TRUE(covers(g, f));
+}
+
+TEST(Covers, WiderNumericRangeCoversNarrower) {
+  Filter wide;
+  wide.where("x", Op::kGt, 0);
+  Filter narrow;
+  narrow.where("x", Op::kGt, 10);
+  EXPECT_TRUE(covers(wide, narrow));
+  EXPECT_FALSE(covers(narrow, wide));
+}
+
+TEST(Covers, EqImpliesEverythingItSatisfies) {
+  Filter pin;
+  pin.where("x", Op::kEq, 5);
+  Filter lt;
+  lt.where("x", Op::kLt, 10);
+  Filter ge;
+  ge.where("x", Op::kGe, 5);
+  Filter ne;
+  ne.where("x", Op::kNe, 7);
+  EXPECT_TRUE(covers(lt, pin));
+  EXPECT_TRUE(covers(ge, pin));
+  EXPECT_TRUE(covers(ne, pin));
+  EXPECT_FALSE(covers(pin, lt));
+}
+
+TEST(Covers, PrefixAlgebra) {
+  Filter broad;
+  broad.where("t", Op::kPrefix, "vitals.");
+  Filter narrow;
+  narrow.where("t", Op::kPrefix, "vitals.heart");
+  Filter contains;
+  contains.where("t", Op::kContains, "tal");
+  EXPECT_TRUE(covers(broad, narrow));
+  EXPECT_FALSE(covers(narrow, broad));
+  EXPECT_TRUE(covers(contains, broad));  // "vitals." contains "tal"
+}
+
+TEST(Covers, ExistsCoveredByAnyConstraintOnAttr) {
+  Filter exists;
+  exists.where("x", Op::kExists);
+  Filter eq;
+  eq.where("x", Op::kEq, 3);
+  EXPECT_TRUE(covers(exists, eq));
+  EXPECT_FALSE(covers(eq, exists));
+}
+
+TEST(Covers, UnrelatedAttributesDoNotCover) {
+  Filter fx;
+  fx.where("x", Op::kGt, 0);
+  Filter fy;
+  fy.where("y", Op::kGt, 0);
+  EXPECT_FALSE(covers(fx, fy));
+  EXPECT_FALSE(covers(fy, fx));
+}
+
+// Soundness property: whenever covers(G, S) claims coverage, every event
+// matching S must match G. Randomised check over a small value universe.
+TEST(Covers, SoundnessOnRandomisedUniverse) {
+  std::vector<Filter> filters;
+  const std::vector<Op> ops = {Op::kEq, Op::kNe, Op::kLt,     Op::kLe,
+                               Op::kGt, Op::kGe, Op::kExists};
+  for (Op op : ops) {
+    for (int bound : {0, 5, 10}) {
+      Filter f;
+      f.where("x", op, bound);
+      filters.push_back(f);
+    }
+  }
+  // Pairwise: if covers() says yes, verify on every point of the universe.
+  for (const Filter& g : filters) {
+    for (const Filter& s : filters) {
+      if (!covers(g, s)) continue;
+      for (int v = -2; v <= 12; ++v) {
+        Event e = ev({{"x", v}});
+        if (s.matches(e)) {
+          EXPECT_TRUE(g.matches(e))
+              << g.to_string() << " claimed to cover " << s.to_string()
+              << " but fails at x=" << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(Covers, ImpliesChainTransitivitySamples) {
+  // The poset relies on provable implication being transitive in practice.
+  Constraint eq5{"x", Op::kEq, 5};
+  Constraint lt10{"x", Op::kLt, 10};
+  Constraint le10{"x", Op::kLe, 10};
+  Constraint le12{"x", Op::kLe, 12};
+  EXPECT_TRUE(eq5.implies(lt10));
+  EXPECT_TRUE(lt10.implies(le10));
+  EXPECT_TRUE(le10.implies(le12));
+  EXPECT_TRUE(eq5.implies(le10));
+  EXPECT_TRUE(eq5.implies(le12));
+  EXPECT_TRUE(lt10.implies(le12));
+}
+
+TEST(Filter, ToStringIsReadable) {
+  Filter f;
+  f.where("hr", Op::kGt, 120).where("flag", Op::kExists);
+  EXPECT_EQ(f.to_string(), "hr > int:120 && flag exists");
+  EXPECT_EQ(Filter().to_string(), "(any)");
+}
+
+}  // namespace
+}  // namespace amuse

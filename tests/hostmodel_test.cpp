@@ -1,0 +1,122 @@
+// Host cost-model tests: the calibrated profiles must reproduce the paper's
+// anchor numbers (§V) to first order, since Figure 4's shape rests on them.
+#include <gtest/gtest.h>
+
+#include "hostmodel/profiles.hpp"
+#include "net/sim_network.hpp"
+#include "sim/sim_executor.hpp"
+
+namespace amuse {
+namespace {
+
+TEST(CostModel, SendCostScalesWithCopies) {
+  CostModel m;
+  m.per_packet_send = milliseconds(10);
+  m.per_byte_copy = microseconds(1);
+  m.send_copies = 2;
+  EXPECT_EQ(m.send_cost(0), milliseconds(10));
+  EXPECT_EQ(m.send_cost(1000), milliseconds(10) + microseconds(2000));
+}
+
+TEST(CostModel, RecvCostIndependentOfSendConfig) {
+  CostModel m;
+  m.per_packet_recv = milliseconds(5);
+  m.per_byte_copy = microseconds(2);
+  m.recv_copies = 3;
+  m.send_copies = 99;  // must not affect recv
+  EXPECT_EQ(m.recv_cost(100), milliseconds(5) + microseconds(600));
+}
+
+TEST(CostModel, CopyCostHelper) {
+  CostModel m;
+  m.per_byte_copy = microseconds(1);
+  EXPECT_EQ(m.copy_cost(500, 3), microseconds(1500));
+  EXPECT_EQ(m.copy_cost(500, 0), Duration{});
+}
+
+TEST(BusCostModel, PublishCostComposition) {
+  CostModel host;
+  host.per_byte_copy = microseconds(1);
+  BusCostModel b;
+  b.match_fixed = milliseconds(1);
+  b.match_per_subscription = microseconds(10);
+  b.translate_fixed = milliseconds(2);
+  b.translate_per_byte = microseconds(3);
+  b.extra_copies = 2;
+  Duration cost = b.publish_cost(100, 5, host);
+  EXPECT_EQ(cost, milliseconds(1) + microseconds(50) + milliseconds(2) +
+                      microseconds(300) + microseconds(200));
+}
+
+TEST(Profiles, SienaBusCostsDominateCBusCosts) {
+  BusCostModel c = profiles::c_bus_costs();
+  BusCostModel s = profiles::siena_bus_costs();
+  CostModel pda = profiles::pda_ipaq_hx4700();
+  for (std::size_t bytes : {0u, 500u, 2000u, 5000u}) {
+    EXPECT_GT(s.publish_cost(bytes, 2, pda), c.publish_cost(bytes, 2, pda))
+        << bytes;
+  }
+  // The gap grows with payload (translation is per-byte).
+  Duration gap_small = s.publish_cost(100, 2, pda) - c.publish_cost(100, 2, pda);
+  Duration gap_large =
+      s.publish_cost(5000, 2, pda) - c.publish_cost(5000, 2, pda);
+  EXPECT_GT(gap_large, gap_small + milliseconds(100));
+}
+
+TEST(Profiles, PdaIsMuchSlowerThanLaptop) {
+  CostModel pda = profiles::pda_ipaq_hx4700();
+  CostModel laptop = profiles::laptop_p3_1200();
+  EXPECT_GT(pda.send_cost(1000), 4 * laptop.send_cost(1000));
+  EXPECT_GT(pda.recv_cost(1000), 4 * laptop.recv_cost(1000));
+}
+
+TEST(Profiles, CalibrationAnchorZeroByteResponse) {
+  // §V / Figure 4(a): C-based response at ~0 B ≈ 45 ms. The PDA handles
+  // three packets on the forward path (publish recv, ack send, event
+  // send); add two link traversals (~1.45 ms each) and mean scheduling
+  // jitter. Check the deterministic terms land in the calibrated band.
+  CostModel pda = profiles::pda_ipaq_hx4700();
+  CostModel laptop = profiles::laptop_p3_1200();
+  BusCostModel cbus = profiles::c_bus_costs();
+  Duration cpu_total = laptop.send_cost(0) + pda.recv_cost(0) +
+                       cbus.publish_cost(0, 1, pda) +
+                       pda.send_cost(0) /* ack to publisher */ +
+                       pda.send_cost(0) /* event to subscriber */ +
+                       laptop.recv_cost(0);
+  double ms = to_millis(cpu_total) + 2 * 1.45 /* links */ +
+              3 * to_millis(pda.sched_jitter_max) / 2 /* mean jitter */;
+  EXPECT_GT(ms, 38.0);
+  EXPECT_LT(ms, 52.0);
+}
+
+TEST(SimHost, ChargeSerialisesWork) {
+  SimHost host("h", profiles::ideal_host(), 1, 7);
+  CostModel m;  // ideal: no jitter
+  (void)m;
+  TimePoint t0{seconds(0)};
+  TimePoint done1 = host.charge(t0, milliseconds(10));
+  EXPECT_EQ(done1, TimePoint(milliseconds(10)));
+  // Work arriving while busy queues behind.
+  TimePoint done2 = host.charge(TimePoint(milliseconds(5)), milliseconds(10));
+  EXPECT_EQ(done2, TimePoint(milliseconds(20)));
+  // Work arriving after idle starts immediately.
+  TimePoint done3 = host.charge(TimePoint(milliseconds(100)), milliseconds(1));
+  EXPECT_EQ(done3, TimePoint(milliseconds(101)));
+  EXPECT_EQ(host.busy_time(), milliseconds(21));
+}
+
+TEST(SimHost, JitterAddsBoundedNoise) {
+  CostModel m;
+  m.sched_jitter_max = milliseconds(2);
+  SimHost host("h", m, 1, 7);
+  for (int i = 0; i < 100; ++i) {
+    TimePoint t{seconds(i)};
+    TimePoint done = host.charge(t, milliseconds(1));
+    Duration took = done - t;
+    EXPECT_GE(took, milliseconds(1));
+    EXPECT_LT(took, milliseconds(3) + microseconds(1));
+  }
+}
+
+}  // namespace
+}  // namespace amuse

@@ -1,0 +1,86 @@
+// Bus message codec tests.
+#include "bus/messages.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amuse {
+namespace {
+
+TEST(BusMessage, PublishRoundTrip) {
+  Event e("vitals.heartrate", {{"hr", 72}});
+  e.set_publisher(ServiceId(5));
+  e.set_publisher_seq(9);
+  BusMessage m = BusMessage::publish(e);
+  BusMessage back = BusMessage::decode(m.encode());
+  EXPECT_EQ(back.type, BusMsgType::kPublish);
+  ASSERT_TRUE(back.event.has_value());
+  EXPECT_EQ(*back.event, e);
+  EXPECT_EQ(back.event->publisher_seq(), 9u);
+}
+
+TEST(BusMessage, DeliverCarriesMatchedIds) {
+  Event e("t");
+  BusMessage m = BusMessage::deliver(e, {3, 1, 7});
+  BusMessage back = BusMessage::decode(m.encode());
+  EXPECT_EQ(back.type, BusMsgType::kEvent);
+  EXPECT_EQ(back.matched, (std::vector<std::uint64_t>{3, 1, 7}));
+  EXPECT_EQ(*back.event, e);
+}
+
+TEST(BusMessage, SubscribeRoundTrip) {
+  Filter f;
+  f.where("type", Op::kPrefix, "alarm.").where("level", Op::kEq, "high");
+  BusMessage m = BusMessage::subscribe(42, f);
+  BusMessage back = BusMessage::decode(m.encode());
+  EXPECT_EQ(back.type, BusMsgType::kSubscribe);
+  EXPECT_EQ(back.sub_id, 42u);
+  ASSERT_TRUE(back.filter.has_value());
+  EXPECT_EQ(*back.filter, f);
+}
+
+TEST(BusMessage, UnsubscribeRoundTrip) {
+  BusMessage back = BusMessage::decode(BusMessage::unsubscribe(17).encode());
+  EXPECT_EQ(back.type, BusMsgType::kUnsubscribe);
+  EXPECT_EQ(back.sub_id, 17u);
+}
+
+TEST(BusMessage, QuenchUpdateRoundTrip) {
+  std::vector<Filter> filters;
+  filters.push_back(Filter::for_type("a"));
+  Filter f2;
+  f2.where("x", Op::kGt, 5);
+  filters.push_back(f2);
+  filters.push_back(Filter());
+  BusMessage back =
+      BusMessage::decode(BusMessage::quench_update(filters).encode());
+  EXPECT_EQ(back.type, BusMsgType::kQuenchUpdate);
+  ASSERT_EQ(back.quench_filters.size(), 3u);
+  EXPECT_EQ(back.quench_filters[0], filters[0]);
+  EXPECT_EQ(back.quench_filters[1], filters[1]);
+  EXPECT_TRUE(back.quench_filters[2].empty());
+}
+
+TEST(BusMessage, DecodeRejectsBadType) {
+  Bytes junk{0};
+  EXPECT_THROW((void)BusMessage::decode(junk), DecodeError);
+  junk[0] = 200;
+  EXPECT_THROW((void)BusMessage::decode(junk), DecodeError);
+}
+
+TEST(BusMessage, DecodeRejectsTruncation) {
+  Bytes wire = BusMessage::subscribe(1, Filter::for_type("a")).encode();
+  for (std::size_t len = 1; len < wire.size(); ++len) {
+    EXPECT_THROW((void)BusMessage::decode(BytesView(wire.data(), len)),
+                 DecodeError)
+        << len;
+  }
+}
+
+TEST(BusMessage, DecodeRejectsTrailingBytes) {
+  Bytes wire = BusMessage::unsubscribe(1).encode();
+  wire.push_back(0);
+  EXPECT_THROW((void)BusMessage::decode(wire), DecodeError);
+}
+
+}  // namespace
+}  // namespace amuse

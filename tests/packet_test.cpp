@@ -1,0 +1,138 @@
+// Wire-frame tests: round-trips, corruption rejection, foreign datagrams.
+#include "wire/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amuse {
+namespace {
+
+Packet sample_packet() {
+  Packet p;
+  p.type = PacketType::kData;
+  p.flags = 0x00A5;
+  p.session = 0xCAFEBABE;
+  p.src = ServiceId::from_addr_port(0x0A000001, 40001);
+  p.dst = ServiceId::from_addr_port(0x0A000002, 40002);
+  p.seq = 1234;
+  p.ack = 99;
+  p.payload = to_bytes("the payload");
+  return p;
+}
+
+TEST(Packet, RoundTripsAllFields) {
+  Packet p = sample_packet();
+  Bytes wire = p.encode();
+  std::optional<Packet> q = Packet::decode(wire);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->type, p.type);
+  EXPECT_EQ(q->flags, p.flags);
+  EXPECT_EQ(q->session, p.session);
+  EXPECT_EQ(q->src, p.src);
+  EXPECT_EQ(q->dst, p.dst);
+  EXPECT_EQ(q->seq, p.seq);
+  EXPECT_EQ(q->ack, p.ack);
+  EXPECT_EQ(q->payload, p.payload);
+}
+
+TEST(Packet, EmptyPayloadRoundTrips) {
+  Packet p = sample_packet();
+  p.payload.clear();
+  std::optional<Packet> q = Packet::decode(p.encode());
+  ASSERT_TRUE(q.has_value());
+  EXPECT_TRUE(q->payload.empty());
+}
+
+TEST(Packet, OverheadConstantIsAccurate) {
+  Packet p = sample_packet();
+  EXPECT_EQ(p.encode().size(), Packet::kOverhead + p.payload.size());
+}
+
+TEST(Packet, EveryPacketTypeRoundTrips) {
+  for (PacketType t :
+       {PacketType::kData, PacketType::kAck, PacketType::kBeacon,
+        PacketType::kJoinRequest, PacketType::kJoinChallenge,
+        PacketType::kJoinResponse, PacketType::kJoinAccept,
+        PacketType::kJoinReject, PacketType::kLeave,
+        PacketType::kHeartbeat}) {
+    Packet p = sample_packet();
+    p.type = t;
+    std::optional<Packet> q = Packet::decode(p.encode());
+    ASSERT_TRUE(q.has_value()) << to_string(t);
+    EXPECT_EQ(q->type, t);
+  }
+}
+
+TEST(Packet, RejectsEveryPossibleSingleByteCorruption) {
+  Bytes wire = sample_packet().encode();
+  Packet original = *Packet::decode(wire);
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    for (std::uint8_t flip : {0x01, 0x80}) {
+      Bytes corrupt = wire;
+      corrupt[i] ^= flip;
+      std::optional<Packet> q = Packet::decode(corrupt);
+      // CRC-32 catches all single-bit errors; nothing may decode
+      // successfully to different contents.
+      EXPECT_FALSE(q.has_value()) << "byte " << i;
+      (void)original;
+    }
+  }
+}
+
+TEST(Packet, RejectsTruncation) {
+  Bytes wire = sample_packet().encode();
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(
+        Packet::decode(BytesView(wire.data(), len)).has_value())
+        << "len " << len;
+  }
+}
+
+TEST(Packet, RejectsForeignMagic) {
+  Bytes wire = sample_packet().encode();
+  wire[0] = 0x00;  // break magic (CRC also breaks, but magic first)
+  EXPECT_FALSE(Packet::decode(wire).has_value());
+}
+
+TEST(Packet, RejectsTrailingGarbage) {
+  Bytes wire = sample_packet().encode();
+  wire.push_back(0x42);
+  EXPECT_FALSE(Packet::decode(wire).has_value());
+}
+
+TEST(Packet, RejectsRandomNoise) {
+  // Random buffers must essentially never decode (CRC + magic).
+  std::uint32_t x = 123456789;
+  auto next = [&] {
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    return static_cast<std::uint8_t>(x);
+  };
+  int decoded = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes noise(40 + trial % 64);
+    for (auto& b : noise) b = next();
+    if (Packet::decode(noise)) ++decoded;
+  }
+  EXPECT_EQ(decoded, 0);
+}
+
+TEST(ServiceId, FormatsAndFields) {
+  ServiceId id = ServiceId::from_addr_port(0xC0A80117, 8080);
+  EXPECT_EQ(id.to_string(), "192.168.1.23:8080");
+  EXPECT_EQ(id.addr(), 0xC0A80117u);
+  EXPECT_EQ(id.port(), 8080);
+  EXPECT_EQ(ServiceId().to_string(), "nil");
+  EXPECT_EQ(ServiceId::broadcast().to_string(), "*");
+  EXPECT_TRUE(ServiceId().is_nil());
+  EXPECT_FALSE(id.is_nil());
+}
+
+TEST(ServiceId, MasksTo48Bits) {
+  ServiceId id(0xFFFF'FFFF'FFFF'FFFFULL);
+  EXPECT_EQ(id.raw(), ServiceId::kMask);
+  EXPECT_EQ(id, ServiceId::broadcast());
+}
+
+}  // namespace
+}  // namespace amuse

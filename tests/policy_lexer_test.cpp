@@ -1,0 +1,99 @@
+// Lexer tests for the Ponder-lite policy language.
+#include "policy/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amuse {
+namespace {
+
+TEST(Lexer, EmptySourceYieldsEnd) {
+  auto toks = lex_policy("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokKind::kEnd);
+}
+
+TEST(Lexer, IdentifiersIncludeDotsAndTrailingStar) {
+  auto toks = lex_policy("vitals.heartrate vitals.* under_score x1");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0].text, "vitals.heartrate");
+  EXPECT_EQ(toks[1].text, "vitals.*");
+  EXPECT_EQ(toks[2].text, "under_score");
+  EXPECT_EQ(toks[3].text, "x1");
+}
+
+TEST(Lexer, NumbersIntAndFloat) {
+  auto toks = lex_policy("42 -7 3.5 -0.25");
+  EXPECT_EQ(toks[0].kind, TokKind::kInt);
+  EXPECT_EQ(toks[0].int_val, 42);
+  EXPECT_EQ(toks[1].kind, TokKind::kInt);
+  EXPECT_EQ(toks[1].int_val, -7);
+  EXPECT_EQ(toks[2].kind, TokKind::kFloat);
+  EXPECT_DOUBLE_EQ(toks[2].float_val, 3.5);
+  EXPECT_EQ(toks[3].kind, TokKind::kFloat);
+  EXPECT_DOUBLE_EQ(toks[3].float_val, -0.25);
+}
+
+TEST(Lexer, StringsWithEscapes) {
+  auto toks = lex_policy(R"("plain" "with \"quotes\"" "tab\tnl\n")");
+  EXPECT_EQ(toks[0].text, "plain");
+  EXPECT_EQ(toks[1].text, "with \"quotes\"");
+  EXPECT_EQ(toks[2].text, "tab\tnl\n");
+}
+
+TEST(Lexer, UnterminatedStringThrowsWithLocation) {
+  try {
+    (void)lex_policy("\n  \"oops");
+    FAIL() << "expected PolicyParseError";
+  } catch (const PolicyParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.column(), 3);
+  }
+}
+
+TEST(Lexer, BadEscapeThrows) {
+  EXPECT_THROW((void)lex_policy(R"("bad \q escape")"), PolicyParseError);
+}
+
+TEST(Lexer, OperatorsAndSymbols) {
+  auto toks = lex_policy("== != < <= > >= && || ! { } ( ) , ; =");
+  std::vector<TokKind> kinds;
+  for (const auto& t : toks) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<TokKind>{
+                       TokKind::kEq, TokKind::kNe, TokKind::kLt,
+                       TokKind::kLe, TokKind::kGt, TokKind::kGe,
+                       TokKind::kAnd, TokKind::kOr, TokKind::kNot,
+                       TokKind::kLBrace, TokKind::kRBrace, TokKind::kLParen,
+                       TokKind::kRParen, TokKind::kComma, TokKind::kSemi,
+                       TokKind::kAssign, TokKind::kEnd}));
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto toks = lex_policy(
+      "policy // rest of line ignored\n"
+      "# hash comment too\n"
+      "x");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "policy");
+  EXPECT_EQ(toks[1].text, "x");
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto toks = lex_policy("a\n  b");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].column, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].column, 3);
+}
+
+TEST(Lexer, UnexpectedCharacterThrows) {
+  EXPECT_THROW((void)lex_policy("policy @ x"), PolicyParseError);
+}
+
+TEST(Lexer, BareStarIsIdent) {
+  auto toks = lex_policy("*");
+  EXPECT_EQ(toks[0].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[0].text, "*");
+}
+
+}  // namespace
+}  // namespace amuse

@@ -1,0 +1,211 @@
+// Parser tests for the Ponder-lite policy language, plus expression
+// evaluation semantics.
+#include "policy/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "policy/expr_eval.hpp"
+
+namespace amuse {
+namespace {
+
+TEST(Parser, MinimalObligation) {
+  PolicyDocument doc = parse_policies(
+      "policy p1 on vitals.heartrate do log \"seen\";");
+  ASSERT_EQ(doc.obligations.size(), 1u);
+  const ObligationPolicy& p = doc.obligations[0];
+  EXPECT_EQ(p.name, "p1");
+  EXPECT_EQ(p.on_type, "vitals.heartrate");
+  EXPECT_FALSE(p.on_prefix);
+  EXPECT_EQ(p.condition, nullptr);
+  ASSERT_EQ(p.actions.size(), 1u);
+  EXPECT_EQ(p.actions[0].kind, PolicyAction::Kind::kLog);
+  EXPECT_EQ(p.actions[0].target, "seen");
+}
+
+TEST(Parser, PrefixTopicPattern) {
+  PolicyDocument doc =
+      parse_policies("policy p on vitals.* do log \"x\";");
+  EXPECT_TRUE(doc.obligations[0].on_prefix);
+  EXPECT_EQ(doc.obligations[0].on_type, "vitals.");
+  Filter f = doc.obligations[0].trigger_filter();
+  EXPECT_TRUE(f.matches(Event("vitals.spo2")));
+  EXPECT_FALSE(f.matches(Event("alarm.x")));
+}
+
+TEST(Parser, ConditionAndPublishAction) {
+  PolicyDocument doc = parse_policies(R"(
+    policy high_hr on vitals.heartrate
+      when hr > 120 && exists(member)
+      do publish alarm.cardiac { level = "high", hr = hr, m = member };
+  )");
+  const ObligationPolicy& p = doc.obligations[0];
+  ASSERT_NE(p.condition, nullptr);
+  ASSERT_EQ(p.actions.size(), 1u);
+  EXPECT_EQ(p.actions[0].kind, PolicyAction::Kind::kPublish);
+  EXPECT_EQ(p.actions[0].target, "alarm.cardiac");
+  EXPECT_EQ(p.actions[0].args.size(), 3u);
+  EXPECT_EQ(p.actions[0].args[0].name, "level");
+}
+
+TEST(Parser, MultipleActions) {
+  PolicyDocument doc = parse_policies(R"(
+    policy p on t
+      do log "first" publish t2 { } enable other disable p;
+  )");
+  ASSERT_EQ(doc.obligations[0].actions.size(), 4u);
+  EXPECT_EQ(doc.obligations[0].actions[1].kind,
+            PolicyAction::Kind::kPublish);
+  EXPECT_EQ(doc.obligations[0].actions[2].kind, PolicyAction::Kind::kEnable);
+  EXPECT_EQ(doc.obligations[0].actions[3].kind,
+            PolicyAction::Kind::kDisable);
+}
+
+TEST(Parser, DisabledModifier) {
+  PolicyDocument doc =
+      parse_policies("policy p disabled on t do log \"x\";");
+  EXPECT_TRUE(doc.obligations[0].initially_disabled);
+}
+
+TEST(Parser, AuthPolicies) {
+  PolicyDocument doc = parse_policies(R"(
+    auth permit role "nurse" subscribe "vitals.*";
+    auth deny role sensor subscribe "control.*";
+    auth deny role * publish "actuator.*";
+    auth default deny;
+  )");
+  ASSERT_EQ(doc.auths.size(), 3u);
+  EXPECT_EQ(doc.auths[0].verdict, AuthVerdict::kPermit);
+  EXPECT_EQ(doc.auths[0].role, "nurse");
+  EXPECT_EQ(doc.auths[0].op, AuthOp::kSubscribe);
+  EXPECT_EQ(doc.auths[0].topic_pattern, "vitals.*");
+  EXPECT_EQ(doc.auths[1].role, "sensor");
+  EXPECT_EQ(doc.auths[2].role, "*");
+  EXPECT_EQ(doc.auths[2].op, AuthOp::kPublish);
+  ASSERT_TRUE(doc.default_verdict.has_value());
+  EXPECT_EQ(*doc.default_verdict, AuthVerdict::kDeny);
+}
+
+TEST(Parser, OperatorPrecedenceOrOverAnd) {
+  // a == 1 || b == 1 && c == 1 parses as (a==1) || ((b==1) && (c==1)).
+  ExprPtr e = parse_policy_expr("a == 1 || b == 1 && c == 1");
+  ASSERT_EQ(e->kind, PolicyExpr::Kind::kOr);
+  EXPECT_EQ(e->rhs->kind, PolicyExpr::Kind::kAnd);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  ExprPtr e = parse_policy_expr("(a == 1 || b == 1) && c == 1");
+  ASSERT_EQ(e->kind, PolicyExpr::Kind::kAnd);
+  EXPECT_EQ(e->lhs->kind, PolicyExpr::Kind::kOr);
+}
+
+TEST(Parser, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_policies("policy"), PolicyParseError);
+  EXPECT_THROW((void)parse_policies("policy p on t do;"), PolicyParseError);
+  EXPECT_THROW((void)parse_policies("policy p do log \"x\";"),
+               PolicyParseError);
+  EXPECT_THROW((void)parse_policies("policy p on t do log \"x\""),
+               PolicyParseError);  // missing ';'
+  EXPECT_THROW((void)parse_policies("policy p on t do fire { };"),
+               PolicyParseError);  // unknown action
+  EXPECT_THROW((void)parse_policies("auth maybe role x publish t;"),
+               PolicyParseError);
+  EXPECT_THROW((void)parse_policies("auth permit role x frobnicate t;"),
+               PolicyParseError);
+  EXPECT_THROW((void)parse_policies("banana;"), PolicyParseError);
+}
+
+TEST(Parser, ErrorsCarryLocation) {
+  try {
+    (void)parse_policies("policy p on t\nwhen hr >\ndo log \"x\";");
+    FAIL();
+  } catch (const PolicyParseError& e) {
+    EXPECT_EQ(e.line(), 3);  // "do" found where a value was expected
+  }
+}
+
+// ---- Expression evaluation.
+
+Event trigger() {
+  Event e("vitals.heartrate");
+  e.set("hr", 130);
+  e.set("spo2", 93.5);
+  e.set("name", "bob");
+  e.set("ok", true);
+  return e;
+}
+
+bool eval_bool(const std::string& src) {
+  ExprPtr e = parse_policy_expr(src);
+  return eval_condition(e.get(), trigger());
+}
+
+TEST(ExprEval, Comparisons) {
+  EXPECT_TRUE(eval_bool("hr > 120"));
+  EXPECT_FALSE(eval_bool("hr > 130"));
+  EXPECT_TRUE(eval_bool("hr >= 130"));
+  EXPECT_TRUE(eval_bool("hr == 130"));
+  EXPECT_TRUE(eval_bool("hr != 131"));
+  EXPECT_TRUE(eval_bool("spo2 < 94.0"));
+  EXPECT_TRUE(eval_bool("name == \"bob\""));
+  EXPECT_FALSE(eval_bool("name == \"alice\""));
+}
+
+TEST(ExprEval, Logic) {
+  EXPECT_TRUE(eval_bool("hr > 120 && spo2 < 94"));
+  EXPECT_FALSE(eval_bool("hr > 120 && spo2 > 94"));
+  EXPECT_TRUE(eval_bool("hr > 200 || spo2 < 94"));
+  EXPECT_TRUE(eval_bool("!(hr > 200)"));
+  EXPECT_TRUE(eval_bool("ok"));
+  EXPECT_FALSE(eval_bool("!ok"));
+}
+
+TEST(ExprEval, ExistsAndMissingAttributes) {
+  EXPECT_TRUE(eval_bool("exists(hr)"));
+  EXPECT_FALSE(eval_bool("exists(bloodtype)"));
+  // Missing attributes make comparisons false, never throw.
+  EXPECT_FALSE(eval_bool("bloodtype == \"A\""));
+  EXPECT_FALSE(eval_bool("bloodtype != \"A\""));  // absent ≠ "not equal"
+  EXPECT_TRUE(eval_bool("!(bloodtype == \"A\")"));
+}
+
+TEST(ExprEval, NumericFamilyMixing) {
+  EXPECT_TRUE(eval_bool("spo2 < 94"));       // double vs int literal
+  EXPECT_TRUE(eval_bool("hr == 130.0"));     // int vs double literal
+}
+
+TEST(ExprEval, TruthinessRules) {
+  EXPECT_TRUE(truthy(Value(1)));
+  EXPECT_FALSE(truthy(Value(0)));
+  EXPECT_TRUE(truthy(Value(0.5)));
+  EXPECT_FALSE(truthy(Value(0.0)));
+  EXPECT_TRUE(truthy(Value("x")));
+  EXPECT_FALSE(truthy(Value("")));
+  EXPECT_TRUE(truthy(Value(true)));
+  EXPECT_FALSE(truthy(Value(Bytes{})));
+}
+
+TEST(ExprEval, NullConditionIsTrue) {
+  EXPECT_TRUE(eval_condition(nullptr, trigger()));
+}
+
+TEST(ExprEval, CloneProducesEqualBehaviour) {
+  ExprPtr e = parse_policy_expr("hr > 120 && name == \"bob\"");
+  ExprPtr c = e->clone();
+  EXPECT_EQ(eval_condition(e.get(), trigger()),
+            eval_condition(c.get(), trigger()));
+  EXPECT_EQ(e->to_string(), c->to_string());
+}
+
+TEST(TopicMatches, PatternAlgebra) {
+  EXPECT_TRUE(topic_matches("vitals.*", "vitals.heartrate"));
+  EXPECT_TRUE(topic_matches("vitals.*", "vitals.*"));
+  EXPECT_TRUE(topic_matches("*", "anything"));
+  EXPECT_FALSE(topic_matches("vitals.*", "alarm.cardiac"));
+  EXPECT_TRUE(topic_matches("vitals.heartrate", "vitals.heartrate"));
+  EXPECT_FALSE(topic_matches("vitals.heartrate", "vitals.*"));
+  EXPECT_FALSE(topic_matches("vitals.heartrate", "vitals.heartrate2"));
+}
+
+}  // namespace
+}  // namespace amuse

@@ -1,0 +1,125 @@
+// Tests for the deterministic simulation RNG.
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace amuse {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42, 1);
+  Rng b(42, 1);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.next_u32(), b.next_u32());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(42, 1);
+  Rng b(43, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, DifferentStreamsDiffer) {
+  Rng a(42, 1);
+  Rng b(42, 2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(r.bounded(17), 17u);
+  }
+  EXPECT_EQ(r.bounded(0), 0u);
+  EXPECT_EQ(r.bounded(1), 0u);
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Rng r(99);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80'000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[r.bounded(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    std::int64_t v = r.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDoubleInHalfOpenRange) {
+  Rng r(11);
+  for (int i = 0; i < 10'000; ++i) {
+    double v = r.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+  for (int i = 0; i < 1'000; ++i) {
+    double v = r.uniform(2.5, 7.5);
+    EXPECT_GE(v, 2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(Rng, NormalHasExpectedMoments) {
+  Rng r(123);
+  constexpr int kN = 50'000;
+  double sum = 0;
+  double sq = 0;
+  for (int i = 0; i < kN; ++i) {
+    double v = r.normal();
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / kN;
+  double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialHasExpectedMean) {
+  Rng r(321);
+  constexpr int kN = 50'000;
+  double sum = 0;
+  for (int i = 0; i < kN; ++i) {
+    double v = r.exponential(4.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kN, 4.0, 0.15);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(17);
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace amuse

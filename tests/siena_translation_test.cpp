@@ -1,0 +1,107 @@
+// Tests for the Siena translation layer — the data conversions whose cost
+// the paper blames for the Siena-based bus's slowness (§V).
+#include "pubsub/siena_translation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amuse {
+namespace {
+
+TEST(SienaTranslation, EventRoundTripsAllTypes) {
+  Event e("alarm.cardiac");
+  e.set("i", std::int64_t{-42});
+  e.set("d", 36.75);
+  e.set("b", true);
+  e.set("s", "text with spaces");
+  e.set("raw", Bytes{0x00, 0xFF, 0x7F});
+  e.set_publisher(ServiceId(0xABCD));
+  e.set_publisher_seq(17);
+  e.set_timestamp(TimePoint(milliseconds(250)));
+
+  Event back = siena_round_trip(e);
+  EXPECT_EQ(back, e);
+  EXPECT_EQ(back.publisher(), ServiceId(0xABCD));
+  EXPECT_EQ(back.publisher_seq(), 17u);
+  EXPECT_EQ(back.timestamp(), TimePoint(milliseconds(250)));
+}
+
+TEST(SienaTranslation, DoublePrecisionSurvives) {
+  Event e("t");
+  e.set("x", 0.1 + 0.2);  // classic non-representable sum
+  e.set("y", 1e-300);
+  e.set("z", 1.7976931348623157e308);
+  Event back = siena_round_trip(e);
+  EXPECT_DOUBLE_EQ(back.get_double("x"), 0.1 + 0.2);
+  EXPECT_DOUBLE_EQ(back.get_double("y"), 1e-300);
+  EXPECT_DOUBLE_EQ(back.get_double("z"), 1.7976931348623157e308);
+}
+
+TEST(SienaTranslation, StringsWithDelimitersSurvive) {
+  Event e("t");
+  e.set("tricky", "colons:and:lengths 5:x");
+  e.set("empty", "");
+  Event back = siena_round_trip(e);
+  EXPECT_EQ(back.get_string("tricky"), "colons:and:lengths 5:x");
+  EXPECT_EQ(back.get_string("empty"), "");
+}
+
+TEST(SienaTranslation, NotificationFormIsStringTyped) {
+  Event e("t");
+  e.set("hr", 72);
+  SienaNotification n = to_siena(e);
+  EXPECT_EQ(n.attrs.at("hr"), "int:72");
+  EXPECT_EQ(n.attrs.at("type"), "str:1:t");
+  EXPECT_TRUE(n.attrs.contains("x-publisher"));
+}
+
+TEST(SienaTranslation, MalformedNotificationThrows) {
+  SienaNotification bad;
+  bad.attrs["x"] = "notatag";
+  EXPECT_THROW((void)from_siena(bad), DecodeError);
+  bad.attrs["x"] = "str:5:ab";  // wrong length
+  EXPECT_THROW((void)from_siena(bad), DecodeError);
+  bad.attrs["x"] = "bool:maybe";
+  EXPECT_THROW((void)from_siena(bad), DecodeError);
+  bad.attrs["x"] = "bytes:2:zz11";
+  EXPECT_THROW((void)from_siena(bad), DecodeError);
+}
+
+TEST(SienaTranslation, FilterTextRoundTrips) {
+  Filter f;
+  f.where("type", Op::kPrefix, "vitals.")
+      .where("hr", Op::kGt, 120)
+      .where("flag", Op::kExists)
+      .where("note", Op::kNe, "routine");
+  std::string text = to_siena_filter(f);
+  Filter back = parse_siena_filter(text);
+  EXPECT_EQ(back, f);
+}
+
+TEST(SienaTranslation, FilterTextIsHumanReadable) {
+  Filter f;
+  f.where("hr", Op::kGt, 120);
+  EXPECT_EQ(to_siena_filter(f), "hr > int:120");
+}
+
+TEST(SienaTranslation, EmptyFilterRoundTrips) {
+  Filter f;
+  EXPECT_EQ(parse_siena_filter(to_siena_filter(f)), f);
+}
+
+TEST(SienaTranslation, MalformedFilterTextThrows) {
+  EXPECT_THROW((void)parse_siena_filter("hr"), DecodeError);
+  EXPECT_THROW((void)parse_siena_filter("hr ?? int:1"), DecodeError);
+  EXPECT_THROW((void)parse_siena_filter("hr >"), DecodeError);
+}
+
+TEST(SienaTranslation, RoundTripIsIdempotent) {
+  Event e("vitals.heartrate");
+  e.set("hr", 71.5);
+  e.set("member", std::int64_t{123456});
+  Event once = siena_round_trip(e);
+  Event twice = siena_round_trip(once);
+  EXPECT_EQ(once, twice);
+}
+
+}  // namespace
+}  // namespace amuse

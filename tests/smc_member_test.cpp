@@ -1,0 +1,175 @@
+// SmcMember tests: the member-side runtime — endpoint muxing, durable
+// subscriptions across purge/re-join cycles, offline publish buffering.
+#include "smc/member.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hostmodel/profiles.hpp"
+#include "net/link_profiles.hpp"
+#include "smc/cell.hpp"
+#include "sim/sim_executor.hpp"
+
+namespace amuse {
+namespace {
+
+const Bytes kPsk = to_bytes("member-test-key");
+
+struct MemberFixture : ::testing::Test {
+  MemberFixture() : net(ex, 7) {
+    net.set_default_link(profiles::usb_ip_link());
+    core = &net.add_host("core", profiles::ideal_host());
+    dev = &net.add_host("device", profiles::ideal_host());
+
+    SmcCellConfig cfg;
+    cfg.name = "cell";
+    cfg.pre_shared_key = kPsk;
+    cfg.discovery.beacon_interval = milliseconds(400);
+    cfg.discovery.heartbeat_interval = milliseconds(400);
+    cfg.discovery.suspect_after = seconds(2);
+    cfg.discovery.purge_after = seconds(4);
+    cfg.discovery.sweep_interval = milliseconds(200);
+    cell = std::make_unique<SelfManagedCell>(ex, net.create_endpoint(*core),
+                                             net.create_endpoint(*core), cfg);
+    cell->start();
+  }
+
+  std::unique_ptr<SmcMember> make_member(const std::string& type,
+                                         const std::string& role) {
+    SmcMemberConfig cfg;
+    cfg.agent.cell_name = "cell";
+    cfg.agent.pre_shared_key = kPsk;
+    cfg.agent.device_type = type;
+    cfg.agent.role = role;
+    cfg.agent.cell_lost_after = seconds(2);
+    return std::make_unique<SmcMember>(ex, net.create_endpoint(*dev), cfg);
+  }
+
+  SimExecutor ex;
+  SimNetwork net;
+  SimHost* core = nullptr;
+  SimHost* dev = nullptr;
+  std::unique_ptr<SelfManagedCell> cell;
+};
+
+TEST_F(MemberFixture, JoinsAndExchangesEvents) {
+  auto alice = make_member("console.a", "nurse");
+  auto bob = make_member("console.b", "nurse");
+  std::vector<std::int64_t> got;
+  bob->subscribe(Filter::for_type("chat"),
+                 [&](const Event& e) { got.push_back(e.get_int("n")); });
+  alice->start();
+  bob->start();
+  ex.run_for(seconds(3));
+  ASSERT_TRUE(alice->joined());
+  ASSERT_TRUE(bob->joined());
+
+  for (int i = 0; i < 5; ++i) alice->publish(Event("chat", {{"n", i}}));
+  ex.run_for(seconds(2));
+  EXPECT_EQ(got, (std::vector<std::int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(MemberFixture, SubscriptionsBeforeJoinAreRegisteredOnJoin) {
+  auto m = make_member("svc", "service");
+  int got = 0;
+  m->subscribe(Filter::for_type("t"), [&](const Event&) { ++got; });
+  m->start();
+  ex.run_for(seconds(3));
+  ASSERT_TRUE(m->joined());
+  cell->bus().publish_local(Event("t"));
+  ex.run_for(seconds(1));
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(MemberFixture, OfflinePublishesBufferedAndFlushedOnJoin) {
+  auto m = make_member("svc", "service");
+  int seen = 0;
+  cell->bus().subscribe_local(Filter::for_type("queued"),
+                              [&](const Event&) { ++seen; });
+  // Publish before start: buffered.
+  EXPECT_TRUE(m->publish(Event("queued")));
+  EXPECT_TRUE(m->publish(Event("queued")));
+  EXPECT_EQ(m->stats().buffered, 2u);
+  m->start();
+  ex.run_for(seconds(3));
+  EXPECT_EQ(m->stats().flushed, 2u);
+  EXPECT_EQ(seen, 2);
+}
+
+TEST_F(MemberFixture, OfflineBufferBoundDropsExcess) {
+  SmcMemberConfig cfg;
+  cfg.agent.cell_name = "cell";
+  cfg.agent.pre_shared_key = kPsk;
+  cfg.offline_buffer = 3;
+  SmcMember m(ex, net.create_endpoint(*dev), cfg);
+  for (int i = 0; i < 5; ++i) (void)m.publish(Event("x"));
+  EXPECT_EQ(m.stats().buffered, 3u);
+  EXPECT_EQ(m.stats().buffer_dropped, 2u);
+}
+
+TEST_F(MemberFixture, SubscriptionsSurvivePurgeAndRejoin) {
+  auto m = make_member("svc", "service");
+  int got = 0;
+  m->subscribe(Filter::for_type("durable"), [&](const Event&) { ++got; });
+  m->start();
+  ex.run_for(seconds(3));
+  ASSERT_TRUE(m->joined());
+  ASSERT_EQ(m->stats().joins, 1u);
+
+  // Roam out of range long enough to be purged (purge_after = 4 s).
+  dev->set_up(false);
+  ex.run_for(seconds(6));
+  EXPECT_FALSE(cell->bus().has_member(m->id()));
+
+  dev->set_up(true);
+  ex.run_for(seconds(6));
+  ASSERT_TRUE(m->joined());
+  EXPECT_GE(m->stats().joins, 2u);
+
+  cell->bus().publish_local(Event("durable"));
+  ex.run_for(seconds(2));
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(MemberFixture, UnsubscribeIsDurableToo) {
+  auto m = make_member("svc", "service");
+  int got = 0;
+  std::uint64_t id =
+      m->subscribe(Filter::for_type("t"), [&](const Event&) { ++got; });
+  m->start();
+  ex.run_for(seconds(3));
+  m->unsubscribe(id);
+  ex.run_for(seconds(1));
+  cell->bus().publish_local(Event("t"));
+  ex.run_for(seconds(1));
+  EXPECT_EQ(got, 0);
+
+  // After a purge/rejoin cycle the unsubscribed filter must not return.
+  dev->set_up(false);
+  ex.run_for(seconds(6));
+  dev->set_up(true);
+  ex.run_for(seconds(6));
+  ASSERT_TRUE(m->joined());
+  cell->bus().publish_local(Event("t"));
+  ex.run_for(seconds(1));
+  EXPECT_EQ(got, 0);
+}
+
+TEST_F(MemberFixture, GracefulLeaveFiresCallbacks) {
+  auto m = make_member("svc", "service");
+  bool joined_cb = false;
+  bool left_cb = false;
+  m->set_on_joined([&] { joined_cb = true; });
+  m->set_on_left([&] { left_cb = true; });
+  m->start();
+  ex.run_for(seconds(3));
+  ASSERT_TRUE(joined_cb);
+  m->leave();
+  ex.run_for(seconds(1));
+  EXPECT_TRUE(left_cb);
+  EXPECT_FALSE(m->joined());
+  EXPECT_EQ(m->client(), nullptr);
+  EXPECT_FALSE(cell->bus().has_member(m->id()));
+}
+
+}  // namespace
+}  // namespace amuse

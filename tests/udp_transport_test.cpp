@@ -1,0 +1,99 @@
+// Real-UDP transport smoke tests (the prototype configuration, §IV).
+// Skipped gracefully where the sandbox forbids sockets or multicast.
+#include "net/udp_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "sim/real_executor.hpp"
+
+namespace amuse {
+namespace {
+
+std::unique_ptr<UdpTransport> try_open(Executor& ex, std::uint16_t bport) {
+  UdpOptions opts;
+  opts.broadcast_port = bport;
+  try {
+    return UdpTransport::open(ex, opts);
+  } catch (const std::system_error& e) {
+    return nullptr;
+  }
+}
+
+TEST(UdpTransport, UnicastRoundTripOnLocalhost) {
+  RealExecutor ex;
+  auto a = try_open(ex, 46901);
+  auto b = try_open(ex, 46901);
+  if (!a || !b) GTEST_SKIP() << "UDP sockets unavailable in this sandbox";
+
+  // The 48-bit id follows the prototype rule: loopback address + OS port.
+  EXPECT_EQ(a->local_id().addr(), 0x7F000001u);
+  EXPECT_NE(a->local_id().port(), 0);
+  EXPECT_NE(a->local_id(), b->local_id());
+
+  std::atomic<int> got{0};
+  ServiceId from{};
+  Bytes payload;
+  b->set_receive_handler([&](ServiceId src, BytesView data) {
+    from = src;
+    payload = Bytes(data.begin(), data.end());
+    got.fetch_add(1);
+    ex.stop();
+  });
+  a->send(b->local_id(), to_bytes("over real sockets"));
+  ex.run_for(seconds(5));
+
+  ASSERT_EQ(got.load(), 1);
+  EXPECT_EQ(from, a->local_id());
+  EXPECT_EQ(to_string(payload), "over real sockets");
+}
+
+TEST(UdpTransport, BroadcastReachesOtherEndpointsNotSelf) {
+  RealExecutor ex;
+  auto a = try_open(ex, 46902);
+  auto b = try_open(ex, 46902);
+  auto c = try_open(ex, 46902);
+  if (!a || !b || !c) GTEST_SKIP() << "UDP sockets unavailable";
+
+  std::atomic<int> got_a{0};
+  std::atomic<int> got_b{0};
+  std::atomic<int> got_c{0};
+  a->set_receive_handler([&](ServiceId, BytesView) { got_a.fetch_add(1); });
+  b->set_receive_handler([&](ServiceId, BytesView) { got_b.fetch_add(1); });
+  c->set_receive_handler([&](ServiceId, BytesView) { got_c.fetch_add(1); });
+
+  a->broadcast(to_bytes("beacon"));
+  ex.run_for(milliseconds(1500));
+
+  if (got_b.load() == 0 && got_c.load() == 0) {
+    GTEST_SKIP() << "loopback multicast unavailable in this sandbox";
+  }
+  EXPECT_EQ(got_a.load(), 0);  // no self-delivery
+  EXPECT_GE(got_b.load(), 1);
+  EXPECT_GE(got_c.load(), 1);
+}
+
+TEST(RealExecutor, RunsPostedTasksAndTimers) {
+  RealExecutor ex;
+  std::vector<int> order;
+  ex.post([&] { order.push_back(1); });
+  ex.schedule_after(milliseconds(30), [&] {
+    order.push_back(2);
+    ex.stop();
+  });
+  ex.run_for(seconds(5));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(RealExecutor, CancelWorks) {
+  RealExecutor ex;
+  bool ran = false;
+  TimerId id = ex.schedule_after(milliseconds(20), [&] { ran = true; });
+  ex.cancel(id);
+  ex.run_for(milliseconds(100));
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace amuse
