@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discovery_timeouts.dir/discovery_timeouts.cpp.o"
+  "CMakeFiles/discovery_timeouts.dir/discovery_timeouts.cpp.o.d"
+  "discovery_timeouts"
+  "discovery_timeouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discovery_timeouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fanout_scaling.dir/fanout_scaling.cpp.o"
+  "CMakeFiles/fanout_scaling.dir/fanout_scaling.cpp.o.d"
+  "fanout_scaling"
+  "fanout_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fanout_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_throughput.dir/fig4b_throughput.cpp.o"
+  "CMakeFiles/fig4b_throughput.dir/fig4b_throughput.cpp.o.d"
+  "fig4b_throughput"
+  "fig4b_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_baseline.dir/link_baseline.cpp.o"
+  "CMakeFiles/link_baseline.dir/link_baseline.cpp.o.d"
+  "link_baseline"
+  "link_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcher_scaling.dir/matcher_scaling.cpp.o"
+  "CMakeFiles/matcher_scaling.dir/matcher_scaling.cpp.o.d"
+  "matcher_scaling"
+  "matcher_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcher_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

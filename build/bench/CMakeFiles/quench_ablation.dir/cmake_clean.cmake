@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quench_ablation.dir/quench_ablation.cpp.o"
+  "CMakeFiles/quench_ablation.dir/quench_ablation.cpp.o.d"
+  "quench_ablation"
+  "quench_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quench_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

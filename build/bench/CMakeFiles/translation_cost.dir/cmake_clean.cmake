@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translation_cost.dir/translation_cost.cpp.o"
+  "CMakeFiles/translation_cost.dir/translation_cost.cpp.o.d"
+  "translation_cost"
+  "translation_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translation_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/body_area_network.dir/body_area_network.cpp.o"
+  "CMakeFiles/body_area_network.dir/body_area_network.cpp.o.d"
+  "body_area_network"
+  "body_area_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/body_area_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

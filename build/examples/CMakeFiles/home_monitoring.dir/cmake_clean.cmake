@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/home_monitoring.dir/home_monitoring.cpp.o"
+  "CMakeFiles/home_monitoring.dir/home_monitoring.cpp.o.d"
+  "home_monitoring"
+  "home_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/home_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_adaptation.dir/policy_adaptation.cpp.o"
+  "CMakeFiles/policy_adaptation.dir/policy_adaptation.cpp.o.d"
+  "policy_adaptation"
+  "policy_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typed_pubsub.dir/typed_pubsub.cpp.o"
+  "CMakeFiles/typed_pubsub.dir/typed_pubsub.cpp.o.d"
+  "typed_pubsub"
+  "typed_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typed_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bus/bus_client.cpp" "src/CMakeFiles/amuse.dir/bus/bus_client.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/bus/bus_client.cpp.o.d"
+  "/root/repo/src/bus/event_bus.cpp" "src/CMakeFiles/amuse.dir/bus/event_bus.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/bus/event_bus.cpp.o.d"
+  "/root/repo/src/bus/messages.cpp" "src/CMakeFiles/amuse.dir/bus/messages.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/bus/messages.cpp.o.d"
+  "/root/repo/src/bus/quench.cpp" "src/CMakeFiles/amuse.dir/bus/quench.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/bus/quench.cpp.o.d"
+  "/root/repo/src/bus/subscription_registry.cpp" "src/CMakeFiles/amuse.dir/bus/subscription_registry.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/bus/subscription_registry.cpp.o.d"
+  "/root/repo/src/common/bytes.cpp" "src/CMakeFiles/amuse.dir/common/bytes.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/common/bytes.cpp.o.d"
+  "/root/repo/src/common/crc32.cpp" "src/CMakeFiles/amuse.dir/common/crc32.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/common/crc32.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/amuse.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/amuse.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/service_id.cpp" "src/CMakeFiles/amuse.dir/common/service_id.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/common/service_id.cpp.o.d"
+  "/root/repo/src/common/sha256.cpp" "src/CMakeFiles/amuse.dir/common/sha256.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/common/sha256.cpp.o.d"
+  "/root/repo/src/devices/actuators.cpp" "src/CMakeFiles/amuse.dir/devices/actuators.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/devices/actuators.cpp.o.d"
+  "/root/repo/src/devices/console.cpp" "src/CMakeFiles/amuse.dir/devices/console.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/devices/console.cpp.o.d"
+  "/root/repo/src/devices/device.cpp" "src/CMakeFiles/amuse.dir/devices/device.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/devices/device.cpp.o.d"
+  "/root/repo/src/devices/ecg_stream.cpp" "src/CMakeFiles/amuse.dir/devices/ecg_stream.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/devices/ecg_stream.cpp.o.d"
+  "/root/repo/src/devices/sensors.cpp" "src/CMakeFiles/amuse.dir/devices/sensors.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/devices/sensors.cpp.o.d"
+  "/root/repo/src/devices/vitals.cpp" "src/CMakeFiles/amuse.dir/devices/vitals.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/devices/vitals.cpp.o.d"
+  "/root/repo/src/discovery/discovery_agent.cpp" "src/CMakeFiles/amuse.dir/discovery/discovery_agent.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/discovery/discovery_agent.cpp.o.d"
+  "/root/repo/src/discovery/discovery_service.cpp" "src/CMakeFiles/amuse.dir/discovery/discovery_service.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/discovery/discovery_service.cpp.o.d"
+  "/root/repo/src/discovery/membership.cpp" "src/CMakeFiles/amuse.dir/discovery/membership.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/discovery/membership.cpp.o.d"
+  "/root/repo/src/hostmodel/cost_model.cpp" "src/CMakeFiles/amuse.dir/hostmodel/cost_model.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/hostmodel/cost_model.cpp.o.d"
+  "/root/repo/src/hostmodel/profiles.cpp" "src/CMakeFiles/amuse.dir/hostmodel/profiles.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/hostmodel/profiles.cpp.o.d"
+  "/root/repo/src/net/link_profiles.cpp" "src/CMakeFiles/amuse.dir/net/link_profiles.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/net/link_profiles.cpp.o.d"
+  "/root/repo/src/net/loopback.cpp" "src/CMakeFiles/amuse.dir/net/loopback.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/net/loopback.cpp.o.d"
+  "/root/repo/src/net/sim_network.cpp" "src/CMakeFiles/amuse.dir/net/sim_network.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/net/sim_network.cpp.o.d"
+  "/root/repo/src/net/transport.cpp" "src/CMakeFiles/amuse.dir/net/transport.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/net/transport.cpp.o.d"
+  "/root/repo/src/net/udp_transport.cpp" "src/CMakeFiles/amuse.dir/net/udp_transport.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/net/udp_transport.cpp.o.d"
+  "/root/repo/src/policy/ast.cpp" "src/CMakeFiles/amuse.dir/policy/ast.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/policy/ast.cpp.o.d"
+  "/root/repo/src/policy/authorisation.cpp" "src/CMakeFiles/amuse.dir/policy/authorisation.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/policy/authorisation.cpp.o.d"
+  "/root/repo/src/policy/deployment.cpp" "src/CMakeFiles/amuse.dir/policy/deployment.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/policy/deployment.cpp.o.d"
+  "/root/repo/src/policy/expr_eval.cpp" "src/CMakeFiles/amuse.dir/policy/expr_eval.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/policy/expr_eval.cpp.o.d"
+  "/root/repo/src/policy/lexer.cpp" "src/CMakeFiles/amuse.dir/policy/lexer.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/policy/lexer.cpp.o.d"
+  "/root/repo/src/policy/obligation_engine.cpp" "src/CMakeFiles/amuse.dir/policy/obligation_engine.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/policy/obligation_engine.cpp.o.d"
+  "/root/repo/src/policy/parser.cpp" "src/CMakeFiles/amuse.dir/policy/parser.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/policy/parser.cpp.o.d"
+  "/root/repo/src/policy/policy_store.cpp" "src/CMakeFiles/amuse.dir/policy/policy_store.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/policy/policy_store.cpp.o.d"
+  "/root/repo/src/proxy/bootstrap.cpp" "src/CMakeFiles/amuse.dir/proxy/bootstrap.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/proxy/bootstrap.cpp.o.d"
+  "/root/repo/src/proxy/forwarding_proxy.cpp" "src/CMakeFiles/amuse.dir/proxy/forwarding_proxy.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/proxy/forwarding_proxy.cpp.o.d"
+  "/root/repo/src/proxy/proxy.cpp" "src/CMakeFiles/amuse.dir/proxy/proxy.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/proxy/proxy.cpp.o.d"
+  "/root/repo/src/proxy/translating_proxy.cpp" "src/CMakeFiles/amuse.dir/proxy/translating_proxy.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/proxy/translating_proxy.cpp.o.d"
+  "/root/repo/src/pubsub/brute_matcher.cpp" "src/CMakeFiles/amuse.dir/pubsub/brute_matcher.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/pubsub/brute_matcher.cpp.o.d"
+  "/root/repo/src/pubsub/codec.cpp" "src/CMakeFiles/amuse.dir/pubsub/codec.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/pubsub/codec.cpp.o.d"
+  "/root/repo/src/pubsub/event.cpp" "src/CMakeFiles/amuse.dir/pubsub/event.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/pubsub/event.cpp.o.d"
+  "/root/repo/src/pubsub/fastforward_matcher.cpp" "src/CMakeFiles/amuse.dir/pubsub/fastforward_matcher.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/pubsub/fastforward_matcher.cpp.o.d"
+  "/root/repo/src/pubsub/filter.cpp" "src/CMakeFiles/amuse.dir/pubsub/filter.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/pubsub/filter.cpp.o.d"
+  "/root/repo/src/pubsub/siena_matcher.cpp" "src/CMakeFiles/amuse.dir/pubsub/siena_matcher.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/pubsub/siena_matcher.cpp.o.d"
+  "/root/repo/src/pubsub/siena_translation.cpp" "src/CMakeFiles/amuse.dir/pubsub/siena_translation.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/pubsub/siena_translation.cpp.o.d"
+  "/root/repo/src/pubsub/value.cpp" "src/CMakeFiles/amuse.dir/pubsub/value.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/pubsub/value.cpp.o.d"
+  "/root/repo/src/sim/executor.cpp" "src/CMakeFiles/amuse.dir/sim/executor.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/sim/executor.cpp.o.d"
+  "/root/repo/src/sim/real_executor.cpp" "src/CMakeFiles/amuse.dir/sim/real_executor.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/sim/real_executor.cpp.o.d"
+  "/root/repo/src/sim/sim_executor.cpp" "src/CMakeFiles/amuse.dir/sim/sim_executor.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/sim/sim_executor.cpp.o.d"
+  "/root/repo/src/smc/cell.cpp" "src/CMakeFiles/amuse.dir/smc/cell.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/smc/cell.cpp.o.d"
+  "/root/repo/src/smc/federation.cpp" "src/CMakeFiles/amuse.dir/smc/federation.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/smc/federation.cpp.o.d"
+  "/root/repo/src/smc/member.cpp" "src/CMakeFiles/amuse.dir/smc/member.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/smc/member.cpp.o.d"
+  "/root/repo/src/smc/monitor.cpp" "src/CMakeFiles/amuse.dir/smc/monitor.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/smc/monitor.cpp.o.d"
+  "/root/repo/src/typed/event_type.cpp" "src/CMakeFiles/amuse.dir/typed/event_type.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/typed/event_type.cpp.o.d"
+  "/root/repo/src/typed/typed_client.cpp" "src/CMakeFiles/amuse.dir/typed/typed_client.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/typed/typed_client.cpp.o.d"
+  "/root/repo/src/wire/packet.cpp" "src/CMakeFiles/amuse.dir/wire/packet.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/wire/packet.cpp.o.d"
+  "/root/repo/src/wire/reliable_channel.cpp" "src/CMakeFiles/amuse.dir/wire/reliable_channel.cpp.o" "gcc" "src/CMakeFiles/amuse.dir/wire/reliable_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bytes_test.cpp" "tests/CMakeFiles/amuse_tests.dir/bytes_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/bytes_test.cpp.o.d"
+  "/root/repo/tests/crypto_test.cpp" "tests/CMakeFiles/amuse_tests.dir/crypto_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/crypto_test.cpp.o.d"
+  "/root/repo/tests/devices_test.cpp" "tests/CMakeFiles/amuse_tests.dir/devices_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/devices_test.cpp.o.d"
+  "/root/repo/tests/discovery_test.cpp" "tests/CMakeFiles/amuse_tests.dir/discovery_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/discovery_test.cpp.o.d"
+  "/root/repo/tests/event_bus_test.cpp" "tests/CMakeFiles/amuse_tests.dir/event_bus_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/event_bus_test.cpp.o.d"
+  "/root/repo/tests/federation_test.cpp" "tests/CMakeFiles/amuse_tests.dir/federation_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/federation_test.cpp.o.d"
+  "/root/repo/tests/filter_test.cpp" "tests/CMakeFiles/amuse_tests.dir/filter_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/filter_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/amuse_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/hostmodel_test.cpp" "tests/CMakeFiles/amuse_tests.dir/hostmodel_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/hostmodel_test.cpp.o.d"
+  "/root/repo/tests/matcher_test.cpp" "tests/CMakeFiles/amuse_tests.dir/matcher_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/matcher_test.cpp.o.d"
+  "/root/repo/tests/messages_test.cpp" "tests/CMakeFiles/amuse_tests.dir/messages_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/messages_test.cpp.o.d"
+  "/root/repo/tests/monitor_test.cpp" "tests/CMakeFiles/amuse_tests.dir/monitor_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/monitor_test.cpp.o.d"
+  "/root/repo/tests/packet_test.cpp" "tests/CMakeFiles/amuse_tests.dir/packet_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/packet_test.cpp.o.d"
+  "/root/repo/tests/policy_engine_test.cpp" "tests/CMakeFiles/amuse_tests.dir/policy_engine_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/policy_engine_test.cpp.o.d"
+  "/root/repo/tests/policy_lexer_test.cpp" "tests/CMakeFiles/amuse_tests.dir/policy_lexer_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/policy_lexer_test.cpp.o.d"
+  "/root/repo/tests/policy_parser_test.cpp" "tests/CMakeFiles/amuse_tests.dir/policy_parser_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/policy_parser_test.cpp.o.d"
+  "/root/repo/tests/proxy_test.cpp" "tests/CMakeFiles/amuse_tests.dir/proxy_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/proxy_test.cpp.o.d"
+  "/root/repo/tests/registry_test.cpp" "tests/CMakeFiles/amuse_tests.dir/registry_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/registry_test.cpp.o.d"
+  "/root/repo/tests/reliable_channel_test.cpp" "tests/CMakeFiles/amuse_tests.dir/reliable_channel_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/reliable_channel_test.cpp.o.d"
+  "/root/repo/tests/rng_test.cpp" "tests/CMakeFiles/amuse_tests.dir/rng_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/siena_translation_test.cpp" "tests/CMakeFiles/amuse_tests.dir/siena_translation_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/siena_translation_test.cpp.o.d"
+  "/root/repo/tests/sim_executor_test.cpp" "tests/CMakeFiles/amuse_tests.dir/sim_executor_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/sim_executor_test.cpp.o.d"
+  "/root/repo/tests/sim_network_test.cpp" "tests/CMakeFiles/amuse_tests.dir/sim_network_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/sim_network_test.cpp.o.d"
+  "/root/repo/tests/smc_integration_test.cpp" "tests/CMakeFiles/amuse_tests.dir/smc_integration_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/smc_integration_test.cpp.o.d"
+  "/root/repo/tests/smc_member_test.cpp" "tests/CMakeFiles/amuse_tests.dir/smc_member_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/smc_member_test.cpp.o.d"
+  "/root/repo/tests/typed_test.cpp" "tests/CMakeFiles/amuse_tests.dir/typed_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/typed_test.cpp.o.d"
+  "/root/repo/tests/udp_transport_test.cpp" "tests/CMakeFiles/amuse_tests.dir/udp_transport_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/udp_transport_test.cpp.o.d"
+  "/root/repo/tests/value_event_test.cpp" "tests/CMakeFiles/amuse_tests.dir/value_event_test.cpp.o" "gcc" "tests/CMakeFiles/amuse_tests.dir/value_event_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/amuse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
