@@ -1,0 +1,51 @@
+# Shared warning + sanitizer flags, consumed by every target in src/, tests/,
+# bench/, examples/, and fuzz/ via `target_link_libraries(<t> amuse_build_flags)`.
+#
+# Using an INTERFACE target (rather than global add_compile_options) keeps the
+# flags attached to our targets only — imported GTest/benchmark libraries and
+# any future vendored code are not rebuilt with -Werror.
+
+add_library(amuse_build_flags INTERFACE)
+
+target_compile_options(amuse_build_flags INTERFACE -Wall -Wextra)
+if(AMUSE_WERROR)
+  target_compile_options(amuse_build_flags INTERFACE -Werror)
+endif()
+
+if(AMUSE_SANITIZE)
+  set(_amuse_san_known address undefined thread leak)
+  foreach(_san IN LISTS AMUSE_SANITIZE)
+    if(NOT _san IN_LIST _amuse_san_known)
+      message(FATAL_ERROR
+        "AMUSE_SANITIZE: unknown sanitizer '${_san}' "
+        "(known: ${_amuse_san_known})")
+    endif()
+  endforeach()
+  if("thread" IN_LIST AMUSE_SANITIZE AND "address" IN_LIST AMUSE_SANITIZE)
+    message(FATAL_ERROR
+      "AMUSE_SANITIZE: 'thread' and 'address' are mutually exclusive; "
+      "build them in separate trees (see CMakePresets.json)")
+  endif()
+
+  list(JOIN AMUSE_SANITIZE "," _amuse_san_csv)
+  set(_amuse_san_flags
+    -fsanitize=${_amuse_san_csv}
+    -fno-omit-frame-pointer
+    -g)
+  if("undefined" IN_LIST AMUSE_SANITIZE)
+    # Make UBSan findings fatal so ctest fails instead of just logging.
+    list(APPEND _amuse_san_flags -fno-sanitize-recover=undefined)
+  endif()
+
+  if(CMAKE_CXX_COMPILER_ID STREQUAL "GNU")
+    # GCC 12's -Wmaybe-uninitialized false-positives on std::variant when
+    # sanitizer instrumentation is on (seen in policy/expr_eval.cpp; GCC
+    # PR105562). The uninstrumented -Werror build keeps the full warning
+    # set, so nothing real is lost.
+    list(APPEND _amuse_san_flags -Wno-maybe-uninitialized)
+  endif()
+
+  target_compile_options(amuse_build_flags INTERFACE ${_amuse_san_flags})
+  target_link_options(amuse_build_flags INTERFACE -fsanitize=${_amuse_san_csv})
+  message(STATUS "AMUSE: sanitizers enabled: ${_amuse_san_csv}")
+endif()

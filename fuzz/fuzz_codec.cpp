@@ -1,0 +1,32 @@
+// Fuzz entry for the pub/sub codecs (decode_event / decode_filter) — these
+// parse attacker-controllable bytes carried inside DATA frames. DecodeError
+// is the expected rejection path; any other throw, crash, or sanitizer
+// report is a finding. Round-trip property mirrors fuzz_packet.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+
+#include "pubsub/codec.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  // First byte steers which decoder runs so one corpus covers both.
+  amuse::BytesView input(data + 1, size - 1);
+  try {
+    if ((data[0] & 1) == 0) {
+      amuse::Event e = amuse::decode_event(input);
+      amuse::Bytes reencoded = amuse::encode_event(e);
+      amuse::Event e2 = amuse::decode_event(reencoded);
+      if (!(e2 == e)) std::abort();
+    } else {
+      amuse::Filter f = amuse::decode_filter(input);
+      amuse::Bytes reencoded = amuse::encode_filter(f);
+      amuse::Filter f2 = amuse::decode_filter(reencoded);
+      if (!(f2 == f)) std::abort();
+    }
+  } catch (const amuse::DecodeError&) {
+    // expected rejection of malformed input
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Fuzz entry for wire/Packet::decode — the first parser every datagram from
+// the network hits, so it must tolerate arbitrary bytes. decode() returning
+// nullopt is the expected rejection path; any throw, crash, or sanitizer
+// report is a finding. Round-trip property: whatever decode() accepts must
+// re-encode and decode to the same frame.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+
+#include "wire/packet.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  amuse::BytesView input(data, size);
+  std::optional<amuse::Packet> p = amuse::Packet::decode(input);
+  if (p) {
+    amuse::Bytes reencoded = p->encode();
+    std::optional<amuse::Packet> q = amuse::Packet::decode(reencoded);
+    if (!q) std::abort();  // accepted frames must survive a round trip
+    if (q->type != p->type || q->seq != p->seq || q->ack != p->ack ||
+        q->session != p->session || q->flags != p->flags ||
+        q->src != p->src || q->dst != p->dst || q->payload != p->payload) {
+      std::abort();
+    }
+  }
+  return 0;
+}

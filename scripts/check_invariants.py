@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Project invariant lint for the amuse event-service tree.
+
+Run from the repo root (the CMake `check-invariants` target and the
+`lint.check_invariants` ctest both do). Checks invariants that neither the
+compiler nor clang-tidy enforce:
+
+  I1  every header under src/ starts its include-guard life with
+      `#pragma once` (no ad-hoc guard macros, no guardless headers)
+  I2  no stdout chatter in the library: `std::cout` / `std::cerr` /
+      `printf(` / `puts(` are banned in src/ — components log through
+      common/log.hpp (snprintf into buffers is fine; the one sanctioned
+      fprintf(stderr) lives in the default sink in common/log.cpp)
+  I3  no blocking sleeps in src/: components schedule closures on the
+      Executor, they never sleep a thread (`sleep_for`, `sleep_until`,
+      `usleep`, `nanosleep`, bare `sleep(`)
+  I4  no `using namespace` at namespace scope in headers
+  I5  no `rand()` / `srand(` in src/ — determinism comes from common/rng.hpp
+  I6  every .cpp under src/ is listed in src/CMakeLists.txt (a file that
+      compiles only by accident of not being built is a latent break)
+
+Exit status: 0 clean, 1 violations (each printed as file:line: message).
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+violations: list[str] = []
+
+
+def report(path: Path, lineno: int, message: str) -> None:
+    violations.append(f"{path.relative_to(ROOT)}:{lineno}: {message}")
+
+
+def strip_comments(line: str) -> str:
+    """Crude single-line comment strip; good enough for pattern bans."""
+    line = re.sub(r"//.*$", "", line)
+    line = re.sub(r"/\*.*?\*/", "", line)
+    return line
+
+
+# I2/I3/I5 pattern bans, with per-file allowlists.
+BANNED = [
+    (re.compile(r"std::cout|std::cerr"), "I2: stdout/stderr stream in src/ (log through common/log.hpp)", set()),
+    (re.compile(r"(?<![\w:])printf\s*\(|(?<![\w:])puts\s*\("), "I2: printf/puts in src/ (log through common/log.hpp)", set()),
+    (re.compile(r"(?<![\w:])fprintf\s*\("), "I2: fprintf in src/ (only the default sink in common/log.cpp may)", {"src/common/log.cpp"}),
+    (re.compile(r"sleep_for|sleep_until|(?<![\w:])usleep\s*\(|(?<![\w:])nanosleep\s*\(|(?<![\w:])sleep\s*\("), "I3: blocking sleep in src/ (schedule on the Executor instead)", set()),
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "I5: C rand in src/ (use common/rng.hpp)", set()),
+]
+
+
+def check_header_pragma(path: Path) -> None:
+    in_block_comment = False
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if in_block_comment:
+            if "*/" in line:
+                in_block_comment = False
+            continue
+        if not line or line.startswith("//"):
+            continue
+        if line.startswith("/*"):
+            if "*/" not in line:
+                in_block_comment = True
+            continue
+        if line == "#pragma once":
+            return
+        report(path, lineno, "I1: first directive must be `#pragma once`")
+        return
+    report(path, 1, "I1: header has no `#pragma once`")
+
+
+def check_banned_patterns(path: Path) -> None:
+    rel = str(path.relative_to(ROOT))
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = strip_comments(raw)
+        for pattern, message, allow in BANNED:
+            if rel in allow:
+                continue
+            if pattern.search(line):
+                report(path, lineno, message)
+
+
+def check_using_namespace(path: Path) -> None:
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        if re.search(r"^\s*using\s+namespace\s", strip_comments(raw)):
+            report(path, lineno, "I4: `using namespace` in a header")
+
+
+def check_cmake_lists_all_sources() -> None:
+    cmake = (SRC / "CMakeLists.txt").read_text()
+    listed = set(re.findall(r"([\w/]+\.cpp)", cmake))
+    for cpp in sorted(SRC.rglob("*.cpp")):
+        rel = str(cpp.relative_to(SRC))
+        if rel not in listed:
+            report(cpp, 1, "I6: source file not listed in src/CMakeLists.txt")
+
+
+def main() -> int:
+    headers = sorted(SRC.rglob("*.hpp"))
+    sources = sorted(SRC.rglob("*.cpp"))
+    for h in headers:
+        check_header_pragma(h)
+        check_using_namespace(h)
+    for f in headers + sources:
+        check_banned_patterns(f)
+    check_cmake_lists_all_sources()
+
+    if violations:
+        for v in violations:
+            print(v)
+        print(f"check_invariants: FAIL — {len(violations)} violation(s)")
+        return 1
+    print(
+        f"check_invariants: OK — {len(headers)} headers, "
+        f"{len(sources)} sources clean"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

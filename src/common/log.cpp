@@ -22,13 +22,24 @@ std::atomic<LogSink> g_sink{&default_sink};
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
-void set_log_sink(LogSink sink) { g_sink.store(sink ? sink : &default_sink); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+// Release/acquire pairing: everything the installing thread wrote before
+// set_log_sink() (e.g. the buffer a test sink appends to) happens-before any
+// emit() that observes the new pointer. LogSink is deliberately a plain
+// function pointer — there is no callable object whose destruction could
+// race with a concurrent emit(); an emitter that loaded the previous pointer
+// just before a swap calls a function that is still valid code.
+void set_log_sink(LogSink sink) {
+  g_sink.store(sink ? sink : &default_sink, std::memory_order_release);
+}
 
 namespace detail {
 void emit(LogLevel level, std::string_view component, std::string_view msg) {
-  g_sink.load()(level, component, msg);
+  g_sink.load(std::memory_order_acquire)(level, component, msg);
 }
 }  // namespace detail
 

@@ -15,6 +15,18 @@ void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
 /// Sink for one formatted line; replaceable for tests.
+///
+/// Thread-safety contract: set_log_sink() may be called from any thread at
+/// any time, concurrently with logging. The swap is a release store matched
+/// by an acquire load in the emit path, so state the installing thread
+/// prepared before the call is visible to every thread that logs through
+/// the new sink. The sink is a plain function pointer on purpose: swapping
+/// it can never destroy a callable out from under a concurrent emit (an
+/// emitter that raced the swap simply calls the previous function, which
+/// must therefore remain safe to call for the lifetime of the program —
+/// sinks in unloadable shared objects are not supported). The sink itself
+/// must be internally thread-safe: emits from different threads are not
+/// serialised.
 using LogSink = void (*)(LogLevel, std::string_view component,
                          std::string_view message);
 void set_log_sink(LogSink sink);

@@ -95,11 +95,18 @@ UdpTransport::~UdpTransport() {
   receiver_.join();
   ::close(unicast_fd_);
   ::close(multicast_fd_);
-  handler_->operator=(nullptr);
+  // Drop the handler so datagram tasks still queued on the executor become
+  // no-ops (their weak_ptr can no longer lock).
+  std::lock_guard lock(handler_mu_);
+  handler_.reset();
 }
 
 void UdpTransport::set_receive_handler(ReceiveHandler handler) {
-  *handler_ = std::move(handler);
+  auto next = handler
+                  ? std::make_shared<const ReceiveHandler>(std::move(handler))
+                  : std::shared_ptr<const ReceiveHandler>();
+  std::lock_guard lock(handler_mu_);
+  handler_ = std::move(next);
 }
 
 void UdpTransport::send(ServiceId dst, BytesView data) {
@@ -122,7 +129,6 @@ void UdpTransport::receive_loop() {
   fds[0] = {unicast_fd_, POLLIN, 0};
   fds[1] = {multicast_fd_, POLLIN, 0};
   Bytes buffer(65536);
-  std::weak_ptr<ReceiveHandler> weak_handler = handler_;
 
   while (!stop_.load()) {
     int n = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
@@ -139,6 +145,12 @@ void UdpTransport::receive_loop() {
       // A service's own multicasts loop back; the Transport contract is that
       // broadcast() does not deliver to self, so filter them here.
       if (src_id == id_) continue;
+      std::weak_ptr<const ReceiveHandler> weak_handler;
+      {
+        std::lock_guard lock(handler_mu_);
+        if (!handler_) continue;
+        weak_handler = handler_;
+      }
       Bytes datagram(buffer.begin(), buffer.begin() + got);
       executor_.post(
           [weak_handler, src_id, datagram = std::move(datagram)]() {

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include "net/transport.hpp"
@@ -54,7 +55,14 @@ class UdpTransport final : public Transport {
   int multicast_fd_;
   ServiceId id_;
   Options options_;
-  std::shared_ptr<ReceiveHandler> handler_ = std::make_shared<ReceiveHandler>();
+  // Current receive handler. set_receive_handler() swaps the shared_ptr
+  // under handler_mu_ (callable from any thread); the receive thread takes
+  // a snapshot per datagram and posts a weak reference, so a handler that
+  // is replaced — or a transport destroyed — before the posted task runs is
+  // never invoked, while a handler mid-invoke stays alive through the
+  // task's temporary shared_ptr.
+  mutable std::mutex handler_mu_;
+  std::shared_ptr<const ReceiveHandler> handler_;
   std::atomic<bool> stop_{false};
   std::thread receiver_;
 };

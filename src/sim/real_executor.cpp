@@ -40,13 +40,16 @@ void RealExecutor::run_for(Duration d) {
 }
 
 void RealExecutor::run_until_wall(TimePoint deadline, bool has_deadline) {
-  stop_.store(false);
+  {
+    std::lock_guard lock(mu_);
+    stop_ = false;
+  }
   for (;;) {
     Task task;
     {
       std::unique_lock lock(mu_);
       for (;;) {
-        if (stop_.load()) return;
+        if (stop_) return;
         if (has_deadline && now() >= deadline) return;
         if (!queue_.empty() && queue_.begin()->first.when <= now()) break;
         auto wall_deadline = std::chrono::steady_clock::now() +
@@ -71,7 +74,10 @@ void RealExecutor::run_until_wall(TimePoint deadline, bool has_deadline) {
 }
 
 void RealExecutor::stop() {
-  stop_.store(true);
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
   cv_.notify_all();
 }
 

@@ -3,7 +3,6 @@
 // run(); producers (e.g. the UDP receive thread) post from any thread.
 #pragma once
 
-#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -26,7 +25,10 @@ class RealExecutor final : public Executor {
   void run();
   /// Runs tasks until `d` of wall time has elapsed.
   void run_for(Duration d);
-  /// Wakes run() and makes it return. Thread-safe.
+  /// Wakes a loop currently inside run()/run_for() and makes it return.
+  /// Thread-safe. A stop() that lands before the loop has entered is
+  /// cleared when the loop starts — callers who need "stop as soon as it
+  /// runs" should post a task that calls stop() instead.
   void stop();
 
  private:
@@ -47,7 +49,9 @@ class RealExecutor final : public Executor {
   std::map<TimerId, Key> by_id_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_id_ = 1;
-  std::atomic<bool> stop_{false};
+  bool stop_ = false;  // guarded by mu_; stop() notifies under the lock so
+                       // the wakeup cannot slip between the loop's check
+                       // and its cv_ wait
 };
 
 }  // namespace amuse

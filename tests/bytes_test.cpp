@@ -114,10 +114,10 @@ TEST(Reader, TruncatedReadsThrowDecodeError) {
   Bytes b{1, 2, 3};
   Reader r(b);
   EXPECT_EQ(r.u16(), 0x0102);  // NOLINT
-  EXPECT_THROW(r.u16(), DecodeError);
+  EXPECT_THROW((void)r.u16(), DecodeError);
   // Reader survives the throw with its position intact.
   EXPECT_EQ(r.u8(), 3);
-  EXPECT_THROW(r.u8(), DecodeError);
+  EXPECT_THROW((void)r.u8(), DecodeError);
 }
 
 TEST(Reader, BlobLengthBeyondBufferThrows) {
