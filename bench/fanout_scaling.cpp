@@ -6,6 +6,16 @@
 // PDA's per-packet send cost makes mean delivery delay grow linearly with
 // fan-out — quantifying how far a single SMC can scale before delivery
 // latency violates alarm deadlines.
+//
+// The encode columns expose the zero-copy event spine: the bus serialises
+// each published event exactly once and shares the bytes across the whole
+// fan-out, so `enc` stays equal to the event count while `reuse` grows with
+// the number of recipients.
+//
+// `--smoke` runs a tiny matrix and exits non-zero if the encode-once
+// invariant (encodes == published) is violated; CI runs it as a ctest.
+#include <cstring>
+
 #include "bench_util.hpp"
 
 namespace amuse::bench {
@@ -14,10 +24,12 @@ namespace {
 struct FanoutResult {
   Stats first_ms;  // delay until the first subscriber got the event
   Stats last_ms;   // delay until the last subscriber got it
+  EventBus::Stats bus;
 };
 
-FanoutResult measure(BusEngine engine, int subscribers) {
-  Testbed tb(engine, /*seed=*/subscribers * 31 + 5);
+FanoutResult measure(BusEngine engine, int subscribers, int events) {
+  Testbed tb(engine,
+             /*seed=*/static_cast<std::uint64_t>(subscribers) * 31 + 5);
   auto pub = tb.laptop_client("bench.pub");
   std::vector<std::unique_ptr<BusClient>> subs;
   for (int i = 0; i < subscribers; ++i) {
@@ -36,7 +48,7 @@ FanoutResult measure(BusEngine engine, int subscribers) {
   }
   tb.ex.run();
 
-  for (int i = 0; i < 20; ++i) {
+  for (int i = 0; i < events; ++i) {
     tb.ex.schedule_at(TimePoint(seconds(5 + i * 5)), [&] {
       remaining = subscribers;
       pub->publish(payload_event(512));
@@ -44,28 +56,79 @@ FanoutResult measure(BusEngine engine, int subscribers) {
   }
   tb.ex.run();
   return FanoutResult{summarize(std::move(first_ms)),
-                      summarize(std::move(last_ms))};
+                      summarize(std::move(last_ms)), tb.bus->stats()};
+}
+
+/// Encode-once invariant: every published event is serialised exactly once
+/// no matter how many members the fan-out reaches. With a simulated host
+/// the body is materialised at cost-model time, so every proxy delivery is
+/// a reuse; without one the first delivery encodes and the rest reuse.
+bool encode_invariant_holds(const FanoutResult& r, int events) {
+  return r.bus.published == static_cast<std::uint64_t>(events) &&
+         r.bus.encodes == r.bus.published &&
+         r.bus.encode_reuses >= r.bus.deliveries - r.bus.encodes &&
+         r.bus.encode_reuses <= r.bus.deliveries;
+}
+
+int run_smoke() {
+  int violations = 0;
+  constexpr int kEvents = 5;
+  std::printf("fanout smoke: encode-once invariant, %d events per point\n",
+              kEvents);
+  for (BusEngine engine : {BusEngine::kCBased, BusEngine::kSienaBased}) {
+    for (int n : {1, 4, 8}) {
+      FanoutResult r = measure(engine, n, kEvents);
+      bool ok = encode_invariant_holds(r, kEvents);
+      std::printf(
+          "  %-11s subs=%-2d published=%llu encodes=%llu reuses=%llu "
+          "deliveries=%llu %s\n",
+          to_string(engine), n,
+          static_cast<unsigned long long>(r.bus.published),
+          static_cast<unsigned long long>(r.bus.encodes),
+          static_cast<unsigned long long>(r.bus.encode_reuses),
+          static_cast<unsigned long long>(r.bus.deliveries),
+          ok ? "ok" : "VIOLATION");
+      if (!ok) ++violations;
+    }
+  }
+  if (violations != 0) {
+    std::fprintf(stderr,
+                 "fanout smoke: %d point(s) violated encodes == published\n",
+                 violations);
+    return 1;
+  }
+  std::printf("fanout smoke: all points hold encodes == published\n");
+  return 0;
+}
+
+int run_full() {
+  std::printf("Ablation A1: delivery delay vs number of recipients "
+              "(512 B payload)\n");
+  print_header(
+      "delay to first / last recipient (ms), 20 events per point; enc = "
+      "bodies serialised, reuse = cached bodies reused (c-based run)",
+      "subs  siena_first  siena_last  cbased_first  cbased_last   enc  reuse");
+  for (int n : {1, 2, 4, 8, 16, 32, 64}) {
+    FanoutResult s = measure(BusEngine::kSienaBased, n, 20);
+    FanoutResult c = measure(BusEngine::kCBased, n, 20);
+    std::printf("%4d  %11.1f  %10.1f  %12.1f  %11.1f  %4llu  %5llu\n", n,
+                s.first_ms.mean, s.last_ms.mean, c.first_ms.mean,
+                c.last_ms.mean,
+                static_cast<unsigned long long>(c.bus.encodes),
+                static_cast<unsigned long long>(c.bus.encode_reuses));
+  }
+  std::printf("\nexpected shape: last-recipient delay grows ~linearly with "
+              "fan-out (PDA send cost per member);\nfirst-recipient delay "
+              "stays near the 1-recipient response time; enc stays at the "
+              "event count\n(encode-once) while reuse grows with fan-out\n");
+  return 0;
 }
 
 }  // namespace
 }  // namespace amuse::bench
 
-int main() {
-  using namespace amuse;
+int main(int argc, char** argv) {
   using namespace amuse::bench;
-
-  std::printf("Ablation A1: delivery delay vs number of recipients "
-              "(512 B payload)\n");
-  print_header("delay to first / last recipient (ms), 20 events per point",
-               "subs  siena_first  siena_last  cbased_first  cbased_last");
-  for (int n : {1, 2, 4, 8, 16, 32, 64}) {
-    FanoutResult s = measure(BusEngine::kSienaBased, n);
-    FanoutResult c = measure(BusEngine::kCBased, n);
-    std::printf("%4d  %11.1f  %10.1f  %12.1f  %11.1f\n", n, s.first_ms.mean,
-                s.last_ms.mean, c.first_ms.mean, c.last_ms.mean);
-  }
-  std::printf("\nexpected shape: last-recipient delay grows ~linearly with "
-              "fan-out (PDA send cost per member);\nfirst-recipient delay "
-              "stays near the 1-recipient response time\n");
-  return 0;
+  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  return smoke ? run_smoke() : run_full();
 }

@@ -57,7 +57,8 @@ int main() {
         char line[128];
         std::snprintf(line, sizeof(line), "[%6.1fs] %-22s %s",
                       to_seconds(executor.now().time_since_epoch()),
-                      e.type().c_str(), e.get_string("device_type").c_str());
+                      std::string(e.type()).c_str(),
+                      e.get_string("device_type").c_str());
         membership_log.emplace_back(line);
       });
 

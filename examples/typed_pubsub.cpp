@@ -48,7 +48,7 @@ int main() {
 
   // One typed subscription covers the whole subtree.
   sub.subscribe("vitals", [&](const Event& e) {
-    std::printf("  [console] %s  %s\n", e.type().c_str(),
+    std::printf("  [console] %s  %s\n", std::string(e.type()).c_str(),
                 e.to_string().c_str());
   });
   executor.run();

@@ -75,7 +75,7 @@ int main() {
                     [&](const Event&) { ++vitals_seen; });
   console.subscribe(Filter::for_type_prefix("alarm."), [&](const Event& e) {
     ++alarms_seen;
-    std::printf("  [console] ALARM %s hr=%.0f\n", e.type().c_str(),
+    std::printf("  [console] ALARM %s hr=%.0f\n", std::string(e.type()).c_str(),
                 e.get_double("hr"));
   });
 

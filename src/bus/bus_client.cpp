@@ -68,7 +68,7 @@ bool BusClient::publish(Event event) {
     return false;
   }
   ++stats_.published;
-  if (!channel_->send(BusMessage::publish(std::move(event)).encode())) {
+  if (!channel_->send(BusMessage::encode_publish(event))) {
     kLog.warn("publish queue full towards bus ", bus_.to_string());
   }
   return true;

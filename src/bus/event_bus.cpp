@@ -1,5 +1,8 @@
 #include "bus/event_bus.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/log.hpp"
 #include "hostmodel/profiles.hpp"
 #include "pubsub/brute_matcher.hpp"
@@ -56,7 +59,11 @@ void EventBus::add_member(const MemberInfo& info) {
   member_info_.emplace(info.id, info);
   // The proxy constructor may immediately register subscriptions on the
   // device's behalf, so the info record must exist before creation.
-  proxies_.emplace(info.id, factory_.create(*this, info));
+  auto it = proxies_.emplace(info.id, factory_.create(*this, info)).first;
+  // Seed the newcomer with the current quench table: global pushes are
+  // elided when the effective filter set is unchanged, so admission cannot
+  // rely on a later table change to deliver the first copy.
+  push_quench_table(*it->second);
   kLog.debug("member ", info.id.to_string(), " admitted as ",
              info.device_type);
 }
@@ -119,24 +126,35 @@ void EventBus::unsubscribe_local(std::uint64_t id) {
 void EventBus::publish_local(Event event) {
   if (event.publisher().is_nil()) event.set_publisher(bus_id());
   if (event.timestamp() == TimePoint{}) event.set_timestamp(executor_.now());
-  route(std::move(event));
+  route(freeze(std::move(event)));
 }
 
 void EventBus::set_authoriser(Authoriser authoriser) {
   authoriser_ = std::move(authoriser);
 }
 
-void EventBus::member_publish(ServiceId member, Event event) {
+void EventBus::member_publish(ServiceId member, EventPtr event) {
+  if (!event) return;
   const MemberInfo* info = member_info(member);
   if (!info) return;  // raced with a purge
-  if (authoriser_ && !authoriser_(*info, AuthAction::kPublish, event.type())) {
+  if (authoriser_ &&
+      !authoriser_(*info, AuthAction::kPublish, event->type())) {
     ++stats_.denied_publish;
-    kLog.debug("publish of ", event.type(), " by ", member.to_string(),
+    kLog.debug("publish of ", event->type(), " by ", member.to_string(),
                " denied");
     return;
   }
-  event.set_publisher(member);
-  if (event.timestamp() == TimePoint{}) event.set_timestamp(executor_.now());
+  // Copy-on-write metadata stamping: a well-behaved BusClient pre-stamps
+  // its own id and a timestamp, so the common path shares the decoded
+  // event untouched; only a mis-stamped event pays for a copy.
+  if (event->publisher() != member || event->timestamp() == TimePoint{}) {
+    auto stamped = std::make_shared<Event>(*event);
+    stamped->set_publisher(member);
+    if (stamped->timestamp() == TimePoint{}) {
+      stamped->set_timestamp(executor_.now());
+    }
+    event = std::move(stamped);
+  }
   route(std::move(event));
 }
 
@@ -164,36 +182,43 @@ void EventBus::send_datagram(ServiceId dst, BytesView frame) {
   transport_->send(dst, frame);
 }
 
-void EventBus::route(Event event) {
+void EventBus::route(EventPtr event) {
   ++stats_.published;
 
   // The Siena-based engine pays the translation toll on every event: our
   // types → Siena types for matching, Siena types → ours for delivery.
   if (config_.engine == BusEngine::kSienaBased && config_.real_translation) {
-    event = siena_round_trip(event);
+    event = freeze(siena_round_trip(*event));
   }
 
   SubscriptionRegistry::MatchResult hit;
-  registry_.match(event, hit);
+  registry_.match(*event, hit);
   if (hit.empty()) ++stats_.no_subscriber;
 
+  // One shared encoding per publish: every forwarding proxy in the fan-out
+  // reuses these bytes instead of re-serialising the event per member.
+  auto enc = std::make_shared<EncodedEvent>(std::move(event));
+  enc->set_counters(&stats_.encodes, &stats_.encode_reuses);
+
   if (config_.host) {
-    // Charge the matching + translation + copy work to the simulated CPU
-    // and fan out when the host would actually be done with it.
-    Duration cost = costs_.publish_cost(event.payload_size(),
-                                        registry_.size(),
+    // Charge the matching + translation + serialisation work to the
+    // simulated CPU and fan out when the host would actually be done with
+    // it. The wire size comes from the shared encoding, which the fan-out
+    // then reuses — the old pipeline encoded here just to measure, threw
+    // the bytes away, and re-encoded once per member.
+    Duration cost = costs_.publish_cost(enc->wire_size(), registry_.size(),
                                         config_.host->cpu());
     TimePoint done = config_.host->charge(executor_.now(), cost);
-    executor_.schedule_at(done, [this, event = std::move(event),
+    executor_.schedule_at(done, [this, enc = std::move(enc),
                                  hit = std::move(hit)] {
-      fan_out(event, hit);
+      fan_out(*enc, hit);
     });
   } else {
-    fan_out(event, hit);
+    fan_out(*enc, hit);
   }
 }
 
-void EventBus::fan_out(const Event& event,
+void EventBus::fan_out(const EncodedEvent& event,
                        const SubscriptionRegistry::MatchResult& hit) {
   for (const auto& [member, locals] : hit) {
     if (member == bus_id()) {
@@ -208,7 +233,7 @@ void EventBus::fan_out(const Event& event,
       }
       for (const Handler& h : handlers) {
         ++stats_.local_deliveries;
-        h(event);
+        h(event.event());
       }
       continue;
     }
@@ -219,13 +244,69 @@ void EventBus::fan_out(const Event& event,
   }
 }
 
+std::vector<Filter> EventBus::quench_table(Digest256* digest) const {
+  std::vector<Filter> filters = registry_.all_filters();
+  // The table is a *set*: members only test candidate events against it, so
+  // order and duplicates carry no information. Canonicalise through the
+  // wire encoding so that identical effective sets digest identically no
+  // matter which subscriptions produced them.
+  std::vector<std::pair<Bytes, Filter>> keyed;
+  keyed.reserve(filters.size());
+  for (Filter& f : filters) {
+    Writer w;
+    f.encode(w);
+    keyed.emplace_back(std::move(w).take(), std::move(f));
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  keyed.erase(std::unique(keyed.begin(), keyed.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.first == b.first;
+                          }),
+              keyed.end());
+  Sha256 hash;
+  std::vector<Filter> out;
+  out.reserve(keyed.size());
+  for (auto& [bytes, f] : keyed) {
+    // Length-prefix each entry so adjacent encodings cannot alias across
+    // entry boundaries.
+    Writer len(4);
+    len.u32(static_cast<std::uint32_t>(bytes.size()));
+    Bytes len_bytes = std::move(len).take();
+    hash.update(len_bytes);
+    hash.update(bytes);
+    out.push_back(std::move(f));
+  }
+  if (digest != nullptr) *digest = hash.finish();
+  return out;
+}
+
 void EventBus::quench_changed() {
   if (!config_.quench) return;
-  std::vector<Filter> filters = registry_.all_filters();
+  Digest256 digest{};
+  std::vector<Filter> filters = quench_table(&digest);
+  if (quench_pushed_ && digest_equal(digest, quench_digest_)) {
+    // The effective filter set is unchanged (duplicate subscription,
+    // unsubscribe of a duplicated filter, purge of a filterless member…):
+    // pushing the same table to every member would be pure overhead.
+    ++stats_.quench_skipped;
+    return;
+  }
+  quench_pushed_ = true;
+  quench_digest_ = digest;
   for (auto& [id, proxy] : proxies_) {
     proxy->send_quench_update(filters);
   }
   ++stats_.quench_updates;
+}
+
+void EventBus::push_quench_table(Proxy& proxy) {
+  if (!config_.quench) return;
+  Digest256 digest{};
+  std::vector<Filter> filters = quench_table(&digest);
+  quench_pushed_ = true;
+  quench_digest_ = digest;
+  proxy.send_quench_update(filters);
 }
 
 std::string EventBus::topic_of(const Filter& filter) {

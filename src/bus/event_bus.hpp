@@ -17,14 +17,17 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <unordered_map>
 
 #include "bus/bus_port.hpp"
 #include "bus/subscription_registry.hpp"
+#include "common/sha256.hpp"
 #include "hostmodel/cost_model.hpp"
 #include "net/sim_network.hpp"
 #include "net/transport.hpp"
 #include "proxy/bootstrap.hpp"
+#include "pubsub/encoded_event.hpp"
 
 namespace amuse {
 
@@ -65,7 +68,7 @@ class EventBus final : public BusPort {
   /// filter's type constraint ("*" when unconstrained).
   using Authoriser = std::function<bool(const MemberInfo& member,
                                         AuthAction action,
-                                        const std::string& topic)>;
+                                        std::string_view topic)>;
 
   EventBus(Executor& executor, std::shared_ptr<Transport> transport,
            EventBusConfig config = {});
@@ -106,6 +109,9 @@ class EventBus final : public BusPort {
     std::uint64_t denied_publish = 0;
     std::uint64_t denied_subscribe = 0;
     std::uint64_t quench_updates = 0;
+    std::uint64_t quench_skipped = 0;   // no-op table pushes elided
+    std::uint64_t encodes = 0;          // event bodies serialised
+    std::uint64_t encode_reuses = 0;    // cached bodies reused by proxies
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const SubscriptionRegistry& registry() const {
@@ -118,7 +124,7 @@ class EventBus final : public BusPort {
 
   // ---- BusPort (called by proxies).
 
-  void member_publish(ServiceId member, Event event) override;
+  void member_publish(ServiceId member, EventPtr event) override;
   void member_subscribe(ServiceId member, std::uint64_t local_id,
                         Filter filter) override;
   void member_unsubscribe(ServiceId member, std::uint64_t local_id) override;
@@ -136,9 +142,12 @@ class EventBus final : public BusPort {
 
  private:
   static std::unique_ptr<Matcher> make_matcher(BusEngine engine);
-  void route(Event event);  // translation + cost + match + fan-out
-  void fan_out(const Event& event, const SubscriptionRegistry::MatchResult& hit);
+  void route(EventPtr event);  // translation + cost + match + fan-out
+  void fan_out(const EncodedEvent& event,
+               const SubscriptionRegistry::MatchResult& hit);
   void quench_changed();
+  void push_quench_table(Proxy& proxy);
+  [[nodiscard]] std::vector<Filter> quench_table(Digest256* digest) const;
   [[nodiscard]] static std::string topic_of(const Filter& filter);
 
   Executor& executor_;
@@ -153,6 +162,10 @@ class EventBus final : public BusPort {
   std::uint64_t next_local_id_ = 1;
   Authoriser authoriser_;
   Stats stats_;
+  // Digest of the last filter table pushed to members; a (un)subscribe that
+  // leaves the effective set unchanged skips the whole fan-out.
+  bool quench_pushed_ = false;
+  Digest256 quench_digest_{};
 };
 
 }  // namespace amuse

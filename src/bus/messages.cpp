@@ -79,6 +79,22 @@ BusMessage BusMessage::decode(BytesView data) {
   return m;
 }
 
+Bytes BusMessage::encode_event_header(
+    const std::vector<std::uint64_t>& matched) {
+  Writer w(1 + 2 + 8 * matched.size());
+  w.u8(static_cast<std::uint8_t>(BusMsgType::kEvent));
+  w.u16(static_cast<std::uint16_t>(matched.size()));
+  for (std::uint64_t id : matched) w.u64(id);
+  return std::move(w).take();
+}
+
+Bytes BusMessage::encode_publish(const Event& e) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(BusMsgType::kPublish));
+  e.encode(w);
+  return std::move(w).take();
+}
+
 BusMessage BusMessage::publish(Event e) {
   BusMessage m;
   m.type = BusMsgType::kPublish;

@@ -47,6 +47,15 @@ struct BusMessage {
   /// Throws DecodeError on malformed input.
   [[nodiscard]] static BusMessage decode(BytesView data);
 
+  /// The kEvent wire format is a small per-member header (message type +
+  /// matched subscription ids) followed by the event body, so a fan-out can
+  /// encode the body once and share it:
+  ///   encode_event_header(m) ++ encode_event(e) == deliver(e, m).encode()
+  [[nodiscard]] static Bytes encode_event_header(
+      const std::vector<std::uint64_t>& matched);
+  /// One-shot kPublish encoding without copying the event into a message.
+  [[nodiscard]] static Bytes encode_publish(const Event& e);
+
   [[nodiscard]] static BusMessage publish(Event e);
   [[nodiscard]] static BusMessage deliver(Event e,
                                           std::vector<std::uint64_t> matched);

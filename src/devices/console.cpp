@@ -41,11 +41,15 @@ void NurseConsole::setup_subscriptions(Executor& executor) {
                           break;
                         }
                       }
-                      if (hit) latest_[e.type()] = e.get_double(hit->attr);
+                      if (hit) {
+                        latest_[std::string(e.type())] =
+                            e.get_double(hit->attr);
+                      }
                     });
   member_.subscribe(
       Filter::for_type_prefix("alarm."), [this, &executor](const Event& e) {
-        alarms_.push_back(AlarmEntry{executor.now(), e.type(), e.to_string()});
+        alarms_.push_back(
+            AlarmEntry{executor.now(), std::string(e.type()), e.to_string()});
       });
   member_.subscribe(Filter::for_type(smc_events::kNewMember),
                     [this](const Event&) { ++members_seen_; });

@@ -1,6 +1,7 @@
 #include "devices/sensors.hpp"
 
 #include <cmath>
+#include <string_view>
 
 namespace amuse {
 
@@ -127,7 +128,7 @@ std::optional<Bytes> VitalCodec::encode_command(const Event& event) {
   if (event.get_int("member") != static_cast<std::int64_t>(member_.raw())) {
     return std::nullopt;
   }
-  std::string type = event.type();
+  std::string_view type = event.type();
   Writer w;
   if (type == "control.threshold") {
     bool low = event.get_string("bound") == "low";

@@ -19,10 +19,10 @@ bool AuthorisationService::check(const std::string& role, AuthOp op,
 
 EventBus::Authoriser AuthorisationService::authoriser() {
   return [this](const MemberInfo& member, AuthAction action,
-                const std::string& topic) {
+                std::string_view topic) {
     AuthOp op = action == AuthAction::kPublish ? AuthOp::kPublish
                                                : AuthOp::kSubscribe;
-    return check(member.role, op, topic);
+    return check(member.role, op, std::string(topic));
   };
 }
 

@@ -26,12 +26,16 @@ ForwardingProxy::ForwardingProxy(BusPort& bus, MemberInfo info)
       });
 }
 
-void ForwardingProxy::deliver_event(const Event& event,
+void ForwardingProxy::deliver_event(const EncodedEvent& event,
                                     const std::vector<std::uint64_t>& matched) {
-  BusMessage m = BusMessage::deliver(event, matched);
-  if (!channel_->send(m.encode())) {
+  // Encode-once fan-out: only the small per-member header (message type +
+  // matched subscription ids) is built here; the event body rides along as
+  // the publish-wide shared encoding.
+  SharedPayload payload{BusMessage::encode_event_header(matched),
+                        event.shared_bytes()};
+  if (!channel_->send(std::move(payload))) {
     kLog.warn("outbound queue full for member ", member_id().to_string(),
-              "; dropping event ", event.type());
+              "; dropping event ", event.event().type());
   }
 }
 
@@ -62,7 +66,7 @@ void ForwardingProxy::on_message(BytesView message) {
   }
   switch (m.type) {
     case BusMsgType::kPublish:
-      bus().member_publish(member_id(), std::move(*m.event));
+      bus().member_publish(member_id(), freeze(std::move(*m.event)));
       break;
     case BusMsgType::kSubscribe:
       bus().member_subscribe(member_id(), m.sub_id, std::move(*m.filter));

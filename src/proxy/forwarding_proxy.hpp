@@ -19,7 +19,7 @@ class ForwardingProxy final : public Proxy {
  public:
   ForwardingProxy(BusPort& bus, MemberInfo info);
 
-  void deliver_event(const Event& event,
+  void deliver_event(const EncodedEvent& event,
                      const std::vector<std::uint64_t>& matched) override;
   void on_datagram(BytesView data) override;
   void on_purge() override;

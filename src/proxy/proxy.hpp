@@ -17,6 +17,7 @@
 #include <cstddef>
 
 #include "bus/bus_port.hpp"
+#include "pubsub/encoded_event.hpp"
 
 namespace amuse {
 
@@ -29,8 +30,11 @@ class Proxy {
   Proxy& operator=(const Proxy&) = delete;
 
   /// Bus → member: queue a matched event for ordered, acknowledged
-  /// delivery. `matched` holds the member's local subscription ids.
-  virtual void deliver_event(const Event& event,
+  /// delivery. `matched` holds the member's local subscription ids. The
+  /// event arrives as the fan-out's shared encode-once value: proxies that
+  /// forward the wire protocol reuse its cached body bytes, proxies that
+  /// translate read the shared immutable event; none copy it.
+  virtual void deliver_event(const EncodedEvent& event,
                              const std::vector<std::uint64_t>& matched) = 0;
 
   /// Raw datagram arriving on the bus endpoint from this member.

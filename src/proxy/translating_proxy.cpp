@@ -23,10 +23,10 @@ TranslatingProxy::TranslatingProxy(BusPort& bus, MemberInfo info,
 
 TranslatingProxy::~TranslatingProxy() { bus().executor().cancel(timer_); }
 
-void TranslatingProxy::deliver_event(const Event& event,
+void TranslatingProxy::deliver_event(const EncodedEvent& event,
                                      const std::vector<std::uint64_t>& matched) {
   (void)matched;  // a raw device has no notion of subscription ids
-  std::optional<Bytes> command = codec_->encode_command(event);
+  std::optional<Bytes> command = codec_->encode_command(event.event());
   if (!command) {
     ++stats_.events_untranslatable;
     return;
@@ -64,7 +64,7 @@ void TranslatingProxy::on_datagram(BytesView data) {
         return;
       }
       ++stats_.readings_decoded;
-      bus().member_publish(member_id(), std::move(*event));
+      bus().member_publish(member_id(), freeze(std::move(*event)));
       break;
     }
     case DeviceFrameType::kAck: {

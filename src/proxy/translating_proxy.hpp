@@ -32,7 +32,7 @@ class TranslatingProxy final : public Proxy {
                    TranslatingProxyConfig config = {});
   ~TranslatingProxy() override;
 
-  void deliver_event(const Event& event,
+  void deliver_event(const EncodedEvent& event,
                      const std::vector<std::uint64_t>& matched) override;
   void on_datagram(BytesView data) override;
   void on_purge() override;

@@ -8,6 +8,10 @@ Bytes encode_event(const Event& e) {
   return std::move(w).take();
 }
 
+std::shared_ptr<const Bytes> encode_event_shared(const Event& e) {
+  return std::make_shared<const Bytes>(encode_event(e));
+}
+
 Event decode_event(BytesView b) {
   Reader r(b);
   Event e = Event::decode(r);

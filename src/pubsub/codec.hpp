@@ -9,6 +9,9 @@
 namespace amuse {
 
 [[nodiscard]] Bytes encode_event(const Event& e);
+/// The event encoding as shared-immutable bytes — the form the delivery
+/// pipeline caches per publish and shares across all fan-out links.
+[[nodiscard]] std::shared_ptr<const Bytes> encode_event_shared(const Event& e);
 /// Throws DecodeError on malformed input.
 [[nodiscard]] Event decode_event(BytesView b);
 

@@ -1,0 +1,17 @@
+#include "pubsub/encoded_event.hpp"
+
+#include "pubsub/codec.hpp"
+
+namespace amuse {
+
+const std::shared_ptr<const Bytes>& EncodedEvent::shared_bytes() const {
+  if (!bytes_) {
+    bytes_ = encode_event_shared(*event_);
+    if (encodes_ != nullptr) ++*encodes_;
+  } else {
+    if (reuses_ != nullptr) ++*reuses_;
+  }
+  return bytes_;
+}
+
+}  // namespace amuse

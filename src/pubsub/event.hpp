@@ -10,9 +10,11 @@
 
 #include <initializer_list>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "common/service_id.hpp"
 #include "pubsub/value.hpp"
@@ -40,8 +42,15 @@ class Event {
   [[nodiscard]] std::string get_string(std::string_view name,
                                        std::string fallback = "") const;
 
-  /// The conventional "type" attribute ("" when unset).
-  [[nodiscard]] std::string type() const { return get_string("type"); }
+  /// The conventional "type" attribute ("" when unset or non-string). A
+  /// view into the stored attribute — valid as long as the event is alive
+  /// and the attribute unmodified; routing, authorisation and logging read
+  /// it on every hop, so it must not allocate.
+  [[nodiscard]] std::string_view type() const {
+    const Value* v = get("type");
+    if (!v || v->type() != ValueType::kString) return {};
+    return v->as_string();
+  }
 
   [[nodiscard]] const std::map<std::string, Value, std::less<>>& attributes()
       const {
@@ -73,5 +82,17 @@ class Event {
   std::uint64_t publisher_seq_ = 0;
   TimePoint timestamp_{};
 };
+
+/// The delivery pipeline's handle on a published event. Once an event
+/// enters the bus it is frozen: every layer (matcher, cost lambda, proxies,
+/// local handlers) shares the same immutable instance instead of copying
+/// the attribute map at each hop.
+using EventPtr = std::shared_ptr<const Event>;
+
+/// Freezes a mutable event into the shared-immutable form used by the
+/// delivery pipeline.
+[[nodiscard]] inline EventPtr freeze(Event e) {
+  return std::make_shared<const Event>(std::move(e));
+}
 
 }  // namespace amuse

@@ -76,7 +76,7 @@ std::vector<const EventType*> TypeRegistry::subtree(
 }
 
 std::optional<std::string> TypeRegistry::validate(const Event& e) const {
-  std::string type_name = e.type();
+  std::string type_name(e.type());
   if (type_name.empty()) return "event has no type attribute";
   const EventType* t = find(type_name);
   if (!t) return "unknown event type '" + type_name + "'";

@@ -40,7 +40,11 @@ bool valid_type(std::uint8_t t) {
 }  // namespace
 
 Bytes Packet::encode() const {
-  Writer w(kOverhead + payload.size());
+  std::size_t total = payload.size() + payload_tail.size();
+  if (total > 0xFFFF) {
+    throw std::length_error("packet payload exceeds u16 length prefix");
+  }
+  Writer w(kOverhead + total);
   w.u16(kMagic);
   w.u8(kVersion);
   w.u8(static_cast<std::uint8_t>(type));
@@ -50,7 +54,9 @@ Bytes Packet::encode() const {
   w.u48(dst.raw());
   w.u32(seq);
   w.u32(ack);
-  w.blob16(payload);
+  w.u16(static_cast<std::uint16_t>(total));
+  w.raw(payload);
+  w.raw(payload_tail);
   std::uint32_t crc = crc32(w.bytes());
   w.u32(crc);
   return std::move(w).take();

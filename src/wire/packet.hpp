@@ -61,6 +61,12 @@ struct Packet {
   std::uint32_t seq = 0;
   std::uint32_t ack = 0;
   Bytes payload;
+  /// Encode-time only: extra payload bytes appended directly after
+  /// `payload` in the frame (one u16 length prefix covers both). Lets the
+  /// reliable channel frame a shared event body without first copying it
+  /// behind the owned header. Non-owning — must be alive during encode();
+  /// decode() never sets it (the receiver sees one contiguous payload).
+  BytesView payload_tail{};
 
   static constexpr std::uint16_t kMagic = 0xA5EB;
   static constexpr std::uint8_t kVersion = 1;

@@ -25,23 +25,40 @@ ReliableChannel::~ReliableChannel() { executor_.cancel(timer_); }
 
 std::size_t ReliableChannel::in_flight() const { return window_.size(); }
 
+Bytes SharedPayload::flatten() const {
+  Bytes whole = head;
+  if (tail) whole.insert(whole.end(), tail->begin(), tail->end());
+  return whole;
+}
+
 bool ReliableChannel::send(Bytes message) {
+  return send(SharedPayload{std::move(message), nullptr});
+}
+
+bool ReliableChannel::send(SharedPayload payload) {
   std::size_t frag = config_.max_fragment_payload;
-  if (frag == 0 || message.size() <= frag) {
+  std::size_t total = payload.size();
+  if (frag == 0 || total <= frag) {
     if (queue_.size() >= config_.max_queue) return false;
-    queue_.push_back(Outbound{0, 0, std::move(message)});
+    queue_.push_back(Outbound{0, 0, std::move(payload)});
     pump();
     return true;
   }
-  // Fragment: all pieces must fit in the queue or none are sent.
-  std::size_t pieces = (message.size() + frag - 1) / frag;
+  // Fragment: all pieces must fit in the queue or none are sent. A message
+  // too large for one frame is materialised — fragments re-own their slice
+  // regardless, so the shared tail saves nothing here.
+  std::size_t pieces = (total + frag - 1) / frag;
   if (queue_.size() + pieces > config_.max_queue) return false;
+  Bytes message = payload.flatten();
   for (std::size_t off = 0; off < message.size(); off += frag) {
     std::size_t len = std::min(frag, message.size() - off);
     bool last = off + len >= message.size();
     Outbound o{0, last ? std::uint16_t{0} : kFlagMoreFragments,
-               Bytes(message.begin() + static_cast<std::ptrdiff_t>(off),
-                     message.begin() + static_cast<std::ptrdiff_t>(off + len))};
+               SharedPayload{
+                   Bytes(message.begin() + static_cast<std::ptrdiff_t>(off),
+                         message.begin() +
+                             static_cast<std::ptrdiff_t>(off + len)),
+                   nullptr}};
     ++stats_.fragments_sent;
     queue_.push_back(std::move(o));
   }
@@ -78,7 +95,10 @@ void ReliableChannel::transmit(const Outbound& o) {
   p.dst = peer_;
   p.seq = o.seq;
   p.ack = expected_;  // piggyback the cumulative ack
-  p.payload = o.message;
+  p.payload = o.payload.head;
+  // The shared tail stays by reference right up to frame assembly; the
+  // Outbound entry keeps the bytes alive for the duration of the send.
+  if (o.payload.tail) p.payload_tail = BytesView(*o.payload.tail);
   send_packet_(p);
 }
 

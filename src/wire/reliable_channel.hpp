@@ -21,6 +21,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 
 #include "common/bytes.hpp"
 #include "common/service_id.hpp"
@@ -65,6 +66,22 @@ struct ReliableChannelConfig {
   std::size_t max_reassembly_bytes = 1 << 20;
 };
 
+/// One outbound message assembled from an owned per-message head and an
+/// optional shared immutable tail (the fan-out's encode-once event body).
+/// The channel queues and retransmits the tail by reference — the bytes are
+/// never re-owned or copied per member; they are only blitted into the
+/// datagram frame at transmit time.
+struct SharedPayload {
+  Bytes head;
+  std::shared_ptr<const Bytes> tail;  // may be null (head-only message)
+
+  [[nodiscard]] std::size_t size() const {
+    return head.size() + (tail ? tail->size() : 0);
+  }
+  /// Materialises head+tail into one owned buffer (fragmentation path).
+  [[nodiscard]] Bytes flatten() const;
+};
+
 struct ReliableChannelStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
@@ -101,6 +118,9 @@ class ReliableChannel {
   /// Queues one message for reliable delivery. Returns false (and drops the
   /// message) only when the outbound queue bound is hit.
   bool send(Bytes message);
+  /// As send(Bytes), but the shared tail bytes are queued by reference and
+  /// only copied into the wire frame (or into fragments) at transmit time.
+  bool send(SharedPayload payload);
 
   /// Feed every DATA/ACK packet from this peer here.
   void on_packet(const Packet& packet);
@@ -131,7 +151,7 @@ class ReliableChannel {
   struct Outbound {
     std::uint32_t seq;
     std::uint16_t flags;
-    Bytes message;
+    SharedPayload payload;
   };
 
   void pump();           // move queue_ entries into the window

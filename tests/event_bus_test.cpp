@@ -191,7 +191,7 @@ TEST_F(BusFixture, NonMemberTrafficIgnored) {
 TEST_F(BusFixture, AuthoriserGatesPublishAndSubscribe) {
   auto bus = make_bus();
   bus->set_authoriser([](const MemberInfo& m, AuthAction action,
-                         const std::string& topic) {
+                         std::string_view topic) {
     if (m.role == "sensor" && action == AuthAction::kSubscribe &&
         topic.starts_with("control.")) {
       return false;
@@ -220,7 +220,7 @@ TEST_F(BusFixture, LocalSubscribersReceiveMemberEvents) {
   auto pub = make_client(*bus, "svc", "service");
   std::vector<std::string> local;
   bus->subscribe_local(Filter::for_type_prefix(""),
-                       [&](const Event& e) { local.push_back(e.type()); });
+                       [&](const Event& e) { local.emplace_back(e.type()); });
   pub->publish(Event("from.member"));
   bus->publish_local(Event("from.core"));
   ex.run();
@@ -316,6 +316,91 @@ INSTANTIATE_TEST_SUITE_P(Engines, BusEngineParity,
                          ::testing::Values(BusEngine::kCBased,
                                            BusEngine::kSienaBased,
                                            BusEngine::kBruteForce));
+
+// ---- Encode-once fan-out (the zero-copy event spine).
+
+TEST_F(BusFixture, EncodesOncePerPublishAcrossFanout) {
+  auto bus = make_bus();
+  auto pub = make_client(*bus, "svc", "service");
+  constexpr std::size_t kMembers = 4;
+  constexpr std::uint64_t kEvents = 7;
+  std::vector<std::unique_ptr<BusClient>> subs;
+  std::uint64_t got = 0;
+  for (std::size_t i = 0; i < kMembers; ++i) {
+    subs.push_back(make_client(*bus, "svc", "service"));
+    subs.back()->subscribe(Filter::for_type("fan"),
+                           [&](const Event&) { ++got; });
+  }
+  ex.run();
+
+  for (std::uint64_t i = 0; i < kEvents; ++i) {
+    pub->publish(Event("fan", {{"n", static_cast<std::int64_t>(i)}}));
+  }
+  ex.run();
+
+  EXPECT_EQ(got, kEvents * kMembers);
+  EXPECT_EQ(bus->stats().published, kEvents);
+  EXPECT_EQ(bus->stats().deliveries, kEvents * kMembers);
+  // The body is serialised exactly once per *publish*, not per delivery…
+  EXPECT_EQ(bus->stats().encodes, bus->stats().published);
+  // …and every further member in the fan-out reuses the cached bytes.
+  EXPECT_EQ(bus->stats().encode_reuses,
+            bus->stats().deliveries - bus->stats().encodes);
+}
+
+TEST_F(BusFixture, LocalHandlersShareOneImmutableEvent) {
+  auto bus = make_bus();
+  std::uintptr_t addr_first = 0;
+  std::uintptr_t addr_second = 0;
+  std::int64_t seen = 0;
+  bus->subscribe_local(Filter::for_type("shared"), [&](const Event& e) {
+    addr_first = reinterpret_cast<std::uintptr_t>(&e);
+    Event mine = e;                    // a subscriber's private copy…
+    mine.set("n", std::int64_t{999});  // …can be mutated freely
+  });
+  bus->subscribe_local(Filter::for_type("shared"), [&](const Event& e) {
+    addr_second = reinterpret_cast<std::uintptr_t>(&e);
+    seen = e.get_int("n");
+  });
+  bus->publish_local(Event("shared", {{"n", 42}}));
+  ex.run();
+  // One shared instance reaches every handler — no per-handler copies —
+  // and an earlier subscriber's mutation of its own copy is invisible.
+  EXPECT_EQ(addr_first, addr_second);
+  EXPECT_NE(addr_first, 0u);
+  EXPECT_EQ(seen, 42);
+}
+
+TEST_F(BusFixture, QuenchSkipsNoOpTablePushes) {
+  EventBusConfig cfg;
+  cfg.quench = true;
+  auto bus = make_bus(cfg);
+  auto a = make_client(*bus, "svc", "service");
+  auto b = make_client(*bus, "svc", "service");
+
+  a->subscribe(Filter::for_type("t"), [](const Event&) {});
+  ex.run();
+  std::uint64_t updates = bus->stats().quench_updates;
+  std::uint64_t skipped = bus->stats().quench_skipped;
+
+  // The same filter from another member leaves the effective set — and so
+  // the quench table — unchanged: the push is elided.
+  std::uint64_t dup = b->subscribe(Filter::for_type("t"), [](const Event&) {});
+  ex.run();
+  EXPECT_EQ(bus->stats().quench_updates, updates);
+  EXPECT_EQ(bus->stats().quench_skipped, skipped + 1);
+
+  // Dropping the duplicate is equally a no-op.
+  b->unsubscribe(dup);
+  ex.run();
+  EXPECT_EQ(bus->stats().quench_updates, updates);
+  EXPECT_EQ(bus->stats().quench_skipped, skipped + 2);
+
+  // A genuinely new filter still pushes.
+  a->subscribe(Filter::for_type("u"), [](const Event&) {});
+  ex.run();
+  EXPECT_EQ(bus->stats().quench_updates, updates + 1);
+}
 
 }  // namespace
 }  // namespace amuse

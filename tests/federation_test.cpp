@@ -78,7 +78,7 @@ TEST_F(FederationFixture, MultipleShares) {
   bridge.share(Filter::for_type("b"));
   std::vector<std::string> types;
   cell_b.subscribe_local(Filter(),
-                         [&](const Event& e) { types.push_back(e.type()); });
+                         [&](const Event& e) { types.emplace_back(e.type()); });
   cell_a.publish_local(Event("a"));
   cell_a.publish_local(Event("b"));
   cell_a.publish_local(Event("c"));

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "pubsub/codec.hpp"
+
 namespace amuse {
 namespace {
 
@@ -25,6 +27,31 @@ TEST(BusMessage, DeliverCarriesMatchedIds) {
   EXPECT_EQ(back.type, BusMsgType::kEvent);
   EXPECT_EQ(back.matched, (std::vector<std::uint64_t>{3, 1, 7}));
   EXPECT_EQ(*back.event, e);
+}
+
+TEST(BusMessage, EventHeaderPlusBodyMatchesDeliverEncoding) {
+  // The encode-once fan-out sends header ++ shared-body; the result must be
+  // indistinguishable on the wire from the whole-message encoding.
+  Event e("vitals.heartrate", {{"hr", 72}, {"unit", "bpm"}});
+  e.set_publisher(ServiceId(5));
+  e.set_publisher_seq(9);
+  std::vector<std::uint64_t> matched{4, 2};
+
+  Bytes framed = BusMessage::encode_event_header(matched);
+  Bytes body = encode_event(e);
+  framed.insert(framed.end(), body.begin(), body.end());
+
+  EXPECT_EQ(framed, BusMessage::deliver(e, matched).encode());
+  BusMessage back = BusMessage::decode(framed);
+  EXPECT_EQ(back.type, BusMsgType::kEvent);
+  EXPECT_EQ(back.matched, matched);
+  EXPECT_EQ(*back.event, e);
+}
+
+TEST(BusMessage, EncodePublishMatchesMessageEncoding) {
+  Event e("control.threshold", {{"value", 3.5}});
+  e.set_publisher(ServiceId(8));
+  EXPECT_EQ(BusMessage::encode_publish(e), BusMessage::publish(e).encode());
 }
 
 TEST(BusMessage, SubscribeRoundTrip) {

@@ -457,5 +457,66 @@ TEST(ReliableChannelFragmentation, AdaptiveRtoStillLearns) {
   EXPECT_GT(p.a->srtt(), Duration{});
 }
 
+// ---- SharedPayload: owned head + shared immutable tail (encode-once
+// fan-out support).
+
+TEST(ReliableChannelSharedPayload, HeadAndTailArriveAsOneMessage) {
+  ChannelPair p;
+  auto tail = std::make_shared<const Bytes>(to_bytes("shared-body"));
+  ASSERT_TRUE(p.a->send(SharedPayload{to_bytes("head:"), tail}));
+  // The same tail can back many messages without copying.
+  ASSERT_TRUE(p.a->send(SharedPayload{to_bytes("other:"), tail}));
+  p.ex.run();
+  ASSERT_EQ(p.at_b.size(), 2u);
+  EXPECT_EQ(p.at_b[0], "head:shared-body");
+  EXPECT_EQ(p.at_b[1], "other:shared-body");
+}
+
+TEST(ReliableChannelSharedPayload, NullTailIsHeadOnly) {
+  ChannelPair p;
+  ASSERT_TRUE(p.a->send(SharedPayload{to_bytes("solo"), nullptr}));
+  p.ex.run();
+  ASSERT_EQ(p.at_b.size(), 1u);
+  EXPECT_EQ(p.at_b[0], "solo");
+}
+
+TEST(ReliableChannelSharedPayload, TailSurvivesSenderReleasingItsReference) {
+  // The channel keeps the tail alive across retransmissions even after the
+  // fan-out that produced it is long gone.
+  ReliableChannelConfig cfg;
+  ChannelPair p(cfg);
+  int dropped = 0;
+  p.drop_from_a = [&](const Packet& pk) {
+    // Drop the first two transmissions.
+    return pk.type == PacketType::kData && ++dropped <= 2;
+  };
+  {
+    auto tail = std::make_shared<const Bytes>(to_bytes("-persistent"));
+    ASSERT_TRUE(p.a->send(SharedPayload{to_bytes("msg"), tail}));
+  }  // sender's reference gone; only the channel holds the bytes now
+  p.ex.run();
+  ASSERT_EQ(p.at_b.size(), 1u);
+  EXPECT_EQ(p.at_b[0], "msg-persistent");
+  EXPECT_GT(p.a->stats().retransmissions, 0u);
+}
+
+TEST(ReliableChannelSharedPayload, OversizeSharedMessageIsFragmented) {
+  ReliableChannelConfig cfg;
+  cfg.max_fragment_payload = 64;
+  ChannelPair p(cfg);
+  Bytes body(150, 0);
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    body[i] = static_cast<std::uint8_t>(i);
+  }
+  auto tail = std::make_shared<const Bytes>(body);
+  ASSERT_TRUE(p.a->send(SharedPayload{to_bytes("hdr"), tail}));
+  p.ex.run();
+  ASSERT_EQ(p.at_b.size(), 1u);
+  Bytes expected = to_bytes("hdr");
+  expected.insert(expected.end(), body.begin(), body.end());
+  EXPECT_EQ(Bytes(p.at_b[0].begin(), p.at_b[0].end()), expected);
+  EXPECT_EQ(p.b->stats().messages_reassembled, 1u);
+}
+
 }  // namespace
 }  // namespace amuse

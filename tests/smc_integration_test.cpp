@@ -121,7 +121,7 @@ TEST_F(SmcFixture, MemberEventsAppearOnBus) {
   std::vector<std::string> events;
   cell->bus().subscribe_local(Filter::for_type_prefix("smc.member."),
                               [&](const Event& e) {
-                                events.push_back(e.type());
+                                events.emplace_back(e.type());
                               });
   SimHost& host = net.add_host("dev", profiles::ideal_host());
   SmcMemberConfig mc;

@@ -136,7 +136,7 @@ TEST_F(TypedFixture, SubtypeSubscriptionReceivesAllConcreteTypes) {
   TypedClient sub(*sub_raw, registry);
 
   std::vector<std::string> got;
-  sub.subscribe("vitals", [&](const Event& e) { got.push_back(e.type()); });
+  sub.subscribe("vitals", [&](const Event& e) { got.emplace_back(e.type()); });
   ex.run();
 
   Event hr("vitals.heartrate");
