@@ -42,13 +42,25 @@ inline Stats summarize(std::vector<double> xs) {
   return s;
 }
 
+/// Zeroes the reliable channel's datagram-economy knobs: one frame per
+/// message, one ack per DATA frame — the paper's original wire behaviour.
+inline void disable_coalescing(ReliableChannelConfig& c) {
+  c.max_batch_messages = 0;
+  c.max_batch_bytes = 0;
+  c.ack_delay = Duration{};
+}
+
 /// The paper's testbed: event bus on the iPAQ PDA, peer services on the
 /// laptop, joined by the measured USB-IP link. Members are added directly
 /// (no discovery) so the benchmark isolates the event-bus path.
+/// `coalesce=false` reproduces the paper's wire behaviour (no frame
+/// coalescing, no delayed acks) for A/B comparisons.
 struct Testbed {
   explicit Testbed(BusEngine engine, std::uint64_t seed = 1,
-                   LinkModel link = profiles::usb_ip_link())
-      : net(ex, seed),
+                   LinkModel link = profiles::usb_ip_link(),
+                   bool coalesce = true)
+      : coalesce_frames(coalesce),
+        net(ex, seed),
         pda(net.add_host("ipaq-hx4700", profiles::pda_ipaq_hx4700())),
         laptop(net.add_host("laptop-p3", profiles::laptop_p3_1200())) {
     net.set_default_link(link);
@@ -59,6 +71,7 @@ struct Testbed {
     // at 5 KB payloads, and the adaptive RTO only kicks in after the first
     // sample. Without this the very first large event double-sends.
     cfg.channel.rto_initial = seconds(2);
+    if (!coalesce_frames) disable_coalescing(cfg.channel);
     bus = std::make_unique<EventBus>(ex, net.create_endpoint(pda), cfg);
   }
 
@@ -67,10 +80,12 @@ struct Testbed {
     bus->add_member(MemberInfo{transport->local_id(), type, "service"});
     BusClientConfig cfg;
     cfg.channel.rto_initial = seconds(2);
+    if (!coalesce_frames) disable_coalescing(cfg.channel);
     return std::make_unique<BusClient>(ex, std::move(transport),
                                        bus->bus_id(), cfg);
   }
 
+  bool coalesce_frames;
   SimExecutor ex;
   SimNetwork net;
   SimHost& pda;

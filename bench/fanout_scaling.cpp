@@ -25,6 +25,7 @@ struct FanoutResult {
   Stats first_ms;  // delay until the first subscriber got the event
   Stats last_ms;   // delay until the last subscriber got it
   EventBus::Stats bus;
+  double dgrams_per_delivery = 0;  // network datagrams per event delivered
 };
 
 FanoutResult measure(BusEngine engine, int subscribers, int events) {
@@ -38,16 +39,21 @@ FanoutResult measure(BusEngine engine, int subscribers, int events) {
 
   std::vector<double> first_ms;
   std::vector<double> last_ms;
+  std::uint64_t delivered = 0;
   int remaining = 0;
   for (auto& s : subs) {
     s->subscribe(Filter::for_type("perf.payload"), [&](const Event& e) {
       double ms = to_millis(tb.ex.now() - e.timestamp());
+      ++delivered;
       if (remaining == subscribers) first_ms.push_back(ms);
       if (--remaining == 0) last_ms.push_back(ms);
     });
   }
   tb.ex.run();
 
+  // Count wire traffic for the measured events only (the join/subscribe
+  // exchange above is bounded setup, not steady-state cost).
+  tb.net.reset_stats();
   for (int i = 0; i < events; ++i) {
     tb.ex.schedule_at(TimePoint(seconds(5 + i * 5)), [&] {
       remaining = subscribers;
@@ -55,8 +61,14 @@ FanoutResult measure(BusEngine engine, int subscribers, int events) {
     });
   }
   tb.ex.run();
-  return FanoutResult{summarize(std::move(first_ms)),
-                      summarize(std::move(last_ms)), tb.bus->stats()};
+  FanoutResult out{summarize(std::move(first_ms)),
+                   summarize(std::move(last_ms)), tb.bus->stats(), 0};
+  if (delivered > 0) {
+    out.dgrams_per_delivery =
+        static_cast<double>(tb.net.stats().datagrams_sent) /
+        static_cast<double>(delivered);
+  }
+  return out;
 }
 
 /// Encode-once invariant: every published event is serialised exactly once
@@ -101,26 +113,61 @@ int run_smoke() {
   return 0;
 }
 
-int run_full() {
+int run_full(const char* json_path) {
   std::printf("Ablation A1: delivery delay vs number of recipients "
               "(512 B payload)\n");
   print_header(
       "delay to first / last recipient (ms), 20 events per point; enc = "
-      "bodies serialised, reuse = cached bodies reused (c-based run)",
-      "subs  siena_first  siena_last  cbased_first  cbased_last   enc  reuse");
+      "bodies serialised, reuse = cached bodies reused; dg_dlv = network "
+      "datagrams per event delivered (c-based run)",
+      "subs  siena_first  siena_last  cbased_first  cbased_last   enc  "
+      "reuse  dg_dlv");
+  struct Row {
+    int subs;
+    FanoutResult siena, cbased;
+  };
+  std::vector<Row> rows;
   for (int n : {1, 2, 4, 8, 16, 32, 64}) {
-    FanoutResult s = measure(BusEngine::kSienaBased, n, 20);
-    FanoutResult c = measure(BusEngine::kCBased, n, 20);
-    std::printf("%4d  %11.1f  %10.1f  %12.1f  %11.1f  %4llu  %5llu\n", n,
-                s.first_ms.mean, s.last_ms.mean, c.first_ms.mean,
-                c.last_ms.mean,
-                static_cast<unsigned long long>(c.bus.encodes),
-                static_cast<unsigned long long>(c.bus.encode_reuses));
+    Row r{n, measure(BusEngine::kSienaBased, n, 20),
+          measure(BusEngine::kCBased, n, 20)};
+    std::printf("%4d  %11.1f  %10.1f  %12.1f  %11.1f  %4llu  %5llu  %6.2f\n",
+                n, r.siena.first_ms.mean, r.siena.last_ms.mean,
+                r.cbased.first_ms.mean, r.cbased.last_ms.mean,
+                static_cast<unsigned long long>(r.cbased.bus.encodes),
+                static_cast<unsigned long long>(r.cbased.bus.encode_reuses),
+                r.cbased.dgrams_per_delivery);
+    rows.push_back(r);
   }
   std::printf("\nexpected shape: last-recipient delay grows ~linearly with "
               "fan-out (PDA send cost per member);\nfirst-recipient delay "
               "stays near the 1-recipient response time; enc stays at the "
-              "event count\n(encode-once) while reuse grows with fan-out\n");
+              "event count\n(encode-once) while reuse grows with fan-out; "
+              "dg_dlv falls toward ~2/fan-out + 2 as acks amortise\n");
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"fanout_scaling\",\n"
+                    "  \"unit\": \"ms\",\n  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(
+          f,
+          "    {\"subscribers\": %d, \"siena_first_ms\": %.2f, "
+          "\"siena_last_ms\": %.2f, \"cbased_first_ms\": %.2f, "
+          "\"cbased_last_ms\": %.2f, \"cbased_dgrams_per_delivery\": "
+          "%.3f}%s\n",
+          r.subs, r.siena.first_ms.mean, r.siena.last_ms.mean,
+          r.cbased.first_ms.mean, r.cbased.last_ms.mean,
+          r.cbased.dgrams_per_delivery, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
   return 0;
 }
 
@@ -130,5 +177,9 @@ int run_full() {
 int main(int argc, char** argv) {
   using namespace amuse::bench;
   bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
-  return smoke ? run_smoke() : run_full();
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
+  return smoke ? run_smoke() : run_full(json_path);
 }

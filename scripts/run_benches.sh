@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Runs the bench-labelled ctests plus the two headline benchmarks, and
+# leaves machine-readable results in the build tree:
+#   <build>/BENCH_fig4b.json   - Figure 4(b) throughput sweep (+ legacy A/B)
+#   <build>/BENCH_fanout.json  - A1 fan-out scaling (+ datagrams/delivery)
+# Usage: scripts/run_benches.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD="${1:-build}"
+if [[ ! -d "$BUILD/bench" ]]; then
+  echo "error: $BUILD/bench not found - configure and build first" >&2
+  exit 1
+fi
+
+ctest --test-dir "$BUILD" -L bench --output-on-failure
+
+"$BUILD/bench/fig4b_throughput" --json "$BUILD/BENCH_fig4b.json"
+"$BUILD/bench/fanout_scaling" --json "$BUILD/BENCH_fanout.json"
+
+echo "bench artifacts:"
+ls -l "$BUILD"/BENCH_*.json

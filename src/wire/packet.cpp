@@ -39,8 +39,15 @@ bool valid_type(std::uint8_t t) {
 }
 }  // namespace
 
+std::size_t Packet::payload_wire_size() const {
+  if (batch.empty()) return payload.size() + payload_tail.size();
+  std::size_t total = 0;
+  for (const Sub& s : batch) total += 2 + s.head.size() + s.tail.size();
+  return total;
+}
+
 Bytes Packet::encode() const {
-  std::size_t total = payload.size() + payload_tail.size();
+  std::size_t total = payload_wire_size();
   if (total > 0xFFFF) {
     throw std::length_error("packet payload exceeds u16 length prefix");
   }
@@ -55,8 +62,16 @@ Bytes Packet::encode() const {
   w.u32(seq);
   w.u32(ack);
   w.u16(static_cast<std::uint16_t>(total));
-  w.raw(payload);
-  w.raw(payload_tail);
+  if (batch.empty()) {
+    w.raw(payload);
+    w.raw(payload_tail);
+  } else {
+    for (const Sub& s : batch) {
+      w.u16(static_cast<std::uint16_t>(s.head.size() + s.tail.size()));
+      w.raw(s.head);
+      w.raw(s.tail);
+    }
+  }
   std::uint32_t crc = crc32(w.bytes());
   w.u32(crc);
   return std::move(w).take();
@@ -88,10 +103,26 @@ std::optional<Packet> Packet::decode(BytesView datagram) {
     p.ack = r.u32();
     p.payload = r.blob16();
     if (!r.done()) return std::nullopt;  // trailing garbage under valid CRC
+    if (p.type == PacketType::kData && (p.flags & kFlagBatched) != 0 &&
+        !split_batch(p.payload)) {
+      return std::nullopt;  // sub-lengths do not tile the payload
+    }
     return p;
   } catch (const DecodeError&) {
     return std::nullopt;
   }
+}
+
+std::optional<std::vector<BytesView>> Packet::split_batch(BytesView payload) {
+  std::vector<BytesView> subs;
+  try {
+    Reader r(payload);
+    if (r.done()) return std::nullopt;  // a batch carries at least one sub
+    while (!r.done()) subs.push_back(r.raw(r.u16()));
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+  return subs;
 }
 
 }  // namespace amuse

@@ -19,10 +19,20 @@
 //   ack     u32  cumulative acknowledgement: next seq expected from peer
 //   payload u16-length-prefixed bytes
 //   crc     u32  CRC-32 of all preceding bytes
+//
+// Batched DATA frames (kFlagBatched): the payload is a sequence of N ≥ 1
+// length-prefixed sub-messages, each an independent bus message:
+//   payload := sub*        sub := len u16 ++ bytes[len]
+// covering sequence numbers [seq, seq+N). The capability is flag-gated
+// under the same packet version: a sender that never sets the flag emits
+// frames byte-identical to the original format, and any receiver of this
+// code understands both. decode() validates the sub-structure (still under
+// the CRC) and rejects frames whose sub-lengths do not tile the payload.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/service_id.hpp"
@@ -51,6 +61,11 @@ enum class PacketType : std::uint8_t {
 /// larger message; the receiver reassembles consecutive fragments (the
 /// channel already guarantees order) until a frame without the flag.
 inline constexpr std::uint16_t kFlagMoreFragments = 0x0001;
+/// kFlagBatched: this DATA frame's payload is N length-prefixed
+/// sub-messages covering seqs [seq, seq+N) — see the layout comment above.
+/// Mutually exclusive with kFlagMoreFragments (fragments are never
+/// coalesced).
+inline constexpr std::uint16_t kFlagBatched = 0x0002;
 
 struct Packet {
   PacketType type = PacketType::kData;
@@ -68,6 +83,21 @@ struct Packet {
   /// decode() never sets it (the receiver sees one contiguous payload).
   BytesView payload_tail{};
 
+  /// One sub-message of a batched DATA frame. head/tail mirror the
+  /// payload/payload_tail split: each sub blits an owned header view plus
+  /// a shared event-body view straight into the frame, so coalescing
+  /// never copies the fan-out's shared bytes.
+  struct Sub {
+    BytesView head{};
+    BytesView tail{};
+  };
+  /// Encode-time only: when non-empty (requires kData + kFlagBatched,
+  /// `payload`/`payload_tail` must then be empty) encode() writes each sub
+  /// as `u16(head+tail size) ++ head ++ tail` under the outer payload
+  /// length. Non-owning — views must be alive during encode(); decode()
+  /// never fills it (use split_batch() on the contiguous payload).
+  std::vector<Sub> batch{};
+
   static constexpr std::uint16_t kMagic = 0xA5EB;
   static constexpr std::uint8_t kVersion = 1;
   /// Frame bytes excluding the payload itself.
@@ -76,9 +106,21 @@ struct Packet {
 
   [[nodiscard]] Bytes encode() const;
 
+  /// Payload bytes this frame carries on the wire (sub-message length
+  /// prefixes included); encode().size() == kOverhead + payload_wire_size().
+  [[nodiscard]] std::size_t payload_wire_size() const;
+
   /// Returns nullopt for frames that are foreign (bad magic/version), too
   /// short, corrupt (CRC), or otherwise malformed — the caller drops them.
+  /// Batched DATA frames whose sub-lengths do not tile the payload are
+  /// malformed.
   [[nodiscard]] static std::optional<Packet> decode(BytesView datagram);
+
+  /// Splits a batched DATA payload into its sub-messages (views into
+  /// `payload` — same lifetime). nullopt if the u16 sub-lengths do not
+  /// exactly tile the payload or the batch is empty.
+  [[nodiscard]] static std::optional<std::vector<BytesView>> split_batch(
+      BytesView payload);
 };
 
 }  // namespace amuse

@@ -21,7 +21,10 @@ ReliableChannel::ReliableChannel(Executor& executor, ServiceId self,
       on_fail_(std::move(on_fail)),
       rto_(config.rto_initial) {}
 
-ReliableChannel::~ReliableChannel() { executor_.cancel(timer_); }
+ReliableChannel::~ReliableChannel() {
+  executor_.cancel(timer_);
+  executor_.cancel(ack_timer_);
+}
 
 std::size_t ReliableChannel::in_flight() const { return window_.size(); }
 
@@ -40,8 +43,8 @@ bool ReliableChannel::send(SharedPayload payload) {
   std::size_t total = payload.size();
   if (frag == 0 || total <= frag) {
     if (queue_.size() >= config_.max_queue) return false;
-    queue_.push_back(Outbound{0, 0, std::move(payload)});
-    pump();
+    queue_.push_back(Outbound{0, 0, std::move(payload), true});
+    pump(/*flush=*/false);
     return true;
   }
   // Fragment: all pieces must fit in the queue or none are sent. A message
@@ -58,27 +61,73 @@ bool ReliableChannel::send(SharedPayload payload) {
                    Bytes(message.begin() + static_cast<std::ptrdiff_t>(off),
                          message.begin() +
                              static_cast<std::ptrdiff_t>(off + len)),
-                   nullptr}};
+                   nullptr},
+               /*batchable=*/false};
     ++stats_.fragments_sent;
     queue_.push_back(std::move(o));
   }
-  pump();
+  pump(/*flush=*/false);
   return true;
 }
 
-void ReliableChannel::pump() {
+bool ReliableChannel::coalescing() const {
+  return config_.max_batch_messages > 1 && config_.max_batch_bytes > 0;
+}
+
+std::size_t ReliableChannel::batch_byte_budget() const {
+  std::size_t budget = config_.max_batch_bytes;
+  // A coalesced frame must still fit wherever a fragment would: on
+  // small-MTU transports the fragment payload is the frame size bound.
+  if (config_.max_fragment_payload > 0) {
+    budget = std::min(budget, config_.max_fragment_payload);
+  }
+  return budget;
+}
+
+ReliableChannel::FramePlan ReliableChannel::plan_frame(
+    const std::deque<Outbound>& entries, std::size_t from) const {
+  FramePlan plan;
+  if (!coalescing() || !entries[from].batchable) return plan;  // {1, closed}
+  std::size_t budget = batch_byte_budget();
+  std::size_t bytes = 2 + entries[from].payload.size();
+  std::size_t count = 1;
+  while (from + count < entries.size()) {
+    const Outbound& next = entries[from + count];
+    if (!next.batchable || count >= config_.max_batch_messages) {
+      return {count, true};
+    }
+    std::size_t cost = 2 + next.payload.size();
+    if (bytes + cost > budget) return {count, true};
+    bytes += cost;
+    ++count;
+  }
+  plan.count = count;
+  plan.closed = count >= config_.max_batch_messages || bytes >= budget;
+  return plan;
+}
+
+void ReliableChannel::pump(bool flush) {
   while (!queue_.empty() && window_.size() < config_.window) {
-    Outbound o = std::move(queue_.front());
-    o.seq = next_seq_++;
-    queue_.pop_front();
-    window_.push_back(std::move(o));
-    ++stats_.messages_sent;
+    FramePlan plan = plan_frame(queue_, 0);
+    // Nagle-style hold: a partial batch waits for more data while earlier
+    // frames are in flight — the returning ack flushes it.
+    if (!flush && !plan.closed && !window_.empty()) break;
+    std::size_t count =
+        std::min(plan.count, config_.window - window_.size());
+    std::size_t frame_start = window_.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      Outbound o = std::move(queue_.front());
+      o.seq = next_seq_++;
+      queue_.pop_front();
+      window_.push_back(std::move(o));
+      ++stats_.messages_sent;
+    }
     if (!failed_) {
-      transmit(window_.back());
-      // First transmission of a fresh message: candidate RTT sample.
+      transmit_range(frame_start, count);
+      // First transmission of a fresh frame: candidate RTT sample.
       if (config_.adaptive_rto && !rtt_pending_) {
         rtt_pending_ = true;
-        rtt_seq_ = window_.back().seq;
+        rtt_seq_ = window_[frame_start].seq;
         rtt_sent_ = executor_.now();
       }
     }
@@ -86,20 +135,44 @@ void ReliableChannel::pump() {
   if (!window_.empty() && !failed_) arm_timer();
 }
 
-void ReliableChannel::transmit(const Outbound& o) {
+void ReliableChannel::transmit_range(std::size_t from, std::size_t count) {
   Packet p;
   p.type = PacketType::kData;
-  p.flags = o.flags;
   p.session = session_;
   p.src = self_;
   p.dst = peer_;
-  p.seq = o.seq;
+  p.seq = window_[from].seq;
   p.ack = expected_;  // piggyback the cumulative ack
-  p.payload = o.payload.head;
-  // The shared tail stays by reference right up to frame assembly; the
-  // Outbound entry keeps the bytes alive for the duration of the send.
-  if (o.payload.tail) p.payload_tail = BytesView(*o.payload.tail);
+  if (count <= 1) {
+    const Outbound& o = window_[from];
+    p.flags = o.flags;
+    p.payload = o.payload.head;
+    // The shared tail stays by reference right up to frame assembly; the
+    // Outbound entry keeps the bytes alive for the duration of the send.
+    if (o.payload.tail) p.payload_tail = BytesView(*o.payload.tail);
+  } else {
+    p.flags = kFlagBatched;
+    p.batch.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const SharedPayload& pl = window_[from + i].payload;
+      p.batch.push_back(Packet::Sub{
+          BytesView(pl.head), pl.tail ? BytesView(*pl.tail) : BytesView{}});
+    }
+    ++stats_.batches_sent;
+    stats_.batched_messages += count;
+  }
+  record_wire(p.payload_wire_size());
+  clear_ack_debt();  // the frame carries our cumulative ack
   send_packet_(p);
+}
+
+void ReliableChannel::transmit_window(bool count_as_retransmission) {
+  for (std::size_t i = 0; i < window_.size();) {
+    std::size_t count = plan_frame(window_, i).count;
+    if (count_as_retransmission) stats_.retransmissions += count;
+    transmit_range(i, count);
+    i += count;
+  }
 }
 
 void ReliableChannel::send_ack() {
@@ -110,7 +183,62 @@ void ReliableChannel::send_ack() {
   p.dst = peer_;
   p.ack = expected_;
   ++stats_.acks_sent;
+  record_wire(0);
   send_packet_(p);
+}
+
+void ReliableChannel::send_ack_now() {
+  executor_.cancel(ack_timer_);
+  ack_timer_ = kNoTimer;
+  ack_debt_ = 0;
+  send_ack();
+}
+
+void ReliableChannel::note_in_order_frame() {
+  if (config_.ack_delay == Duration{}) {
+    send_ack_now();
+    return;
+  }
+  if (++ack_debt_ >= 2) {  // RFC 1122: ack at least every second frame
+    send_ack_now();
+    return;
+  }
+  ++stats_.acks_delayed;
+  if (ack_timer_ == kNoTimer) {
+    ack_timer_ = executor_.schedule_after(config_.ack_delay, [this] {
+      ack_timer_ = kNoTimer;
+      send_ack_now();
+    });
+  }
+}
+
+void ReliableChannel::note_duplicate_frame() {
+  if (config_.ack_delay == Duration{}) {
+    send_ack_now();
+    return;
+  }
+  // A go-back-N burst of stale duplicates (our acks were lost) must not
+  // answer datagram-for-datagram: ride one timer, send one ack.
+  ++stats_.acks_delayed;
+  if (ack_timer_ == kNoTimer) {
+    ack_timer_ = executor_.schedule_after(config_.ack_delay, [this] {
+      ack_timer_ = kNoTimer;
+      send_ack_now();
+    });
+  }
+}
+
+void ReliableChannel::clear_ack_debt() {
+  ack_debt_ = 0;
+  if (ack_timer_ != kNoTimer) {
+    executor_.cancel(ack_timer_);
+    ack_timer_ = kNoTimer;
+  }
+}
+
+void ReliableChannel::record_wire(std::size_t payload_bytes) {
+  ++stats_.datagrams_sent;
+  stats_.bytes_on_wire += Packet::kOverhead + payload_bytes;
 }
 
 void ReliableChannel::arm_timer() {
@@ -135,11 +263,9 @@ void ReliableChannel::on_timeout() {
       config_.rto_max);
   // Karn's rule: a retransmitted message cannot yield an RTT sample.
   rtt_pending_ = false;
-  // Go-back-N: retransmit the whole window.
-  for (const Outbound& o : window_) {
-    ++stats_.retransmissions;
-    transmit(o);
-  }
+  // Go-back-N: retransmit the whole window (re-coalesced — the batch
+  // budget amortises the retransmission burst too).
+  transmit_window(/*count_as_retransmission=*/true);
   arm_timer();
 }
 
@@ -166,7 +292,7 @@ void ReliableChannel::poke() {
   failed_ = false;
   retries_ = 0;
   rto_ = base_rto();
-  for (const Outbound& o : window_) transmit(o);
+  transmit_window(/*count_as_retransmission=*/false);
   pump();
   if (!window_.empty()) arm_timer();
 }
@@ -202,6 +328,28 @@ void ReliableChannel::on_packet(const Packet& packet) {
 }
 
 void ReliableChannel::handle_data(const Packet& packet) {
+  // Split a batched payload before touching any state: a malformed batch
+  // (possible only on hand-fed packets — decode() validates wire frames)
+  // must not adopt a session or advance ordering.
+  std::vector<BytesView> subs;
+  std::uint16_t sub_flags = packet.flags;
+  if ((packet.flags & kFlagBatched) != 0) {
+    auto parsed = Packet::split_batch(packet.payload);
+    if (!parsed) {
+      ++stats_.malformed_batch_dropped;
+      return;
+    }
+    subs = std::move(*parsed);
+    sub_flags = packet.flags & static_cast<std::uint16_t>(~kFlagBatched);
+  } else {
+    subs.emplace_back(packet.payload);
+  }
+  // The frame covers seqs [packet.seq, packet.seq + count) — one message
+  // per sub. Range arithmetic in 64 bits so a forged seq near the top of
+  // u32 cannot wrap.
+  const auto count = static_cast<std::uint64_t>(subs.size());
+  const auto first = static_cast<std::uint64_t>(packet.seq);
+
   // Session handling: adopt a new peer incarnation only at its seq 0.
   if (!peer_session_known_ || packet.session != peer_session_) {
     if (packet.seq != 0) {
@@ -217,15 +365,22 @@ void ReliableChannel::handle_data(const Packet& packet) {
     discarding_ = false;
   }
 
-  if (packet.seq < expected_) {
-    // Duplicate of something already delivered: re-ack, drop.
+  if (first + count <= expected_) {
+    // Duplicate of something already delivered in full: re-ack (delayed —
+    // a retransmitted go-back-N window must not trigger an ack burst).
     ++stats_.duplicates_dropped;
-    send_ack();
+    note_duplicate_frame();
     return;
   }
-  if (packet.seq == expected_) {
-    ++expected_;
-    deliver_or_reassemble(packet.flags, packet.payload);
+  if (first <= expected_) {
+    // In order, possibly overlapping already-delivered seqs at the front
+    // of a partially acked batch: deliver only the unseen tail.
+    std::size_t skip = expected_ - first;
+    stats_.duplicates_dropped += skip;
+    for (std::size_t i = skip; i < subs.size(); ++i) {
+      ++expected_;
+      deliver_or_reassemble(sub_flags, subs[i]);
+    }
     // Drain any buffered successors.
     auto it = reorder_.begin();
     while (it != reorder_.end() && it->first == expected_) {
@@ -234,18 +389,24 @@ void ReliableChannel::handle_data(const Packet& packet) {
       it = reorder_.erase(it);
       deliver_or_reassemble(flags, msg);
     }
-  } else {
-    // Out of order: buffer unless it's a duplicate or the buffer is full.
-    if (reorder_.size() < config_.max_reorder &&
-        !reorder_.contains(packet.seq)) {
+    note_in_order_frame();
+    return;
+  }
+  // Out of order: buffer each sub-message at its own seq unless it's a
+  // duplicate or the buffer is full, then ack immediately — duplicate
+  // cumulative acks are the sender's fast-retransmit signal.
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    auto seq = static_cast<std::uint32_t>(first + i);
+    if (reorder_.size() < config_.max_reorder && !reorder_.contains(seq)) {
       ++stats_.out_of_order_buffered;
-      reorder_.emplace(packet.seq,
-                       std::make_pair(packet.flags, packet.payload));
+      reorder_.emplace(
+          seq, std::make_pair(sub_flags,
+                              Bytes(subs[i].begin(), subs[i].end())));
     } else {
       ++stats_.duplicates_dropped;
     }
   }
-  send_ack();
+  send_ack_now();
 }
 
 void ReliableChannel::deliver_or_reassemble(std::uint16_t flags,
@@ -293,7 +454,7 @@ void ReliableChannel::handle_ack(const Packet& packet) {
       if (rtt_pending_ && rtt_seq_ == window_.front().seq) {
         rtt_pending_ = false;  // Karn: head is being retransmitted
       }
-      transmit(window_.front());
+      transmit_range(0, 1);
     }
     return;
   }

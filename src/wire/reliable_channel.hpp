@@ -15,6 +15,14 @@
 // frame. A receiver adopts a new peer session only at seq 0, so stale
 // packets from a purged-and-readmitted service's previous life are ignored
 // rather than corrupting ordering state.
+//
+// Datagram economy: the paper's bus host pays a fixed CPU cost per datagram
+// (§V, Fig. 4b), so the channel amortises it two ways — queued small
+// messages coalesce into one kFlagBatched DATA frame (ack-clocked,
+// Nagle-style), and ACKs are delayed briefly so one ack covers several
+// frames or piggybacks on reverse DATA. Both are config knobs; disabled
+// they reproduce the original one-frame-per-message, ack-per-DATA wire
+// behaviour exactly. See DESIGN.md §8.
 #pragma once
 
 #include <cstdint>
@@ -64,6 +72,30 @@ struct ReliableChannelConfig {
   std::size_t max_fragment_payload = 0;
   /// Bound on a partially reassembled inbound message.
   std::size_t max_reassembly_bytes = 1 << 20;
+  /// Frame coalescing: while earlier data is in flight, queued whole (never
+  /// fragmented) messages are packed into one kFlagBatched DATA frame, up
+  /// to this many sub-messages per frame. The per-packet host cost then
+  /// amortises across the batch (the PDA profile charges 8.2 ms per
+  /// datagram regardless of size). 0 or 1 disables batching: every message
+  /// gets its own frame, byte-identical to the legacy format.
+  std::size_t max_batch_messages = 16;
+  /// Payload byte budget for a coalesced frame (sub-message bytes plus
+  /// their u16 length prefixes), capped by max_fragment_payload when
+  /// fragmentation is on — that cap is the per-transport MTU bound (e.g.
+  /// ZigBee's 700 B), so the default only governs transports that take
+  /// multi-KB datagrams (UDP, the simulated links) and is sized to fit a
+  /// full send window of mid-size events per frame while bounding the
+  /// loss blast radius of one datagram. 0 disables batching. A single
+  /// message over the budget travels alone in a legacy frame.
+  std::size_t max_batch_bytes = 8192;
+  /// Delayed ACKs (RFC 1122-style): an in-order DATA frame is acked
+  /// immediately only if it is the second unacknowledged frame; otherwise
+  /// the ack waits this long for a chance to coalesce with the next frame
+  /// or piggyback on outgoing DATA. Out-of-order arrivals are always acked
+  /// immediately (they are the sender's fast-retransmit clock), and a
+  /// burst of stale duplicates yields at most one delayed ack.
+  /// Duration{} disables: every DATA frame is acked on arrival (legacy).
+  Duration ack_delay = milliseconds(2);
 };
 
 /// One outbound message assembled from an owned per-message head and an
@@ -94,6 +126,13 @@ struct ReliableChannelStats {
   std::uint64_t fragments_sent = 0;
   std::uint64_t messages_reassembled = 0;
   std::uint64_t reassembly_overflow_dropped = 0;
+  // Wire-level accounting (what the host is actually charged for).
+  std::uint64_t datagrams_sent = 0;   // DATA + ACK frames handed down
+  std::uint64_t bytes_on_wire = 0;    // encoded frame bytes incl. overhead
+  std::uint64_t batches_sent = 0;     // DATA frames carrying ≥ 2 messages
+  std::uint64_t batched_messages = 0; // messages inside those frames
+  std::uint64_t acks_delayed = 0;     // ack requests deferred to the timer
+  std::uint64_t malformed_batch_dropped = 0;  // bad sub-lengths in a batch
 };
 
 class ReliableChannel {
@@ -152,11 +191,42 @@ class ReliableChannel {
     std::uint32_t seq;
     std::uint16_t flags;
     SharedPayload payload;
+    bool batchable = true;  // false for fragments: never coalesced
   };
 
-  void pump();           // move queue_ entries into the window
-  void transmit(const Outbound& o);
+  /// How many entries starting at `from` fit in the next frame. `closed`
+  /// is false only when the run ended because the queue ran out before any
+  /// budget did — i.e. a partial batch that may be worth holding for.
+  struct FramePlan {
+    std::size_t count = 1;
+    bool closed = true;
+  };
+
+  [[nodiscard]] bool coalescing() const;
+  [[nodiscard]] std::size_t batch_byte_budget() const;
+  [[nodiscard]] FramePlan plan_frame(const std::deque<Outbound>& entries,
+                                     std::size_t from) const;
+  /// Moves queue_ entries into the window and transmits them, coalescing
+  /// where the budgets allow. With flush=false (the send() path) a partial
+  /// batch is held back while earlier data is in flight — the ack clock
+  /// flushes it (Nagle-style); flush=true sends everything that fits.
+  void pump(bool flush = true);
+  /// Frames window_[from, from+count) as one DATA frame and sends it.
+  void transmit_range(std::size_t from, std::size_t count);
+  /// Go-back-N: retransmits the whole window, re-coalescing as it goes.
+  void transmit_window(bool count_as_retransmission);
   void send_ack();
+  /// Sends the cumulative ack now, cancelling any pending delayed ack.
+  void send_ack_now();
+  /// Delayed-ack bookkeeping for an in-order DATA frame (ack every second
+  /// frame immediately, otherwise after ack_delay).
+  void note_in_order_frame();
+  /// A stale duplicate wants re-acking, but at most once per burst: arm
+  /// (or ride) the delay timer without advancing the every-2nd counter.
+  void note_duplicate_frame();
+  /// Outgoing DATA piggybacks the cumulative ack: nothing left to delay.
+  void clear_ack_debt();
+  void record_wire(std::size_t payload_bytes);
   void arm_timer();
   void on_timeout();
   void handle_data(const Packet& packet);
@@ -199,6 +269,10 @@ class ReliableChannel {
   std::uint32_t peer_session_ = 0;
   std::uint32_t expected_ = 0;  // next sequence to deliver
   std::map<std::uint32_t, std::pair<std::uint16_t, Bytes>> reorder_;
+  // Delayed-ack state: frames delivered since the last ack we sent (ours
+  // or piggybacked), and the coalescing timer.
+  int ack_debt_ = 0;
+  TimerId ack_timer_ = kNoTimer;
   Bytes reassembly_;  // accumulated fragments of the in-progress message
   bool reassembling_ = false;
   bool discarding_ = false;  // skipping the rest of an overflowed message

@@ -117,6 +117,103 @@ TEST(Packet, RejectsRandomNoise) {
   EXPECT_EQ(decoded, 0);
 }
 
+// ---- Batched DATA frames (kFlagBatched): N length-prefixed sub-messages
+// share one datagram. Flag-gated under the same packet version.
+
+Packet sample_batched() {
+  static const Bytes head0 = to_bytes("sub-");
+  static const Bytes tail0 = to_bytes("zero");
+  static const Bytes mid = to_bytes("middle sub");
+  static const Bytes tail2 = to_bytes("tail-only sub");
+  Packet p = sample_packet();
+  p.flags = kFlagBatched;
+  p.payload.clear();
+  p.batch = {Packet::Sub{BytesView(head0), BytesView(tail0)},
+             Packet::Sub{BytesView(mid), BytesView{}},
+             Packet::Sub{BytesView{}, BytesView(tail2)}};
+  return p;
+}
+
+TEST(PacketBatch, EncodeDecodeSplitsBackIntoSubs) {
+  Packet p = sample_batched();
+  std::optional<Packet> q = Packet::decode(p.encode());
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->flags, kFlagBatched);
+  EXPECT_TRUE(q->batch.empty());  // decode yields the contiguous form
+  auto subs = Packet::split_batch(q->payload);
+  ASSERT_TRUE(subs.has_value());
+  ASSERT_EQ(subs->size(), 3u);
+  EXPECT_EQ(Bytes((*subs)[0].begin(), (*subs)[0].end()),
+            to_bytes("sub-zero"));
+  EXPECT_EQ(Bytes((*subs)[1].begin(), (*subs)[1].end()),
+            to_bytes("middle sub"));
+  EXPECT_EQ(Bytes((*subs)[2].begin(), (*subs)[2].end()),
+            to_bytes("tail-only sub"));
+}
+
+TEST(PacketBatch, DecodedFrameReencodesToSameBytes) {
+  Bytes wire = sample_batched().encode();
+  std::optional<Packet> q = Packet::decode(wire);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->encode(), wire);
+}
+
+TEST(PacketBatch, WireSizeAccountsPerSubLengthPrefix) {
+  Packet p = sample_batched();
+  // 3 subs: 2-byte length prefix each + 8 + 10 + 13 payload bytes.
+  EXPECT_EQ(p.payload_wire_size(), 3u * 2u + 8u + 10u + 13u);
+  EXPECT_EQ(p.encode().size(), Packet::kOverhead + p.payload_wire_size());
+}
+
+TEST(PacketBatch, EmptySubMessageRoundTrips) {
+  Packet p = sample_packet();
+  p.flags = kFlagBatched;
+  p.payload.clear();
+  static const Bytes only = to_bytes("x");
+  p.batch = {Packet::Sub{}, Packet::Sub{BytesView(only), BytesView{}}};
+  std::optional<Packet> q = Packet::decode(p.encode());
+  ASSERT_TRUE(q.has_value());
+  auto subs = Packet::split_batch(q->payload);
+  ASSERT_TRUE(subs.has_value());
+  ASSERT_EQ(subs->size(), 2u);
+  EXPECT_TRUE((*subs)[0].empty());
+  EXPECT_EQ((*subs)[1].size(), 1u);
+}
+
+TEST(PacketBatch, RejectsSubLengthPastEnd) {
+  Packet p = sample_packet();
+  p.flags = kFlagBatched;
+  p.payload = {0x00, 0x05, 'a', 'b', 'c'};  // claims 5 bytes, has 3
+  // The frame itself is structurally sound (CRC fine), but the batched
+  // payload does not tile — decode must reject it.
+  EXPECT_FALSE(Packet::decode(p.encode()).has_value());
+  EXPECT_FALSE(Packet::split_batch(p.payload).has_value());
+}
+
+TEST(PacketBatch, RejectsTruncatedLengthPrefix) {
+  Packet p = sample_packet();
+  p.flags = kFlagBatched;
+  p.payload = {0x00, 0x01, 'a', 0x00};  // dangling half-prefix
+  EXPECT_FALSE(Packet::decode(p.encode()).has_value());
+}
+
+TEST(PacketBatch, RejectsEmptyBatchedPayload) {
+  Packet p = sample_packet();
+  p.flags = kFlagBatched;
+  p.payload.clear();
+  EXPECT_FALSE(Packet::decode(p.encode()).has_value());
+  EXPECT_FALSE(Packet::split_batch(BytesView{}).has_value());
+}
+
+TEST(PacketBatch, FlagOnlyGatesData) {
+  // Non-DATA frames ignore the batch flag (no sub-frame validation).
+  Packet p = sample_packet();
+  p.type = PacketType::kAck;
+  p.flags = kFlagBatched;
+  p.payload.clear();
+  EXPECT_TRUE(Packet::decode(p.encode()).has_value());
+}
+
 TEST(ServiceId, FormatsAndFields) {
   ServiceId id = ServiceId::from_addr_port(0xC0A80117, 8080);
   EXPECT_EQ(id.to_string(), "192.168.1.23:8080");
