@@ -1,0 +1,242 @@
+// Seed-corpus generator for the fuzz harnesses. Deterministic: running it
+// twice produces byte-identical files, so the checked-in corpus under
+// fuzz/corpus/ can be regenerated and diffed at any time:
+//
+//     ./build-fuzz/fuzz/amuse_make_corpus [output-root]   # default: fuzz/corpus
+//
+// The packet corpus seeds Packet::decode with the frame shapes the wire
+// actually carries — plain/batched/fragmented DATA (including an event
+// payload assembled the SharedPayload way: header ++ shared body), ACKs,
+// every discovery frame — plus near-miss malformed frames (bad batch
+// tiling, truncations, CRC damage) that exercise the rejection paths. The
+// codec corpus seeds decode_event/decode_filter through the harness's
+// steering byte. libFuzzer treats these as the starting population; the
+// gcc standalone driver replays them verbatim under ASan/UBSan in CI.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "bus/messages.hpp"
+#include "common/bytes.hpp"
+#include "pubsub/codec.hpp"
+#include "wire/packet.hpp"
+
+namespace {
+
+using namespace amuse;
+
+void write_file(const std::filesystem::path& dir, const std::string& name,
+                BytesView bytes) {
+  std::filesystem::create_directories(dir);
+  std::ofstream out(dir / name, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  std::printf("%s/%s: %zu bytes\n", dir.string().c_str(), name.c_str(),
+              bytes.size());
+}
+
+Packet data_frame(std::uint32_t seq, std::uint16_t flags, Bytes payload) {
+  Packet p;
+  p.type = PacketType::kData;
+  p.session = 0x5EED0001;
+  p.src = ServiceId::from_addr_port(0x0A000001, 40001);
+  p.dst = ServiceId::from_addr_port(0x0A000002, 40002);
+  p.seq = seq;
+  p.flags = flags;
+  p.payload = std::move(payload);
+  return p;
+}
+
+Bytes batch_payload(const std::vector<Bytes>& subs) {
+  Writer w;
+  for (const Bytes& sub : subs) {
+    w.u16(static_cast<std::uint16_t>(sub.size()));
+    w.raw(BytesView(sub.data(), sub.size()));
+  }
+  return std::move(w).take();
+}
+
+Event sample_event() {
+  Event e("vitals.heartrate", {{"hr", 142}, {"patient", "bed-7"}});
+  e.set_publisher(ServiceId::from_addr_port(0x0A000003, 40003));
+  return e;
+}
+
+void packet_corpus(const std::filesystem::path& dir) {
+  // Plain single-message DATA frame.
+  write_file(dir, "data_plain.bin",
+             data_frame(3, 0, to_bytes("hello bus")).encode());
+  // Empty-payload DATA (a valid zero-length message).
+  write_file(dir, "data_empty.bin", data_frame(0, 0, Bytes{}).encode());
+  // Cumulative ACK.
+  {
+    Packet a;
+    a.type = PacketType::kAck;
+    a.session = 0x5EED0001;
+    a.src = ServiceId::from_addr_port(0x0A000002, 40002);
+    a.dst = ServiceId::from_addr_port(0x0A000001, 40001);
+    a.ack = 17;
+    write_file(dir, "ack.bin", a.encode());
+  }
+  // Batched DATA: three well-tiled sub-messages.
+  write_file(dir, "data_batched.bin",
+             data_frame(5, kFlagBatched,
+                        batch_payload({to_bytes("alpha"), to_bytes("beta"),
+                                       to_bytes("gamma")}))
+                 .encode());
+  // Batched DATA whose payload does NOT tile (length prefix overruns):
+  // well-formed at the frame layer, rejected at the batch-split layer.
+  {
+    Bytes bad = batch_payload({to_bytes("alpha")});
+    bad[0] = 0xFF;  // sub-length now far beyond the payload
+    write_file(dir, "data_batched_bad_tiling.bin",
+               data_frame(5, kFlagBatched, std::move(bad)).encode());
+  }
+  // Fragmented DATA: a non-final fragment and the final one.
+  write_file(
+      dir, "data_fragment_more.bin",
+      data_frame(8, kFlagMoreFragments, to_bytes("fragment-one|")).encode());
+  write_file(dir, "data_fragment_final.bin",
+             data_frame(9, 0, to_bytes("fragment-two")).encode());
+  // An event delivery assembled the SharedPayload way: per-member header
+  // plus the encode-once shared event body (what ForwardingProxy sends).
+  {
+    Bytes head = BusMessage::encode_event_header({4, 9});
+    Bytes body = encode_event(sample_event());
+    Bytes joined = head;
+    joined.insert(joined.end(), body.begin(), body.end());
+    write_file(dir, "data_event_shared_payload.bin",
+               data_frame(2, 0, std::move(joined)).encode());
+  }
+  // A kPublish message as a member's client would send it.
+  write_file(dir, "data_publish.bin",
+             data_frame(1, 0, BusMessage::encode_publish(sample_event()))
+                 .encode());
+  // Discovery protocol frames, including the JoinAccept with the reserved
+  // proxy-channel session (the newest wire field).
+  {
+    Packet b;
+    b.type = PacketType::kBeacon;
+    b.src = ServiceId::from_addr_port(0x0A000001, 40000);
+    b.dst = ServiceId{};
+    Writer w;
+    w.str("patient-cell");
+    w.u48(ServiceId::from_addr_port(0x0A000001, 40001).raw());
+    b.payload = std::move(w).take();
+    write_file(dir, "disc_beacon.bin", b.encode());
+  }
+  {
+    Packet j;
+    j.type = PacketType::kJoinAccept;
+    j.src = ServiceId::from_addr_port(0x0A000001, 40000);
+    j.dst = ServiceId::from_addr_port(0x0A000002, 40002);
+    Writer w;
+    w.u64(400);       // heartbeat interval
+    w.u64(6000);      // purge_after
+    w.u48(ServiceId::from_addr_port(0x0A000001, 40001).raw());
+    w.u32(0x5EED0002);  // reserved proxy-channel session
+    j.payload = std::move(w).take();
+    write_file(dir, "disc_join_accept.bin", j.encode());
+  }
+  {
+    Packet c;
+    c.type = PacketType::kJoinChallenge;
+    c.src = ServiceId::from_addr_port(0x0A000001, 40000);
+    c.dst = ServiceId::from_addr_port(0x0A000002, 40002);
+    Writer w;
+    w.blob16(to_bytes("sixteen-byte-nonce"));
+    c.payload = std::move(w).take();
+    write_file(dir, "disc_join_challenge.bin", c.encode());
+  }
+  // Truncated frame: a valid encoding cut mid-payload.
+  {
+    Bytes whole = data_frame(3, 0, to_bytes("truncate me please")).encode();
+    whole.resize(whole.size() - 7);
+    write_file(dir, "data_truncated.bin", whole);
+  }
+  // CRC damage: flip one payload byte after encoding.
+  {
+    Bytes whole = data_frame(4, 0, to_bytes("crc goes stale")).encode();
+    whole[whole.size() - 3] ^= 0x40;
+    write_file(dir, "data_bad_crc.bin", whole);
+  }
+}
+
+void codec_corpus(const std::filesystem::path& dir) {
+  // The harness's first byte steers the decoder: even → event, odd → filter.
+  auto steered = [](std::uint8_t steer, const Bytes& body) {
+    Bytes out;
+    out.push_back(steer);
+    out.insert(out.end(), body.begin(), body.end());
+    return out;
+  };
+  write_file(dir, "event_simple.bin",
+             steered(0, encode_event(sample_event())));
+  {
+    Event e("sensor.mixed", {});
+    e.set("i", Value(std::int64_t{-42}));
+    e.set("d", Value(3.25));
+    e.set("b", Value(true));
+    e.set("s", Value(std::string("text")));
+    e.set("raw", Value(Bytes{0x00, 0x01, 0x02, 0xFF}));
+    write_file(dir, "event_all_value_types.bin", steered(0, encode_event(e)));
+  }
+  write_file(dir, "event_no_attrs.bin",
+             steered(0, encode_event(Event("bare"))));
+  {
+    Event e("bulk");
+    e.set("data", Value(Bytes(600, std::uint8_t{0xAB})));
+    write_file(dir, "event_bulk_bytes.bin", steered(0, encode_event(e)));
+  }
+  {
+    Event e("unicode", {{"name", "Grüße-患者-🚑"}});
+    write_file(dir, "event_unicode.bin", steered(0, encode_event(e)));
+  }
+  {
+    Bytes whole = encode_event(sample_event());
+    whole.resize(whole.size() / 2);
+    write_file(dir, "event_truncated.bin", steered(0, whole));
+  }
+  write_file(dir, "filter_for_type.bin",
+             steered(1, encode_filter(Filter::for_type("vitals.heartrate"))));
+  write_file(
+      dir, "filter_type_prefix.bin",
+      steered(1, encode_filter(Filter::for_type_prefix("smc.member."))));
+  {
+    Filter f = Filter::for_type("vitals.heartrate");
+    f.where("hr", Op::kGt, Value(std::int64_t{150}))
+        .where("patient", Op::kPrefix, Value(std::string("bed-")))
+        .where("flag", Op::kExists);
+    write_file(dir, "filter_multi_constraint.bin",
+               steered(1, encode_filter(f)));
+  }
+  {
+    Filter f;
+    f.where("level", Op::kNe, Value(std::string("ok")))
+        .where("joules", Op::kLe, Value(200.0));
+    write_file(dir, "filter_numeric_string_ops.bin",
+               steered(1, encode_filter(f)));
+  }
+  {
+    Bytes whole = encode_filter(Filter::for_type("truncated"));
+    whole.resize(whole.size() - 3);
+    write_file(dir, "filter_truncated.bin", steered(1, whole));
+  }
+  {
+    // A bad value-type tag deep inside an otherwise valid filter.
+    Filter f = Filter::for_type("x");
+    Bytes whole = encode_filter(f);
+    whole[whole.size() - 1] = 0x77;  // last byte sits inside the constraint
+    write_file(dir, "filter_bad_value_tag.bin", steered(1, whole));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path root = argc > 1 ? argv[1] : "fuzz/corpus";
+  packet_corpus(root / "packet");
+  codec_corpus(root / "codec");
+  return 0;
+}

@@ -18,6 +18,10 @@ compiler nor clang-tidy enforce:
   I5  no `rand()` / `srand(` in src/ — determinism comes from common/rng.hpp
   I6  every .cpp under src/ is listed in src/CMakeLists.txt (a file that
       compiles only by accident of not being built is a latent break)
+  I7  the torture harness (tests/torture/) is deterministic: no wall
+      clocks (system_clock/steady_clock/high_resolution_clock, time(),
+      gettimeofday) and no unseeded randomness (random_device, rand());
+      every schedule must replay bit-identically from its TORTURE_SEED
 
 Exit status: 0 clean, 1 violations (each printed as file:line: message).
 """
@@ -29,6 +33,7 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 SRC = ROOT / "src"
+TORTURE = ROOT / "tests" / "torture"
 
 violations: list[str] = []
 
@@ -51,6 +56,21 @@ BANNED = [
     (re.compile(r"(?<![\w:])fprintf\s*\("), "I2: fprintf in src/ (only the default sink in common/log.cpp may)", {"src/common/log.cpp"}),
     (re.compile(r"sleep_for|sleep_until|(?<![\w:])usleep\s*\(|(?<![\w:])nanosleep\s*\(|(?<![\w:])sleep\s*\("), "I3: blocking sleep in src/ (schedule on the Executor instead)", set()),
     (re.compile(r"(?<![\w:])s?rand\s*\("), "I5: C rand in src/ (use common/rng.hpp)", set()),
+]
+
+# I7: the torture harness replays fault schedules bit-identically from a
+# seed, so nothing under tests/torture/ may consult a wall clock or an
+# unseeded entropy source. (Simulated time comes from the Executor; all
+# randomness flows from the schedule's TORTURE_SEED via common/rng.hpp.)
+TORTURE_BANNED = [
+    (re.compile(r"std::random_device|(?<![\w:])random_device\b"),
+     "I7: random_device in tests/torture/ (seed all RNGs from the schedule seed)"),
+    (re.compile(r"system_clock|steady_clock|high_resolution_clock"),
+     "I7: wall clock in tests/torture/ (use the simulated Executor clock)"),
+    (re.compile(r"(?<![\w:])time\s*\(|(?<![\w:])gettimeofday\s*\(|(?<![\w:])clock_gettime\s*\("),
+     "I7: wall-clock call in tests/torture/ (use the simulated Executor clock)"),
+    (re.compile(r"(?<![\w:])s?rand\s*\("),
+     "I7: C rand in tests/torture/ (use common/rng.hpp seeded from the schedule)"),
 ]
 
 
@@ -92,6 +112,14 @@ def check_using_namespace(path: Path) -> None:
             report(path, lineno, "I4: `using namespace` in a header")
 
 
+def check_torture_determinism(path: Path) -> None:
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = strip_comments(raw)
+        for pattern, message in TORTURE_BANNED:
+            if pattern.search(line):
+                report(path, lineno, message)
+
+
 def check_cmake_lists_all_sources() -> None:
     cmake = (SRC / "CMakeLists.txt").read_text()
     listed = set(re.findall(r"([\w/]+\.cpp)", cmake))
@@ -109,6 +137,9 @@ def main() -> int:
         check_using_namespace(h)
     for f in headers + sources:
         check_banned_patterns(f)
+    torture_files = sorted(TORTURE.rglob("*.hpp")) + sorted(TORTURE.rglob("*.cpp"))
+    for f in torture_files:
+        check_torture_determinism(f)
     check_cmake_lists_all_sources()
 
     if violations:

@@ -53,6 +53,16 @@ class BusPort {
   [[nodiscard]] virtual ServiceId bus_id() const = 0;
   /// The bus incarnation tag stamped into reliable-channel frames.
   [[nodiscard]] virtual std::uint32_t bus_session() const = 0;
+  /// Session id for `member`'s newly created proxy channel. The default
+  /// reuses the bus session; EventBus hands out a distinct, monotonically
+  /// increasing value per proxy incarnation so frames from a purged
+  /// incarnation can never be adopted as the fresh channel's stream by a
+  /// rejoined member — and honours a session reserved at admission time so
+  /// the JoinAccept can tell the member which session to expect.
+  [[nodiscard]] virtual std::uint32_t next_channel_session(ServiceId member) {
+    (void)member;
+    return bus_session();
+  }
   [[nodiscard]] virtual const ReliableChannelConfig& channel_config()
       const = 0;
 };

@@ -64,6 +64,7 @@ void EventBus::add_member(const MemberInfo& info) {
   // elided when the effective filter set is unchanged, so admission cannot
   // rely on a later table change to deliver the first copy.
   push_quench_table(*it->second);
+  if (observer_.on_member_admitted) observer_.on_member_admitted(info);
   kLog.debug("member ", info.id.to_string(), " admitted as ",
              info.device_type);
 }
@@ -76,6 +77,7 @@ void EventBus::purge_member(ServiceId id) {
   member_info_.erase(id);
   registry_.remove_member(id);
   quench_changed();
+  if (observer_.on_member_purged) observer_.on_member_purged(id);
   kLog.debug("member ", id.to_string(), " purged");
 }
 
@@ -133,6 +135,10 @@ void EventBus::set_authoriser(Authoriser authoriser) {
   authoriser_ = std::move(authoriser);
 }
 
+void EventBus::set_observer(BusObserver observer) {
+  observer_ = std::move(observer);
+}
+
 void EventBus::member_publish(ServiceId member, EventPtr event) {
   if (!event) return;
   const MemberInfo* info = member_info(member);
@@ -169,11 +175,13 @@ void EventBus::member_subscribe(ServiceId member, std::uint64_t local_id,
                topic_of(filter), " denied");
     return;
   }
+  if (observer_.on_subscribe) observer_.on_subscribe(member, local_id, filter);
   registry_.subscribe(member, local_id, filter);
   quench_changed();
 }
 
 void EventBus::member_unsubscribe(ServiceId member, std::uint64_t local_id) {
+  if (observer_.on_unsubscribe) observer_.on_unsubscribe(member, local_id);
   registry_.unsubscribe(member, local_id);
   quench_changed();
 }
@@ -184,6 +192,7 @@ void EventBus::send_datagram(ServiceId dst, BytesView frame) {
 
 void EventBus::route(EventPtr event) {
   ++stats_.published;
+  if (observer_.on_publish) observer_.on_publish(*event);
 
   // The Siena-based engine pays the translation toll on every event: our
   // types → Siena types for matching, Siena types → ours for delivery.
@@ -233,6 +242,7 @@ void EventBus::fan_out(const EncodedEvent& event,
       }
       for (const Handler& h : handlers) {
         ++stats_.local_deliveries;
+        if (observer_.on_local_deliver) observer_.on_local_deliver(event.event());
         h(event.event());
       }
       continue;
@@ -240,6 +250,7 @@ void EventBus::fan_out(const EncodedEvent& event,
     auto pit = proxies_.find(member);
     if (pit == proxies_.end()) continue;  // purged between match and fan-out
     ++stats_.deliveries;
+    if (observer_.on_deliver) observer_.on_deliver(member, event.event(), locals);
     pit->second->deliver_event(event, locals);
   }
 }

@@ -20,6 +20,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "bus/bus_observer.hpp"
 #include "bus/bus_port.hpp"
 #include "bus/subscription_registry.hpp"
 #include "common/sha256.hpp"
@@ -99,6 +100,11 @@ class EventBus final : public BusPort {
 
   void set_authoriser(Authoriser authoriser);
 
+  /// Installs (or clears, with {}) the instrumentation taps used by the
+  /// delivery-guarantee oracle. Observers are passive: they must not call
+  /// back into the bus.
+  void set_observer(BusObserver observer);
+
   // ---- Introspection.
 
   struct Stats {
@@ -136,6 +142,30 @@ class EventBus final : public BusPort {
   [[nodiscard]] std::uint32_t bus_session() const override {
     return config_.session;
   }
+  [[nodiscard]] std::uint32_t next_channel_session(ServiceId member) override {
+    // Unique per proxy incarnation: a rejoined member's fresh receiver must
+    // never mistake a stale in-flight frame from its previous incarnation's
+    // proxy (destroyed on purge) for the new channel's seq 0. An admission
+    // may have reserved the session already (so the JoinAccept could carry
+    // it to the member); consume that reservation here.
+    auto it = reserved_sessions_.find(member);
+    if (it != reserved_sessions_.end()) {
+      std::uint32_t session = it->second;
+      reserved_sessions_.erase(it);
+      return session;
+    }
+    return config_.session + (++proxy_incarnations_);
+  }
+
+  /// Pre-allocates the session the member's *next* proxy channel will use,
+  /// so the discovery service can hand it to the device in the JoinAccept:
+  /// the device's fresh receiver then refuses to adopt any stale frame from
+  /// an earlier (strictly smaller-session) proxy incarnation.
+  [[nodiscard]] std::uint32_t reserve_channel_session(ServiceId member) {
+    std::uint32_t session = config_.session + (++proxy_incarnations_);
+    reserved_sessions_[member] = session;
+    return session;
+  }
   [[nodiscard]] const ReliableChannelConfig& channel_config() const override {
     return config_.channel;
   }
@@ -160,7 +190,10 @@ class EventBus final : public BusPort {
   std::unordered_map<ServiceId, std::unique_ptr<Proxy>> proxies_;
   std::unordered_map<std::uint64_t, Handler> local_handlers_;
   std::uint64_t next_local_id_ = 1;
+  std::uint32_t proxy_incarnations_ = 0;
+  std::unordered_map<ServiceId, std::uint32_t> reserved_sessions_;
   Authoriser authoriser_;
+  BusObserver observer_;
   Stats stats_;
   // Digest of the last filter table pushed to members; a (un)subscribe that
   // leaves the effective set unchanged skips the whole fan-out.

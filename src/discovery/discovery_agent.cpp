@@ -88,6 +88,10 @@ void DiscoveryAgent::handle_datagram(ServiceId src, BytesView data) {
         heartbeat_interval_ = Duration(static_cast<std::int64_t>(r.u64()));
         (void)r.u64();  // cell's purge_after: informational
         bus_id_ = ServiceId(r.u48());
+        // Session of the proxy channel created for this admission (0 when
+        // the cell has no reservation wired): the floor for the member's
+        // receiver, shutting out stale frames from earlier incarnations.
+        bus_channel_session_ = r.remaining() >= 4 ? r.u32() : 0;
         state_ = State::kJoined;
         last_heard_ = executor_.now();
         session_ = rng_.next_u32() | 1U;  // nonzero

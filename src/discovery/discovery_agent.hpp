@@ -61,6 +61,12 @@ class DiscoveryAgent {
   [[nodiscard]] State state() const { return state_; }
   [[nodiscard]] bool joined() const { return state_ == State::kJoined; }
   [[nodiscard]] ServiceId bus_id() const { return bus_id_; }
+  /// Session the cell reserved for this admission's proxy channel (from the
+  /// JoinAccept; 0 when the cell predates the field or has none wired). The
+  /// member's receiver uses it as its minimum acceptable peer session.
+  [[nodiscard]] std::uint32_t bus_channel_session() const {
+    return bus_channel_session_;
+  }
   [[nodiscard]] ServiceId id() const { return transport_->local_id(); }
 
   struct Stats {
@@ -90,6 +96,7 @@ class DiscoveryAgent {
   ServiceId bus_id_;
   Duration heartbeat_interval_ = seconds(1);
   std::uint32_t session_ = 0;  // fresh per join
+  std::uint32_t bus_channel_session_ = 0;  // reserved proxy session
   TimePoint last_heard_{};
   JoinedFn on_joined_;
   LeftFn on_left_;

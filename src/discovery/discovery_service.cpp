@@ -93,6 +93,7 @@ void DiscoveryService::on_datagram(ServiceId src, BytesView data) {
       const MemberRecord* rec = membership_.find(src);
       if (rec) {
         kLog.debug("member ", src.to_string(), " recovered");
+        if (observer_.on_recovered) observer_.on_recovered(rec->info);
         if (on_recovered_) on_recovered_(rec->info);
         if (publish_) {
           publish_(member_event(smc_events::kRecoveredMember, rec->info));
@@ -207,11 +208,16 @@ void DiscoveryService::admit(ServiceId device, const std::string& device_type,
   w.u64(static_cast<std::uint64_t>(config_.heartbeat_interval.count()));
   w.u64(static_cast<std::uint64_t>(config_.purge_after.count()));
   w.u48(bus_id_.raw());
+  // The session the member's new proxy channel will speak: the device's
+  // receiver uses it as a floor, rejecting stale frames from any earlier
+  // proxy incarnation that race the rejoin. 0 = no reservation wired.
+  w.u32(session_provider_ ? session_provider_(device) : 0);
   out.payload = std::move(w).take();
   transport_->send(device, out.encode());
 
   kLog.info("member ", device.to_string(), " admitted (", device_type,
             rejoin ? ", rejoin)" : ")");
+  if (observer_.on_admit) observer_.on_admit(info, rejoin);
   if (on_new_member_) on_new_member_(info);
   if (publish_) publish_(member_event(smc_events::kNewMember, info));
 }
@@ -229,6 +235,7 @@ void DiscoveryService::do_purge(const MemberInfo& info,
   membership_.remove(info.id);
   ++stats_.purges;
   kLog.info("member ", info.id.to_string(), " purged (", reason, ")");
+  if (observer_.on_purge) observer_.on_purge(info, reason);
   if (on_purge_) on_purge_(info.id);
   if (publish_) {
     publish_(member_event(smc_events::kPurgeMember, info, reason));
@@ -254,6 +261,7 @@ void DiscoveryService::sweep() {
     ++stats_.suspects;
     membership_.mark_suspect(info.id);
     kLog.debug("member ", info.id.to_string(), " suspect");
+    if (observer_.on_suspect) observer_.on_suspect(info);
     if (on_suspect_) on_suspect_(info);
     if (publish_) publish_(member_event(smc_events::kSuspectMember, info));
   }

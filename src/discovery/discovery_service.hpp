@@ -10,7 +10,8 @@
 //   device  ------------> JOIN_REQ {device_type, role}
 //   service ------------> JOIN_CHAL {nonce}
 //   device  ------------> JOIN_RESP {device_type, role, hmac}
-//   service ------------> JOIN_ACCEPT {heartbeat, purge_after, bus_id}
+//   service ------------> JOIN_ACCEPT {heartbeat, purge_after, bus_id,
+//                                      channel_session}
 //                          (or JOIN_REJECT {reason})
 //   device  ------------> HEARTBEAT                        every heartbeat
 //   device  ------------> LEAVE                            graceful exit
@@ -39,6 +40,18 @@ inline constexpr const char* kPurgeMember = "smc.member.purge";
 inline constexpr const char* kSuspectMember = "smc.member.suspect";
 inline constexpr const char* kRecoveredMember = "smc.member.recovered";
 }  // namespace smc_events
+
+/// Passive instrumentation taps on the membership lifecycle, fired *in
+/// addition to* the single-consumer set_on_* callbacks the SMC composition
+/// owns. The torture harness's oracle listens here for purge/rejoin edges
+/// (with reasons and rejoin flags) without stealing the cell's wiring.
+struct DiscoveryObserver {
+  /// `rejoin` is true when the id was already a member (a re-admission).
+  std::function<void(const MemberInfo&, bool rejoin)> on_admit;
+  std::function<void(const MemberInfo&, const std::string& reason)> on_purge;
+  std::function<void(const MemberInfo&)> on_suspect;
+  std::function<void(const MemberInfo&)> on_recovered;
+};
 
 struct DiscoveryConfig {
   std::string cell_name = "smc";
@@ -70,6 +83,11 @@ class DiscoveryService {
   /// Publishes a membership event onto the bus (wired to
   /// EventBus::publish_local by the SMC composition).
   using PublishFn = std::function<void(Event)>;
+  /// Reserves the reliable-channel session the member's new proxy will use
+  /// (wired to EventBus::reserve_channel_session by the SMC composition),
+  /// so the JoinAccept can tell the device which session to expect and its
+  /// receiver can reject stale frames from earlier proxy incarnations.
+  using SessionFn = std::function<std::uint32_t(ServiceId)>;
 
   DiscoveryService(Executor& executor, std::shared_ptr<Transport> transport,
                    ServiceId bus_id, DiscoveryConfig config);
@@ -87,6 +105,14 @@ class DiscoveryService {
   void set_on_suspect(MemberStateFn fn) { on_suspect_ = std::move(fn); }
   void set_on_recovered(MemberStateFn fn) { on_recovered_ = std::move(fn); }
   void set_publisher(PublishFn fn) { publish_ = std::move(fn); }
+  void set_session_provider(SessionFn fn) {
+    session_provider_ = std::move(fn);
+  }
+  /// Instrumentation tap (see DiscoveryObserver); independent of the
+  /// set_on_* wiring above.
+  void set_observer(DiscoveryObserver observer) {
+    observer_ = std::move(observer);
+  }
 
   /// Administrative removal (e.g. a policy decision), same path as timeout.
   void purge(ServiceId id, const std::string& reason);
@@ -133,7 +159,9 @@ class DiscoveryService {
   PurgeMemberFn on_purge_;
   MemberStateFn on_suspect_;
   MemberStateFn on_recovered_;
+  DiscoveryObserver observer_;
   PublishFn publish_;
+  SessionFn session_provider_;
   TimerId beacon_timer_ = kNoTimer;
   TimerId sweep_timer_ = kNoTimer;
   bool running_ = false;

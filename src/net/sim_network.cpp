@@ -47,6 +47,40 @@ void SimNetwork::set_link_oneway(const SimHost& from, const SimHost& to,
   links_[{&from, &to}] = DirectedLink{m, {}, false};
 }
 
+void SimNetwork::update_link(const SimHost& a, const SimHost& b,
+                             const LinkModel& m) {
+  update_link_oneway(a, b, m);
+  update_link_oneway(b, a, m);
+}
+
+void SimNetwork::update_link_oneway(const SimHost& from, const SimHost& to,
+                                    const LinkModel& m) {
+  link_between(from, to).model = m;  // busy_until / bad_state survive
+}
+
+const LinkModel& SimNetwork::link_model(const SimHost& from,
+                                        const SimHost& to) {
+  return link_between(from, to).model;
+}
+
+void SimNetwork::set_partition_group(const SimHost& host, int group) {
+  if (group == 0) {
+    partition_.erase(&host);
+  } else {
+    partition_[&host] = group;
+  }
+}
+
+int SimNetwork::partition_group(const SimHost& host) const {
+  auto it = partition_.find(&host);
+  return it == partition_.end() ? 0 : it->second;
+}
+
+void SimNetwork::schedule_fault(TimePoint at,
+                                std::function<void(SimNetwork&)> fault) {
+  executor_.schedule_at(at, [this, fault = std::move(fault)] { fault(*this); });
+}
+
 SimNetwork::DirectedLink& SimNetwork::link_between(const SimHost& from,
                                                    const SimHost& to) {
   auto it = links_.find({&from, &to});
@@ -123,6 +157,11 @@ void SimNetwork::transmit(SimHost& src_host, SimTransport* dst,
   }
   if (!src_host.up() || !dst_host.up()) {
     ++stats_.dropped_down;
+    return;
+  }
+  if (!partition_.empty() &&
+      partition_group(src_host) != partition_group(dst_host)) {
+    ++stats_.dropped_partition;
     return;
   }
   if (roll_loss(link)) {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -107,6 +108,7 @@ class SimNetwork {
     std::uint64_t dropped_down = 0;
     std::uint64_t dropped_no_endpoint = 0;
     std::uint64_t dropped_mtu = 0;
+    std::uint64_t dropped_partition = 0;
     std::uint64_t duplicated = 0;
     std::uint64_t bytes_sent = 0;
     std::uint64_t bytes_delivered = 0;
@@ -124,11 +126,37 @@ class SimNetwork {
 
   /// Link model used where no explicit link is set.
   void set_default_link(const LinkModel& m) { default_link_ = m; }
+  [[nodiscard]] const LinkModel& default_link() const { return default_link_; }
   /// Sets both directions between two hosts.
   void set_link(const SimHost& a, const SimHost& b, const LinkModel& m);
   /// Sets one direction only.
   void set_link_oneway(const SimHost& from, const SimHost& to,
                        const LinkModel& m);
+
+  // ---- Scripted fault injection (the protocol-torture harness's knobs).
+
+  /// Replaces the model of an existing (or default-materialised) link
+  /// *in place*, both directions: unlike set_link, transmission-queue and
+  /// Gilbert–Elliott state survive, so a mid-run MTU squeeze or loss change
+  /// behaves like a property of the radio environment, not a new link.
+  void update_link(const SimHost& a, const SimHost& b, const LinkModel& m);
+  void update_link_oneway(const SimHost& from, const SimHost& to,
+                          const LinkModel& m);
+  /// The model currently governing from→to traffic (default if unset).
+  [[nodiscard]] const LinkModel& link_model(const SimHost& from,
+                                            const SimHost& to);
+
+  /// Network partitions: hosts in different non-negative groups cannot
+  /// exchange datagrams (counted as dropped_partition). Every host starts
+  /// in group 0; clear_partitions() returns everyone there.
+  void set_partition_group(const SimHost& host, int group);
+  [[nodiscard]] int partition_group(const SimHost& host) const;
+  void clear_partitions() { partition_.clear(); }
+
+  /// Schedules a timed mutation of the network (link/host/partition
+  /// changes) on the driving executor — the unit of a deterministic,
+  /// replayable fault schedule.
+  void schedule_fault(TimePoint at, std::function<void(SimNetwork&)> fault);
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   void reset_stats() { stats_ = Stats{}; }
@@ -158,6 +186,7 @@ class SimNetwork {
   std::vector<std::unique_ptr<SimHost>> hosts_;
   std::unordered_map<ServiceId, std::weak_ptr<SimTransport>> endpoints_;
   std::map<std::pair<const SimHost*, const SimHost*>, DirectedLink> links_;
+  std::map<const SimHost*, int> partition_;  // absent = group 0
   Stats stats_;
   std::uint16_t next_port_ = 40'000;
   std::uint32_t next_addr_ = (10u << 24) | 1u;  // 10.0.0.1 …

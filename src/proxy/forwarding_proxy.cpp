@@ -11,7 +11,8 @@ const Logger kLog("proxy.forwarding");
 ForwardingProxy::ForwardingProxy(BusPort& bus, MemberInfo info)
     : Proxy(bus, std::move(info)) {
   channel_ = std::make_unique<ReliableChannel>(
-      bus.executor(), bus.bus_id(), member_id(), bus.bus_session(),
+      bus.executor(), bus.bus_id(), member_id(),
+      bus.next_channel_session(member_id()),
       bus.channel_config(),
       /*send_packet=*/
       [this](const Packet& p) {

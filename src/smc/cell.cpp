@@ -25,6 +25,11 @@ SelfManagedCell::SelfManagedCell(Executor& executor,
       [this](const MemberInfo& info) { bus_->add_member(info); });
   discovery_->set_on_purge_member(
       [this](ServiceId id) { bus_->purge_member(id); });
+  // Reserve the proxy-channel session at admission so the JoinAccept can
+  // carry it: the member's fresh receiver then rejects stale frames from
+  // any earlier proxy incarnation racing the rejoin handshake.
+  discovery_->set_session_provider(
+      [this](ServiceId id) { return bus_->reserve_channel_session(id); });
   discovery_->set_on_recovered([this](const MemberInfo& info) {
     // Liveness evidence restarts any stalled delivery channel immediately
     // instead of waiting for the next retransmission cycle.

@@ -70,6 +70,11 @@ void SmcMember::on_cell_joined(ServiceId bus, std::uint32_t session) {
   ++stats_.joins;
   BusClientConfig cc;
   cc.channel = config_.channel;
+  // Accept only frames from the proxy incarnation created for *this*
+  // admission (or later): a stale retransmission from a pre-purge proxy is
+  // also seq 0 and would otherwise be adopted by the fresh receiver,
+  // leaking the previous incarnation's backlog.
+  cc.channel.min_peer_session = agent_->bus_channel_session();
   cc.quench = config_.quench;
   cc.session = session;
   cc.install_receive_handler = false;

@@ -350,9 +350,12 @@ void ReliableChannel::handle_data(const Packet& packet) {
   const auto count = static_cast<std::uint64_t>(subs.size());
   const auto first = static_cast<std::uint64_t>(packet.seq);
 
-  // Session handling: adopt a new peer incarnation only at its seq 0.
+  // Session handling: adopt a new peer incarnation only at its seq 0, and
+  // only if the session clears the configured floor — a fresh receiver must
+  // not mistake a stale retransmission of a purged incarnation's first
+  // frame for its own new stream.
   if (!peer_session_known_ || packet.session != peer_session_) {
-    if (packet.seq != 0) {
+    if (packet.seq != 0 || packet.session < config_.min_peer_session) {
       ++stats_.stale_session_dropped;
       return;
     }

@@ -96,6 +96,15 @@ struct ReliableChannelConfig {
   /// burst of stale duplicates yields at most one delayed ack.
   /// Duration{} disables: every DATA frame is acked on arrival (legacy).
   Duration ack_delay = milliseconds(2);
+  /// Refuse to adopt a peer session below this floor. Seq-0 adoption alone
+  /// cannot tell a genuine new stream from a stale retransmission of an old
+  /// stream's first frame (a purged proxy's queue head is seq 0 when nothing
+  /// was ever acked, and it races the rejoin handshake). The bus hands out
+  /// monotonically increasing proxy sessions, and membership tells the
+  /// device the session its new proxy will use — so a receiver created for
+  /// incarnation N can reject every frame from incarnations < N outright.
+  /// 0 = accept any session at seq 0 (legacy / first contact).
+  std::uint32_t min_peer_session = 0;
 };
 
 /// One outbound message assembled from an owned per-message head and an

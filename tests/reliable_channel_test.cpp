@@ -279,6 +279,77 @@ TEST(ReliableChannel, StaleSessionPacketsDropped) {
   EXPECT_EQ(p.b->stats().stale_session_dropped, 1u);
 }
 
+TEST(ReliableChannel, RejoinedPeerNeverDeliversStaleBatchedBacklog) {
+  // A purged-and-rejoined peer's fresh receiver is told (by the membership
+  // handshake) the session its new stream will speak. Retransmissions from
+  // the previous incarnation — including the seq-0 frame that would win
+  // the adoption race, and a batched frame whose sub-messages are the old
+  // queued backlog — must be dropped whole, not delivered or acknowledged.
+  ChannelPair p;
+  Bytes stale_seq0, stale_batch;
+  p.tap_from_a = [&](const Packet& pk) {
+    if (pk.type != PacketType::kData) return;
+    if (pk.seq == 0) stale_seq0 = pk.encode();
+    if (pk.flags & kFlagBatched) stale_batch = pk.encode();
+  };
+  for (int i = 0; i < 5; ++i) {
+    (void)p.a->send(to_bytes("old" + std::to_string(i)));
+  }
+  p.ex.run();
+  ASSERT_EQ(p.at_b.size(), 5u);  // old incarnation: all delivered
+  ASSERT_FALSE(stale_seq0.empty());
+  ASSERT_FALSE(stale_batch.empty());  // old1..old4 coalesced after the ack
+
+  // Fresh receiver incarnation; the reserved session for the new stream is
+  // 444, so anything below is a relic of the purged incarnation.
+  ReliableChannelConfig fresh_cfg;
+  fresh_cfg.min_peer_session = 444;
+  std::vector<std::string> at_b2;
+  std::vector<Packet> b2_out;
+  std::function<void(const Packet&)> b2_send =
+      [&](const Packet& pk) { b2_out.push_back(pk); };
+  ReliableChannel b2(
+      p.ex, p.id_b, p.id_a, /*session=*/334, fresh_cfg,
+      [&](const Packet& pk) { b2_send(pk); },
+      [&](BytesView m) { at_b2.emplace_back(to_string(m)); });
+
+  b2.on_packet(*Packet::decode(stale_seq0));   // adoption race: seq 0
+  b2.on_packet(*Packet::decode(stale_batch));  // stale batched backlog
+  p.ex.run();
+  EXPECT_TRUE(at_b2.empty());
+  EXPECT_EQ(b2.stats().stale_session_dropped, 2u);
+  // A stale frame must not even be acknowledged — an ack would let the old
+  // incarnation's sender advance as if the new member had the data.
+  EXPECT_TRUE(b2_out.empty());
+
+  // The reserved-session sender delivers normally, batching included.
+  ReliableChannel a2(
+      p.ex, p.id_a, p.id_b, /*session=*/444, ReliableChannelConfig{},
+      [&](const Packet& pk) {
+        Bytes wire = pk.encode();
+        p.ex.schedule_after(milliseconds(1), [&b2, wire] {
+          std::optional<Packet> q = Packet::decode(wire);
+          if (q) b2.on_packet(*q);
+        });
+      },
+      [](BytesView) {});
+  b2_send = [&](const Packet& pk) {
+    Bytes wire = pk.encode();
+    p.ex.schedule_after(milliseconds(1), [&a2, wire] {
+      std::optional<Packet> q = Packet::decode(wire);
+      if (q) a2.on_packet(*q);
+    });
+  };
+  for (int i = 0; i < 5; ++i) {
+    (void)a2.send(to_bytes("new" + std::to_string(i)));
+  }
+  p.ex.run();
+  ASSERT_EQ(at_b2.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(at_b2[i], "new" + std::to_string(i));
+  }
+}
+
 TEST(ReliableChannel, IgnoresPacketsFromWrongPeer) {
   ChannelPair p;
   Packet foreign;

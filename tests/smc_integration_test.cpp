@@ -226,6 +226,71 @@ TEST_F(SmcFixture, PurgeDestroysQueuedEventsAndRejoinStartsClean) {
   EXPECT_EQ(got[0], 100);
 }
 
+TEST_F(SmcFixture, RejoinAfterPurgeRejectsOldIncarnationBacklog) {
+  // Converse of the test above, exercising the race it cannot reach: the
+  // old proxy's seq-0 DATA frame (the queued backlog — nothing was ever
+  // acknowledged, so the queue head is seq 0) is still in flight when the
+  // purged member rejoins. A fresh receiver adopts new peer streams at
+  // seq 0, so without the admission-session floor it would adopt the stale
+  // frame and deliver the previous incarnation's backlog.
+  cell->start();
+  SimHost& pub_host = net.add_host("pub", profiles::ideal_host());
+  SimHost& sub_host = net.add_host("sub", profiles::ideal_host());
+  SmcMemberConfig mc;
+  mc.agent.cell_name = "patient-cell";
+  mc.agent.pre_shared_key = kPsk;
+  auto pub = std::make_unique<SmcMember>(ex, net.create_endpoint(pub_host), mc);
+  SmcMemberConfig mc2 = mc;
+  mc2.agent.cell_lost_after = seconds(3);
+  auto sub = std::make_unique<SmcMember>(ex, net.create_endpoint(sub_host), mc2);
+  std::vector<std::int64_t> got;
+  sub->subscribe(Filter::for_type("seq"),
+                 [&](const Event& e) { got.push_back(e.get_int("n")); });
+  pub->start();
+  sub->start();
+  ex.run_for(seconds(3));
+  ASSERT_TRUE(pub->joined() && sub->joined());
+
+  // Asymmetric outage: sub → core drops everything (heartbeats vanish, so
+  // the member is purged), while core → sub *delays* every frame by 9 s
+  // instead of dropping it. The old proxy's backlog retransmissions are
+  // therefore still in flight long after the proxy itself is destroyed,
+  // and land only once the member has rejoined.
+  LinkModel drop = net.default_link();
+  drop.loss = 1.0;
+  LinkModel slow = net.default_link();
+  slow.latency_min = seconds(9);
+  slow.latency_spread = Duration{};
+  net.update_link_oneway(sub_host, *core, drop);
+  net.update_link_oneway(*core, sub_host, slow);
+
+  ex.run_for(milliseconds(500));
+  for (int i = 0; i < 5; ++i) pub->publish(Event("seq", {{"n", i}}));
+  ex.run_for(seconds(8));  // silence → suspect → purge (purge_after = 6 s)
+  EXPECT_FALSE(cell->bus().has_member(sub->id()));
+
+  // Heal both directions. Frames already in flight keep their slow arrival
+  // times: the stale seq-0 retransmissions arrive *after* the rejoin.
+  net.update_link_oneway(sub_host, *core, net.default_link());
+  net.update_link_oneway(*core, sub_host, net.default_link());
+  ex.run_for(seconds(10));
+  ASSERT_TRUE(sub->joined());
+  EXPECT_GE(sub->stats().joins, 2u);
+
+  // The old incarnation's backlog was rejected at the channel, not
+  // delivered: the race genuinely happened (stale frames reached the fresh
+  // client) and nothing leaked across the purge.
+  ASSERT_NE(sub->client(), nullptr);
+  EXPECT_GE(sub->client()->channel_stats().stale_session_dropped, 1u);
+  EXPECT_TRUE(got.empty());
+
+  // The new incarnation's traffic flows normally.
+  pub->publish(Event("seq", {{"n", 100}}));
+  ex.run_for(seconds(3));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 100);
+}
+
 TEST(SmcZigbee, LargeEventsCrossSmallMtuTransport) {
   // §VI: migration to ZigBee. Its 1024 B MTU cannot carry a 2 KB event in
   // one datagram; channel-level fragmentation makes the same bus code work.

@@ -1,0 +1,226 @@
+#include "torture/oracle.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace amuse::torture {
+namespace {
+
+constexpr std::uint64_t kOpen = std::numeric_limits<std::uint64_t>::max();
+
+bool is_torture_event(const Event& e) { return e.type() == "torture"; }
+
+std::string describe(const Event& e) {
+  std::ostringstream os;
+  os << "(sender=" << e.publisher().to_string() << " n=" << e.get_int("n")
+     << " shard=" << e.get_int("shard") << " v=" << e.get_int("v") << ")";
+  return os.str();
+}
+
+}  // namespace
+
+void DeliveryOracle::attach(EventBus& bus, std::function<TimePoint()> now) {
+  now_ = std::move(now);
+  BusObserver obs;
+  obs.on_member_admitted = [this](const MemberInfo& info) {
+    ++seq_;
+    auto& iv = intervals_[info.id];
+    if (!iv.empty() && iv.back().close_seq == kOpen) iv.back().close_seq = seq_;
+    iv.push_back(Interval{seq_, kOpen});
+    mirror_[info.id].clear();
+  };
+  obs.on_member_purged = [this](ServiceId id) {
+    ++seq_;
+    auto& iv = intervals_[id];
+    if (!iv.empty() && iv.back().close_seq == kOpen) iv.back().close_seq = seq_;
+    mirror_[id].clear();
+  };
+  obs.on_subscribe = [this](ServiceId member, std::uint64_t local_id,
+                            const Filter& filter) {
+    ++seq_;
+    mirror_[member][local_id] = filter;
+  };
+  obs.on_unsubscribe = [this](ServiceId member, std::uint64_t local_id) {
+    ++seq_;
+    mirror_[member].erase(local_id);
+  };
+  obs.on_publish = [this](const Event& e) { bus_publish(e); };
+  obs.on_deliver = [this](ServiceId member, const Event& e,
+                          const std::vector<std::uint64_t>& locals) {
+    bus_deliver(member, e, locals);
+  };
+  bus.set_observer(std::move(obs));
+}
+
+void DeliveryOracle::on_member_joined(std::size_t member_idx,
+                                      std::uint64_t incarnation,
+                                      TimePoint when) {
+  join_time_.emplace(std::make_pair(member_idx, incarnation), when);
+}
+
+void DeliveryOracle::fail(std::string invariant, std::string detail) {
+  if (violation_) return;  // keep the first violation
+  violation_ = Violation{std::move(invariant), std::move(detail)};
+}
+
+void DeliveryOracle::bus_publish(const Event& e) {
+  ++seq_;
+  if (!is_torture_event(e)) return;
+  std::uint64_t sender = e.publisher().raw();
+  std::int64_t n = e.get_int("n", -1);
+  auto key = std::make_pair(sender, n);
+  if (publishes_.contains(key)) {
+    fail("duplicate-publish",
+         "event " + describe(e) +
+             " reached the bus twice; a stale channel incarnation leaked");
+    return;
+  }
+  PublishRecord rec;
+  rec.seq = seq_;
+  rec.order = ++sender_order_[sender];
+  rec.routed_at = now_();
+  // Candidate receivers: every currently-admitted member (with an open
+  // interval) whose mirrored subscription set matches the event now.
+  for (const auto& [member, subs] : mirror_) {
+    const auto iv = intervals_.find(member);
+    if (iv == intervals_.end() || iv->second.empty() ||
+        iv->second.back().close_seq != kOpen) {
+      continue;
+    }
+    std::vector<std::uint64_t> matching;
+    for (const auto& [local_id, filter] : subs) {
+      if (filter.matches(e)) matching.push_back(local_id);
+    }
+    if (!matching.empty()) rec.candidates.emplace(member, std::move(matching));
+  }
+  publishes_.emplace(key, std::move(rec));
+}
+
+void DeliveryOracle::bus_deliver(ServiceId member, const Event& e,
+                                 const std::vector<std::uint64_t>& locals) {
+  ++seq_;
+  if (!is_torture_event(e)) return;
+  // (d) The engine's matched set must equal the brute-force specification.
+  std::vector<std::uint64_t> expect;
+  auto mit = mirror_.find(member);
+  if (mit != mirror_.end()) {
+    for (const auto& [local_id, filter] : mit->second) {
+      if (filter.matches(e)) expect.push_back(local_id);
+    }
+  }
+  std::vector<std::uint64_t> got = locals;
+  std::sort(got.begin(), got.end());
+  if (got != expect) {
+    std::ostringstream os;
+    os << "delivery of " << describe(e) << " to " << member.to_string()
+       << " matched locals {";
+    for (auto id : got) os << id << ",";
+    os << "} but the subscription mirror expects {";
+    for (auto id : expect) os << id << ",";
+    os << "}";
+    fail(expect.empty() ? "quench-consistency" : "matching-mismatch",
+         os.str());
+  }
+}
+
+void DeliveryOracle::on_member_delivery(std::size_t member_idx,
+                                        ServiceId member_id,
+                                        std::uint64_t incarnation,
+                                        std::uint64_t sub_tag,
+                                        const Event& e) {
+  if (!is_torture_event(e)) return;
+  ++delivery_count_;
+  std::uint64_t sender = e.publisher().raw();
+  std::int64_t n = e.get_int("n", -1);
+
+  auto pub = publishes_.find(std::make_pair(sender, n));
+  if (pub == publishes_.end()) {
+    fail("phantom-delivery",
+         "member " + member_id.to_string() + " received " + describe(e) +
+             " which the bus never routed");
+    return;
+  }
+  // (e) stale delivery: the event was routed by the bus well before this
+  // incarnation of the receiver joined, so it can only have arrived through
+  // channel state leaked across a purge. The 250 ms slack generously covers
+  // the legitimate window (proxy created at admission, client created when
+  // the JoinAccept lands one datagram-flight later).
+  auto jt = join_time_.find(std::make_pair(member_idx, incarnation));
+  if (jt != join_time_.end() &&
+      pub->second.routed_at + milliseconds(250) < jt->second) {
+    fail("stale-delivery",
+         "member " + member_id.to_string() + " incarnation " +
+             std::to_string(incarnation) + " (joined at " +
+             std::to_string(to_seconds(jt->second.time_since_epoch())) +
+             "s) received " + describe(e) + " routed at " +
+             std::to_string(
+                 to_seconds(pub->second.routed_at.time_since_epoch())) +
+             "s — backlog leaked from a previous incarnation");
+    return;
+  }
+  // (a) exactly once per (receiver incarnation, subscription, sender, n).
+  auto dup_key = std::make_tuple(member_idx, incarnation, sub_tag, sender, n);
+  if (!seen_.insert(dup_key).second) {
+    fail("duplicate-delivery",
+         "member " + member_id.to_string() + " (incarnation " +
+             std::to_string(incarnation) + ", sub " +
+             std::to_string(sub_tag) + ") received " + describe(e) +
+             " twice");
+    return;
+  }
+  // (b) per-sender FIFO within one receiver incarnation: the per-sender
+  // publish order must be strictly increasing (gaps = losses across purges
+  // are legal; reordering is not).
+  auto fifo_key = std::make_tuple(member_idx, incarnation, sub_tag, sender);
+  auto [it, fresh] = fifo_.try_emplace(fifo_key, pub->second.order);
+  if (!fresh) {
+    if (pub->second.order <= it->second) {
+      fail("fifo", "member " + member_id.to_string() + " (incarnation " +
+                       std::to_string(incarnation) + ") received " +
+                       describe(e) + " with per-sender order " +
+                       std::to_string(pub->second.order) +
+                       " after already seeing order " +
+                       std::to_string(it->second));
+      return;
+    }
+    it->second = pub->second.order;
+  }
+  delivered_.insert(std::make_tuple(member_id.raw(), sender, n));
+}
+
+void DeliveryOracle::finish() {
+  if (violation_) return;
+  // (c) lost delivery: for every publish, every candidate member whose
+  // admission interval stayed open from the publish to the end of the run,
+  // and at least one of whose matching subscriptions survived to the end,
+  // must have received the event.
+  for (const auto& [key, rec] : publishes_) {
+    for (const auto& [member, matching] : rec.candidates) {
+      const auto iv = intervals_.find(member);
+      if (iv == intervals_.end() || iv->second.empty()) continue;
+      const Interval& last = iv->second.back();
+      // The interval that was open at publish time must be the last one
+      // and still open (i.e. no purge/re-admission after the publish).
+      if (last.close_seq != kOpen || last.open_seq > rec.seq) continue;
+      const auto mit = mirror_.find(member);
+      if (mit == mirror_.end()) continue;
+      bool survived = std::any_of(
+          matching.begin(), matching.end(),
+          [&](std::uint64_t id) { return mit->second.contains(id); });
+      if (!survived) continue;
+      if (!delivered_.contains(
+              std::make_tuple(member.raw(), key.first, key.second))) {
+        fail("lost-delivery",
+             "member " + member.to_string() +
+                 " stayed admitted and subscribed but never received event"
+                 " (sender=" +
+                 std::to_string(key.first) +
+                 " n=" + std::to_string(key.second) + ")");
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace amuse::torture

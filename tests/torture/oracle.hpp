@@ -1,0 +1,118 @@
+// DeliveryOracle: records ground truth on both sides of the bus and checks
+// the paper's delivery guarantees (§III / §VI) after a torture run:
+//
+//   (a) no duplicate delivery — "exactly once ... as long as the component
+//       remains a member";
+//   (b) per-sender FIFO at every receiver — "events from a single sender
+//       are delivered in the order they were published";
+//   (c) no lost delivery — every matching event published while a member
+//       was admitted-and-never-since-purged is eventually delivered;
+//   (d) quench/matching consistency — an event is handed to a member's
+//       proxy exactly for the member's subscriptions that match it (the
+//       oracle's brute-force Filter::matches is the specification the
+//       engines are checked against);
+//   (e) no stale delivery — a rejoined member must not receive backlog
+//       queued for a previous incarnation ("purge destroys queued
+//       events"): an event routed long before the receiving incarnation
+//       joined can only arrive through leaked channel state.
+//
+// Bus-side truth comes from a BusObserver; member-side truth from the
+// harness's subscription handlers (on_member_delivery). All containers are
+// ordered (std::map/std::set) so violation reports are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bus/event_bus.hpp"
+
+namespace amuse::torture {
+
+class DeliveryOracle {
+ public:
+  struct Violation {
+    std::string invariant;  // "duplicate-delivery", "fifo", ...
+    std::string detail;
+  };
+
+  /// Installs the bus observer. `now` supplies the simulation clock (used
+  /// to timestamp publishes for the stale-delivery check). The oracle must
+  /// outlive the bus.
+  void attach(EventBus& bus, std::function<TimePoint()> now);
+
+  /// Called by the harness whenever a member (re-)joins, with the member's
+  /// new join count.
+  void on_member_joined(std::size_t member_idx, std::uint64_t incarnation,
+                        TimePoint when);
+
+  /// Called by the harness from every recorder subscription handler.
+  /// `incarnation` is the member's join count at delivery time; `sub_tag`
+  /// identifies the durable subscription the handler belongs to.
+  void on_member_delivery(std::size_t member_idx, ServiceId member_id,
+                          std::uint64_t incarnation, std::uint64_t sub_tag,
+                          const Event& e);
+
+  /// End-of-run check (after quiescence): lost deliveries. Online checks
+  /// (duplicates, FIFO, quench consistency, duplicate/phantom publishes)
+  /// have already been recorded as they happened.
+  void finish();
+
+  [[nodiscard]] const std::optional<Violation>& violation() const {
+    return violation_;
+  }
+  [[nodiscard]] std::uint64_t publishes() const { return publishes_.size(); }
+  [[nodiscard]] std::uint64_t deliveries() const { return delivery_count_; }
+
+ private:
+  struct Interval {
+    std::uint64_t open_seq;
+    std::uint64_t close_seq;  // UINT64_MAX while open
+  };
+  struct PublishRecord {
+    std::uint64_t seq;        // global observer order
+    std::uint64_t order;      // per-sender publish index (FIFO reference)
+    TimePoint routed_at{};    // sim time the bus routed the event
+    // Admitted members whose mirror matched at publish time, with the
+    // matching local subscription ids (for the survived-to-end test).
+    std::map<ServiceId, std::vector<std::uint64_t>> candidates;
+  };
+
+  void fail(std::string invariant, std::string detail);
+  void bus_publish(const Event& e);
+  void bus_deliver(ServiceId member, const Event& e,
+                   const std::vector<std::uint64_t>& locals);
+
+  std::uint64_t seq_ = 0;  // bumped on every observed bus action
+  std::function<TimePoint()> now_;
+
+  // (member_idx, incarnation) → sim time that join completed.
+  std::map<std::pair<std::size_t, std::uint64_t>, TimePoint> join_time_;
+
+  // Bus-side mirrors (the oracle's own bookkeeping, independent of the
+  // registry implementation under test).
+  std::map<ServiceId, std::map<std::uint64_t, Filter>> mirror_;
+  std::map<ServiceId, std::vector<Interval>> intervals_;
+
+  // (sender raw, n) → publish record; per-sender publish counters.
+  std::map<std::pair<std::uint64_t, std::int64_t>, PublishRecord> publishes_;
+  std::map<std::uint64_t, std::uint64_t> sender_order_;
+
+  // Member-side records. Dup key: (member_idx, incarnation, sub_tag,
+  // sender raw, n). FIFO state: last publish order per (member_idx,
+  // incarnation, sub_tag, sender raw).
+  std::set<std::tuple<std::size_t, std::uint64_t, std::uint64_t,
+                      std::uint64_t, std::int64_t>> seen_;
+  std::map<std::tuple<std::size_t, std::uint64_t, std::uint64_t,
+                      std::uint64_t>, std::uint64_t> fifo_;
+  // (member raw, sender raw, n) delivered at least once — for (c).
+  std::set<std::tuple<std::uint64_t, std::uint64_t, std::int64_t>> delivered_;
+  std::uint64_t delivery_count_ = 0;
+
+  std::optional<Violation> violation_;
+};
+
+}  // namespace amuse::torture

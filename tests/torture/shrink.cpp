@@ -1,0 +1,60 @@
+#include "torture/shrink.hpp"
+
+namespace amuse::torture {
+
+ShrinkResult shrink(const Schedule& failing, const TortureConfig& config,
+                    int max_runs) {
+  ShrinkResult out;
+  out.schedule = failing;
+  out.result = run_torture(failing, config);
+  ++out.runs;
+  if (out.result.ok) return out;  // caller lied; nothing to shrink
+
+  auto fails = [&](const Schedule& candidate,
+                   TortureResult* result) -> bool {
+    if (out.runs >= max_runs) return false;
+    ++out.runs;
+    TortureResult r = run_torture(candidate, config);
+    if (!r.ok && result != nullptr) *result = std::move(r);
+    return !r.ok;
+  };
+  auto prefix = [&](std::size_t k) {
+    Schedule s;
+    s.seed = failing.seed;
+    s.steps.assign(failing.steps.begin(),
+                   failing.steps.begin() + static_cast<std::ptrdiff_t>(k));
+    return s;
+  };
+
+  // Pass 1: shortest failing prefix. Invariant: prefix(hi) fails.
+  std::size_t lo = 0;
+  std::size_t hi = failing.steps.size();
+  while (lo + 1 < hi && out.runs < max_runs) {
+    std::size_t mid = lo + (hi - lo) / 2;
+    TortureResult r;
+    if (fails(prefix(mid), &r)) {
+      hi = mid;
+      out.result = std::move(r);
+    } else {
+      lo = mid;
+    }
+  }
+  out.schedule = prefix(hi);
+
+  // Pass 2: drop individual steps, latest first (later steps are the most
+  // likely to be incidental once the prefix is minimal).
+  for (std::size_t i = out.schedule.steps.size(); i-- > 0;) {
+    if (out.runs >= max_runs) break;
+    Schedule candidate = out.schedule;
+    candidate.steps.erase(candidate.steps.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+    TortureResult r;
+    if (fails(candidate, &r)) {
+      out.schedule = std::move(candidate);
+      out.result = std::move(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace amuse::torture

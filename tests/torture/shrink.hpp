@@ -1,0 +1,24 @@
+// Schedule shrinker: given a failing (schedule, config) pair, finds a small
+// sub-schedule that still fails. Two passes:
+//   1. prefix bisection — binary-search the shortest failing prefix;
+//   2. single-step removal — greedily drop steps that are not needed.
+// Both rely on run_torture() being deterministic in its inputs, so every
+// candidate either reproducibly fails or reproducibly passes.
+#pragma once
+
+#include "torture/driver.hpp"
+
+namespace amuse::torture {
+
+struct ShrinkResult {
+  Schedule schedule;     // minimal failing schedule found
+  TortureResult result;  // its failure
+  int runs = 0;          // torture runs spent shrinking
+};
+
+/// `failing` must fail under `config`. Runs at most `max_runs` replays.
+[[nodiscard]] ShrinkResult shrink(const Schedule& failing,
+                                  const TortureConfig& config,
+                                  int max_runs = 200);
+
+}  // namespace amuse::torture
