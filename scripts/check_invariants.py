@@ -22,6 +22,12 @@ compiler nor clang-tidy enforce:
       clocks (system_clock/steady_clock/high_resolution_clock, time(),
       gettimeofday) and no unseeded randomness (random_device, rand());
       every schedule must replay bit-identically from its TORTURE_SEED
+  I8  overload accounting (DESIGN.md §9): a ReliableChannel::send call in
+      src/ may legitimately fail under the delivery budgets, so every call
+      site must either consume the return value (the caller accounts for
+      the shed) or pass MsgClass::kControl (control-class sends always
+      succeed). A bare or `(void)`-discarded data-class send is a silent
+      drop waiting to happen
 
 Exit status: 0 clean, 1 violations (each printed as file:line: message).
 """
@@ -120,6 +126,46 @@ def check_torture_determinism(path: Path) -> None:
                 report(path, lineno, message)
 
 
+# I8: channel send() call sites. A match is compliant when the call's
+# argument list names MsgClass::kControl, or when the statement consumes the
+# return value (condition, assignment, `return`, negation…). An empty prefix
+# (bare expression statement) or an explicit `(void)` discard on a
+# data-class send is a violation: under the §9 budgets that send can shed
+# the message, and nobody would know.
+CHANNEL_SEND = re.compile(r"\bchannel_?(?:->|\.)\s*send\s*\(")
+
+
+def check_channel_send_accounting(path: Path) -> None:
+    raw_lines = path.read_text().splitlines()
+    stripped = [strip_comments(line) for line in raw_lines]
+    text = "\n".join(stripped)
+    for m in CHANNEL_SEND.finditer(text):
+        lineno = text.count("\n", 0, m.start()) + 1
+        # Capture the full (possibly multi-line) argument list.
+        depth = 0
+        end = m.end() - 1  # at the opening '('
+        while end < len(text):
+            if text[end] == "(":
+                depth += 1
+            elif text[end] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            end += 1
+        call = text[m.start() : end + 1]
+        if "MsgClass::kControl" in call:
+            continue
+        line_start = text.rfind("\n", 0, m.start()) + 1
+        prefix = text[line_start : m.start()].strip()
+        if prefix in ("", "(void)"):
+            report(
+                path,
+                lineno,
+                "I8: data-class channel send ignores its return value "
+                "(check it or pass MsgClass::kControl)",
+            )
+
+
 def check_cmake_lists_all_sources() -> None:
     cmake = (SRC / "CMakeLists.txt").read_text()
     listed = set(re.findall(r"([\w/]+\.cpp)", cmake))
@@ -137,6 +183,7 @@ def main() -> int:
         check_using_namespace(h)
     for f in headers + sources:
         check_banned_patterns(f)
+        check_channel_send_accounting(f)
     torture_files = sorted(TORTURE.rglob("*.hpp")) + sorted(TORTURE.rglob("*.cpp"))
     for f in torture_files:
         check_torture_determinism(f)

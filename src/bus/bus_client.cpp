@@ -46,13 +46,17 @@ void BusClient::handle_datagram(ServiceId src, BytesView data) {
 std::uint64_t BusClient::subscribe(const Filter& filter, Handler handler) {
   std::uint64_t id = next_sub_id_++;
   handlers_.emplace(id, std::move(handler));
-  (void)channel_->send(BusMessage::subscribe(id, filter).encode());
+  // Control class: subscription state must reach the bus even when the
+  // outbound queue is saturated with event data.
+  (void)channel_->send(BusMessage::subscribe(id, filter).encode(),
+                       MsgClass::kControl);
   return id;
 }
 
 void BusClient::unsubscribe(std::uint64_t id) {
   if (handlers_.erase(id) == 0) return;
-  (void)channel_->send(BusMessage::unsubscribe(id).encode());
+  (void)channel_->send(BusMessage::unsubscribe(id).encode(),
+                       MsgClass::kControl);
 }
 
 bool BusClient::publish(Event event) {
@@ -70,6 +74,12 @@ bool BusClient::publish(Event event) {
   ++stats_.published;
   if (!channel_->send(BusMessage::encode_publish(event))) {
     kLog.warn("publish queue full towards bus ", bus_.to_string());
+  }
+  if (pressured_) {
+    // Still sent — the bus sheds member-side, not us — but tell the caller
+    // the cell asked publishers to back off.
+    ++stats_.pressured_publishes;
+    return false;
   }
   return true;
 }
@@ -102,6 +112,15 @@ void BusClient::on_message(BytesView message) {
     }
     case BusMsgType::kQuenchUpdate:
       quench_.update(m.quench_filters);
+      break;
+    case BusMsgType::kFlowControl:
+      ++stats_.flow_signals;
+      if (pressured_ != m.pressure) {
+        pressured_ = m.pressure;
+        kLog.debug(m.pressure ? "bus raised flow-control pressure"
+                              : "bus released flow-control pressure");
+        if (on_pressure_) on_pressure_(m.pressure);
+      }
       break;
     default:
       kLog.warn("unexpected ", to_string(m.type), " from bus");

@@ -50,8 +50,18 @@ class BusClient {
   void unsubscribe(std::uint64_t id);
 
   /// Publishes an event. Returns false when the event was quenched
-  /// (suppressed because no subscription in the cell matches).
+  /// (suppressed because no subscription in the cell matches) or when the
+  /// bus has announced flow-control pressure. A pressured publish is still
+  /// sent (delivery stays reliable); the false return is the advisory
+  /// signal for publishers that can defer — see SmcMember, which buffers.
   bool publish(Event event);
+
+  /// Invoked on kFlowControl transitions from the bus: true when the bus
+  /// asks publishers to back off, false when pressure is released.
+  using PressureFn = std::function<void(bool)>;
+  void set_on_pressure(PressureFn fn) { on_pressure_ = std::move(fn); }
+  /// True while the bus's last kFlowControl announced pressure.
+  [[nodiscard]] bool pressured() const { return pressured_; }
 
   /// Handler for events that arrive for an already-unsubscribed id
   /// (in-flight at unsubscribe time); defaults to dropping them.
@@ -66,6 +76,8 @@ class BusClient {
   struct Stats {
     std::uint64_t published = 0;
     std::uint64_t quenched = 0;
+    std::uint64_t pressured_publishes = 0;  // sent while under flow control
+    std::uint64_t flow_signals = 0;         // kFlowControl messages received
     std::uint64_t events_received = 0;
     std::uint64_t handler_invocations = 0;
   };
@@ -90,6 +102,8 @@ class BusClient {
   std::uint64_t next_sub_id_ = 1;
   std::uint64_t next_pub_seq_ = 1;
   Handler unclaimed_;
+  PressureFn on_pressure_;
+  bool pressured_ = false;
   QuenchTable quench_;
   Stats stats_;
   Executor& executor_;

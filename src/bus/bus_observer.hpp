@@ -42,6 +42,11 @@ struct BusObserver {
       on_subscribe;
   std::function<void(ServiceId member, std::uint64_t local_id)>
       on_unsubscribe;
+  /// A queued event for `member` was shed under budget exhaustion — the
+  /// accounted counterpart of the old silent drop. Fires once per (event,
+  /// member) shed; the refined torture guarantee (c) pairs every missing
+  /// delivery at a live member with exactly such a record.
+  std::function<void(ServiceId member, const Event& event)> on_shed;
 };
 
 }  // namespace amuse

@@ -49,6 +49,22 @@ class BusPort {
   /// Sends a raw frame to a member over the bus's transport endpoint.
   virtual void send_datagram(ServiceId dst, BytesView frame) = 0;
 
+  /// A proxy shed an outbound event for `member` under budget exhaustion
+  /// (DESIGN.md §9). The bus accounts it and surfaces it through
+  /// BusObserver::on_shed — drops are accounted, never silent. Default
+  /// no-op so proxy fakes in tests need not care.
+  virtual void notify_shed(ServiceId member, const Event& event) {
+    (void)member;
+    (void)event;
+  }
+  /// A member's outbound channel crossed its flow-control high-water mark
+  /// (under_pressure=true) or drained back below the low-water mark
+  /// (false). Default no-op.
+  virtual void member_pressure(ServiceId member, bool under_pressure) {
+    (void)member;
+    (void)under_pressure;
+  }
+
   [[nodiscard]] virtual Executor& executor() = 0;
   [[nodiscard]] virtual ServiceId bus_id() const = 0;
   /// The bus incarnation tag stamped into reliable-channel frames.

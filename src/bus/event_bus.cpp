@@ -45,6 +45,12 @@ EventBus::EventBus(Executor& executor, std::shared_ptr<Transport> transport,
                                         ? profiles::siena_bus_costs()
                                         : profiles::c_bus_costs())),
       registry_(make_matcher(config_.engine)) {
+  if (config_.bus_queue_bytes > 0) {
+    budget_ = std::make_shared<DeliveryBudget>(config_.bus_queue_bytes);
+    // Every proxy channel charges/releases this ledger entry-by-entry;
+    // the bus enforces the limit after each fan-out and quench push.
+    config_.channel.shared_budget = budget_;
+  }
   transport_->set_receive_handler([this](ServiceId src, BytesView data) {
     auto it = proxies_.find(src);
     if (it == proxies_.end()) return;  // not (yet) a member: drop
@@ -76,6 +82,12 @@ void EventBus::purge_member(ServiceId id) {
   proxies_.erase(it);
   member_info_.erase(id);
   registry_.remove_member(id);
+  // on_purge() releasing the member's retained bytes normally fires the
+  // low-watermark callback itself; erasing here covers a proxy torn down
+  // without a pressure transition so a dead member can't pin the cell's
+  // publishers under flow control forever.
+  pressured_members_.erase(id);
+  update_flow_control();
   quench_changed();
   if (observer_.on_member_purged) observer_.on_member_purged(id);
   kLog.debug("member ", id.to_string(), " purged");
@@ -190,6 +202,72 @@ void EventBus::send_datagram(ServiceId dst, BytesView frame) {
   transport_->send(dst, frame);
 }
 
+void EventBus::notify_shed(ServiceId member, const Event& event) {
+  ++stats_.events_shed;
+  if (observer_.on_shed) observer_.on_shed(member, event);
+  kLog.debug("shed event ", event.type(), " queued for ",
+             member.to_string());
+}
+
+void EventBus::member_pressure(ServiceId member, bool under_pressure) {
+  if (under_pressure) {
+    pressured_members_.insert(member);
+  } else {
+    pressured_members_.erase(member);
+  }
+  update_flow_control();
+}
+
+void EventBus::update_flow_control() {
+  if (broadcasting_flow_) return;  // the outer broadcast loop re-checks
+  broadcasting_flow_ = true;
+  // Loop until stable: the broadcast's own control bytes can move other
+  // channels across their watermarks synchronously.
+  while (true) {
+    bool want = !pressured_members_.empty();
+    if (want == flow_announced_) break;
+    flow_announced_ = want;
+    ++stats_.flow_control_signals;
+    kLog.debug(want ? "flow-control pressure raised"
+                    : "flow-control pressure released");
+    for (auto& [id, proxy] : proxies_) proxy->send_flow_control(want);
+  }
+  broadcasting_flow_ = false;
+}
+
+void EventBus::enforce_shared_budget() {
+  if (!budget_) return;
+  while (budget_->over_limit()) {
+    // Deterministic victim order: stalled members first (they are not
+    // making progress anyway), then the largest retained footprint, then
+    // the smaller member id — proxies_ iteration order is unspecified,
+    // the shed policy must not be.
+    std::vector<Proxy*> candidates;
+    candidates.reserve(proxies_.size());
+    for (auto& [id, proxy] : proxies_) {
+      if (proxy->retained_bytes() > 0) candidates.push_back(proxy.get());
+    }
+    std::sort(candidates.begin(), candidates.end(), [](Proxy* a, Proxy* b) {
+      if (a->delivery_stalled() != b->delivery_stalled()) {
+        return a->delivery_stalled();
+      }
+      if (a->retained_bytes() != b->retained_bytes()) {
+        return a->retained_bytes() > b->retained_bytes();
+      }
+      return a->member_id().raw() < b->member_id().raw();
+    });
+    bool shed = false;
+    for (Proxy* p : candidates) {
+      if (p->shed_oldest_data()) {
+        shed = true;
+        break;
+      }
+    }
+    // Only control and in-flight bytes remain anywhere: both are exempt.
+    if (!shed) break;
+  }
+}
+
 void EventBus::route(EventPtr event) {
   ++stats_.published;
   if (observer_.on_publish) observer_.on_publish(*event);
@@ -253,6 +331,7 @@ void EventBus::fan_out(const EncodedEvent& event,
     if (observer_.on_deliver) observer_.on_deliver(member, event.event(), locals);
     pit->second->deliver_event(event, locals);
   }
+  enforce_shared_budget();
 }
 
 std::vector<Filter> EventBus::quench_table(Digest256* digest) const {
@@ -309,6 +388,9 @@ void EventBus::quench_changed() {
     proxy->send_quench_update(filters);
   }
   ++stats_.quench_updates;
+  // Control bypasses the per-member budgets but still charges the ledger:
+  // make room by shedding data if the push overflowed it.
+  enforce_shared_budget();
 }
 
 void EventBus::push_quench_table(Proxy& proxy) {
@@ -318,6 +400,7 @@ void EventBus::push_quench_table(Proxy& proxy) {
   quench_pushed_ = true;
   quench_digest_ = digest;
   proxy.send_quench_update(filters);
+  enforce_shared_budget();
 }
 
 std::string EventBus::topic_of(const Filter& filter) {

@@ -19,6 +19,7 @@
 #include <optional>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "bus/bus_observer.hpp"
 #include "bus/bus_port.hpp"
@@ -51,6 +52,11 @@ struct EventBusConfig {
   /// wall-clock cost); the simulated cost applies regardless via `costs`.
   bool real_translation = true;
   ReliableChannelConfig channel;
+  /// Bus-wide retained-byte budget across every proxy channel (DESIGN.md
+  /// §9). Shared event bodies are counted once for the whole fan-out. When
+  /// exceeded, the bus sheds the oldest data of the slowest member first.
+  /// 0 = no bus-wide ledger (per-member budgets may still apply).
+  std::size_t bus_queue_bytes = 0;
   /// Engine software costs charged to the simulated host; defaults to the
   /// calibrated profile for the chosen engine.
   std::optional<BusCostModel> costs;
@@ -118,6 +124,8 @@ class EventBus final : public BusPort {
     std::uint64_t quench_skipped = 0;   // no-op table pushes elided
     std::uint64_t encodes = 0;          // event bodies serialised
     std::uint64_t encode_reuses = 0;    // cached bodies reused by proxies
+    std::uint64_t events_shed = 0;      // queued deliveries dropped, counted
+    std::uint64_t flow_control_signals = 0;  // pressure on/off broadcasts
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const SubscriptionRegistry& registry() const {
@@ -126,6 +134,13 @@ class EventBus final : public BusPort {
   /// Largest outbound queue across member proxies (health monitoring:
   /// a growing backlog means an unreachable or overwhelmed member).
   [[nodiscard]] std::size_t max_proxy_backlog() const;
+  /// The bus-wide retained-byte ledger; null unless bus_queue_bytes is set.
+  [[nodiscard]] const DeliveryBudget* shared_budget() const {
+    return budget_.get();
+  }
+  /// True while any member channel is between its watermarks' high and low
+  /// crossings (i.e. kFlowControl pressure is announced to publishers).
+  [[nodiscard]] bool flow_pressure() const { return flow_announced_; }
   [[nodiscard]] const EventBusConfig& config() const { return config_; }
 
   // ---- BusPort (called by proxies).
@@ -135,6 +150,8 @@ class EventBus final : public BusPort {
                         Filter filter) override;
   void member_unsubscribe(ServiceId member, std::uint64_t local_id) override;
   void send_datagram(ServiceId dst, BytesView frame) override;
+  void notify_shed(ServiceId member, const Event& event) override;
+  void member_pressure(ServiceId member, bool under_pressure) override;
   [[nodiscard]] Executor& executor() override { return executor_; }
   [[nodiscard]] ServiceId bus_id() const override {
     return transport_->local_id();
@@ -177,6 +194,13 @@ class EventBus final : public BusPort {
                const SubscriptionRegistry::MatchResult& hit);
   void quench_changed();
   void push_quench_table(Proxy& proxy);
+  /// Sheds the oldest data of the slowest member (stalled first, then the
+  /// largest retained footprint) until the bus-wide ledger fits.
+  void enforce_shared_budget();
+  /// Broadcasts kFlowControl on empty↔non-empty transitions of the
+  /// pressured-member set, looping until stable (the control bytes of the
+  /// broadcast itself can move other channels across their watermarks).
+  void update_flow_control();
   [[nodiscard]] std::vector<Filter> quench_table(Digest256* digest) const;
   [[nodiscard]] static std::string topic_of(const Filter& filter);
 
@@ -195,6 +219,10 @@ class EventBus final : public BusPort {
   Authoriser authoriser_;
   BusObserver observer_;
   Stats stats_;
+  std::shared_ptr<DeliveryBudget> budget_;  // null unless bus_queue_bytes
+  std::unordered_set<ServiceId> pressured_members_;
+  bool flow_announced_ = false;   // last broadcast state
+  bool broadcasting_flow_ = false;  // re-entrancy guard
   // Digest of the last filter table pushed to members; a (un)subscribe that
   // leaves the effective set unchanged skips the whole fan-out.
   bool quench_pushed_ = false;

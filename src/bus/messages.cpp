@@ -9,6 +9,7 @@ const char* to_string(BusMsgType t) {
     case BusMsgType::kSubscribe: return "SUBSCRIBE";
     case BusMsgType::kUnsubscribe: return "UNSUBSCRIBE";
     case BusMsgType::kQuenchUpdate: return "QUENCH";
+    case BusMsgType::kFlowControl: return "FLOW";
   }
   return "?";
 }
@@ -36,6 +37,9 @@ Bytes BusMessage::encode() const {
       w.u16(static_cast<std::uint16_t>(quench_filters.size()));
       for (const Filter& f : quench_filters) f.encode(w);
       break;
+    case BusMsgType::kFlowControl:
+      w.u8(pressure ? 1 : 0);
+      break;
   }
   return std::move(w).take();
 }
@@ -44,7 +48,7 @@ BusMessage BusMessage::decode(BytesView data) {
   Reader r(data);
   BusMessage m;
   auto raw = r.u8();
-  if (raw < 1 || raw > 5) {
+  if (raw < 1 || raw > 6) {
     throw DecodeError("bad bus message type " + std::to_string(raw));
   }
   m.type = static_cast<BusMsgType>(raw);
@@ -72,6 +76,14 @@ BusMessage BusMessage::decode(BytesView data) {
       for (std::uint16_t i = 0; i < n; ++i) {
         m.quench_filters.push_back(Filter::decode(r));
       }
+      break;
+    }
+    case BusMsgType::kFlowControl: {
+      std::uint8_t state = r.u8();
+      if (state > 1) {
+        throw DecodeError("bad flow-control state " + std::to_string(state));
+      }
+      m.pressure = state == 1;
       break;
     }
   }
@@ -129,6 +141,13 @@ BusMessage BusMessage::quench_update(std::vector<Filter> filters) {
   BusMessage m;
   m.type = BusMsgType::kQuenchUpdate;
   m.quench_filters = std::move(filters);
+  return m;
+}
+
+BusMessage BusMessage::flow_control(bool pressure) {
+  BusMessage m;
+  m.type = BusMsgType::kFlowControl;
+  m.pressure = pressure;
   return m;
 }
 

@@ -10,6 +10,13 @@
 // kUnsubscribe member → bus  local subscription id
 // kQuenchUpdate bus → member the current global filter set, for Elvin-style
 //                            quenching (§VI future work, implemented here)
+// kFlowControl  bus → member backpressure: a member queue crossed its
+//                            high-water mark (pressure=true) or drained to
+//                            the low-water mark (pressure=false); senders
+//                            should pause/resume publishing. Only emitted
+//                            when the bus has watermarks configured, so old
+//                            peers never see the new type (back-compat
+//                            gated like the JoinAccept session field).
 #pragma once
 
 #include <cstdint>
@@ -26,6 +33,7 @@ enum class BusMsgType : std::uint8_t {
   kSubscribe = 3,
   kUnsubscribe = 4,
   kQuenchUpdate = 5,
+  kFlowControl = 6,
 };
 
 [[nodiscard]] const char* to_string(BusMsgType t);
@@ -42,6 +50,9 @@ struct BusMessage {
   std::vector<std::uint64_t> matched;
   /// kQuenchUpdate: every filter currently registered anywhere in the cell.
   std::vector<Filter> quench_filters;
+  /// kFlowControl: true = queues crossed the high-water mark, pause
+  /// publishing; false = drained to the low-water mark, resume.
+  bool pressure = false;
 
   [[nodiscard]] Bytes encode() const;
   /// Throws DecodeError on malformed input.
@@ -62,6 +73,7 @@ struct BusMessage {
   [[nodiscard]] static BusMessage subscribe(std::uint64_t sub_id, Filter f);
   [[nodiscard]] static BusMessage unsubscribe(std::uint64_t sub_id);
   [[nodiscard]] static BusMessage quench_update(std::vector<Filter> filters);
+  [[nodiscard]] static BusMessage flow_control(bool pressure);
 };
 
 }  // namespace amuse

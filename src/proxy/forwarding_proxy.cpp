@@ -25,6 +25,10 @@ ForwardingProxy::ForwardingProxy(BusPort& bus, MemberInfo info)
         kLog.debug("member ", member_id().to_string(),
                    " unresponsive; queueing until purge or recovery");
       });
+  channel_->set_on_shed([this](BytesView message) { on_shed(message); });
+  channel_->set_on_pressure([this](bool under_pressure) {
+    this->bus().member_pressure(member_id(), under_pressure);
+  });
 }
 
 void ForwardingProxy::deliver_event(const EncodedEvent& event,
@@ -35,8 +39,11 @@ void ForwardingProxy::deliver_event(const EncodedEvent& event,
   SharedPayload payload{BusMessage::encode_event_header(matched),
                         event.shared_bytes()};
   if (!channel_->send(std::move(payload))) {
-    kLog.warn("outbound queue full for member ", member_id().to_string(),
-              "; dropping event ", event.event().type());
+    // The channel counted the drop and fired the shed tap (the bus's
+    // notify_shed already ran): accounted, never silent.
+    kLog.warn("outbound budget exhausted for member ",
+              member_id().to_string(), "; shed event ",
+              event.event().type());
   }
 }
 
@@ -49,7 +56,35 @@ void ForwardingProxy::on_datagram(BytesView data) {
 void ForwardingProxy::on_purge() { channel_->reset(); }
 
 void ForwardingProxy::send_quench_update(const std::vector<Filter>& filters) {
-  (void)channel_->send(BusMessage::quench_update(filters).encode());
+  // Control class: a quench table is load-bearing protocol state — a full
+  // data queue must never starve or shed it (a dropped table would
+  // permanently desync the member's publish suppression).
+  (void)channel_->send(BusMessage::quench_update(filters).encode(),
+                       MsgClass::kControl);
+}
+
+void ForwardingProxy::send_flow_control(bool under_pressure) {
+  (void)channel_->send(BusMessage::flow_control(under_pressure).encode(),
+                       MsgClass::kControl);
+}
+
+void ForwardingProxy::on_shed(BytesView message) {
+  // Only data-class messages are ever shed, and the only data-class
+  // traffic on a proxy channel is kEvent deliveries.
+  BusMessage m;
+  try {
+    m = BusMessage::decode(message);
+  } catch (const DecodeError& e) {
+    kLog.error("shed an undecodable message for ", member_id().to_string(),
+               ": ", e.what());
+    return;
+  }
+  if (m.type != BusMsgType::kEvent || !m.event) {
+    kLog.error("shed a non-event ", to_string(m.type), " for ",
+               member_id().to_string());
+    return;
+  }
+  bus().notify_shed(member_id(), *m.event);
 }
 
 std::size_t ForwardingProxy::pending() const {
@@ -77,6 +112,7 @@ void ForwardingProxy::on_message(BytesView message) {
       break;
     case BusMsgType::kEvent:
     case BusMsgType::kQuenchUpdate:
+    case BusMsgType::kFlowControl:
       // Bus-to-member messages are nonsense coming from a member.
       kLog.warn("unexpected ", to_string(m.type), " from member ",
                 member_id().to_string());

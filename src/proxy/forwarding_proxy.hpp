@@ -24,7 +24,15 @@ class ForwardingProxy final : public Proxy {
   void on_datagram(BytesView data) override;
   void on_purge() override;
   void send_quench_update(const std::vector<Filter>& filters) override;
+  void send_flow_control(bool under_pressure) override;
   [[nodiscard]] std::size_t pending() const override;
+  [[nodiscard]] std::size_t retained_bytes() const override {
+    return channel_->retained_bytes();
+  }
+  bool shed_oldest_data() override { return channel_->shed_oldest_data(); }
+  [[nodiscard]] bool delivery_stalled() const override {
+    return channel_->failed();
+  }
 
   [[nodiscard]] const ReliableChannelStats& channel_stats() const {
     return channel_->stats();
@@ -37,6 +45,7 @@ class ForwardingProxy final : public Proxy {
 
  private:
   void on_message(BytesView message);
+  void on_shed(BytesView message);
 
   std::unique_ptr<ReliableChannel> channel_;
 };

@@ -12,4 +12,6 @@ void Proxy::send_quench_update(const std::vector<Filter>& filters) {
   (void)filters;
 }
 
+void Proxy::send_flow_control(bool under_pressure) { (void)under_pressure; }
+
 }  // namespace amuse

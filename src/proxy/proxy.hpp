@@ -47,6 +47,20 @@ class Proxy {
   /// Quench table changed (default: device cannot use it; ignore).
   virtual void send_quench_update(const std::vector<Filter>& filters);
 
+  /// Bus-wide flow control (DESIGN.md §9): tell the member to pause
+  /// (true) or resume (false) publishing. Default: device cannot use it.
+  virtual void send_flow_control(bool under_pressure);
+
+  /// Payload bytes this proxy retains for the member (queued + in flight).
+  /// Default 0: proxies without a budgeted queue are never shed victims.
+  [[nodiscard]] virtual std::size_t retained_bytes() const { return 0; }
+  /// Sheds the proxy's oldest queued data-class message; returns false
+  /// when nothing is eligible. Called by the bus-wide budget enforcement.
+  virtual bool shed_oldest_data() { return false; }
+  /// True when deliveries to the member have stalled (retries exhausted) —
+  /// the shed policy prefers victims that are not making progress anyway.
+  [[nodiscard]] virtual bool delivery_stalled() const { return false; }
+
   /// Outbound events queued but not yet acknowledged by the member.
   [[nodiscard]] virtual std::size_t pending() const = 0;
 

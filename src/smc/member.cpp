@@ -56,11 +56,14 @@ void SmcMember::unsubscribe(std::uint64_t id) {
 }
 
 bool SmcMember::publish(Event event) {
-  if (client_) return client_->publish(std::move(event));
+  if (client_ && !client_->pressured()) {
+    return client_->publish(std::move(event));
+  }
   if (offline_.size() >= config_.offline_buffer) {
     ++stats_.buffer_dropped;
     return false;
   }
+  if (client_) ++stats_.pressure_deferrals;
   offline_.push_back(std::move(event));
   ++stats_.buffered;
   return true;
@@ -79,19 +82,29 @@ void SmcMember::on_cell_joined(ServiceId bus, std::uint32_t session) {
   cc.session = session;
   cc.install_receive_handler = false;
   client_ = std::make_unique<BusClient>(executor_, transport_, bus, cc);
+  client_->set_on_pressure([this](bool under_pressure) {
+    if (!under_pressure) flush_offline();
+    if (on_pressure_) on_pressure_(under_pressure);
+  });
 
   // Re-register durable subscriptions under the fresh session.
   live_ids_.clear();
   for (const auto& [id, sub] : desired_) {
     live_ids_[id] = client_->subscribe(sub.filter, sub.handler);
   }
-  // Flush events queued while out of range.
-  while (!offline_.empty()) {
-    ++stats_.flushed;
-    (void)client_->publish(std::move(offline_.front()));
-    offline_.pop_front();
-  }
+  flush_offline();  // events queued while out of range
   if (on_joined_) on_joined_();
+}
+
+void SmcMember::flush_offline() {
+  // Stop mid-flush if a publish's own traffic re-raises pressure; the
+  // remainder goes out on the next release signal.
+  while (client_ && !client_->pressured() && !offline_.empty()) {
+    Event event = std::move(offline_.front());
+    offline_.pop_front();
+    ++stats_.flushed;
+    (void)client_->publish(std::move(event));
+  }
 }
 
 void SmcMember::on_cell_left() {

@@ -7,7 +7,9 @@
 // when the member roams out of range and later re-joins the cell (with a
 // fresh session), every subscription is re-registered automatically.
 // Publishes while out of cell range are buffered (bounded) and flushed on
-// (re-)join.
+// (re-)join. The same buffer absorbs publishes while the bus announces
+// flow-control pressure: a well-behaved publisher defers instead of piling
+// more data onto an overloaded cell, and flushes on release.
 #pragma once
 
 #include <deque>
@@ -44,8 +46,9 @@ class SmcMember {
 
   std::uint64_t subscribe(const Filter& filter, Handler handler);
   void unsubscribe(std::uint64_t id);
-  /// Publishes now if joined, otherwise buffers (returns false when the
-  /// event was dropped because the offline buffer is full or quenched).
+  /// Publishes now if joined and unpressured, otherwise buffers (returns
+  /// false when the event was dropped because the buffer is full or the
+  /// publish was quenched).
   bool publish(Event event);
 
   [[nodiscard]] bool joined() const { return client_ != nullptr; }
@@ -56,12 +59,20 @@ class SmcMember {
 
   void set_on_joined(std::function<void()> fn) { on_joined_ = std::move(fn); }
   void set_on_left(std::function<void()> fn) { on_left_ = std::move(fn); }
+  /// Forwarded from the bus client: true = the cell asked us to back off.
+  void set_on_pressure(std::function<void(bool)> fn) {
+    on_pressure_ = std::move(fn);
+  }
+
+  /// Events waiting in the offline/pressure buffer.
+  [[nodiscard]] std::size_t offline_pending() const { return offline_.size(); }
 
   struct Stats {
     std::uint64_t joins = 0;
     std::uint64_t buffered = 0;
     std::uint64_t buffer_dropped = 0;
     std::uint64_t flushed = 0;
+    std::uint64_t pressure_deferrals = 0;  // publishes buffered under pressure
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -73,6 +84,7 @@ class SmcMember {
 
   void on_cell_joined(ServiceId bus, std::uint32_t session);
   void on_cell_left();
+  void flush_offline();
 
   Executor& executor_;
   std::shared_ptr<Transport> transport_;
@@ -85,6 +97,7 @@ class SmcMember {
   std::deque<Event> offline_;
   std::function<void()> on_joined_;
   std::function<void()> on_left_;
+  std::function<void(bool)> on_pressure_;
   Stats stats_;
 };
 

@@ -1,0 +1,27 @@
+#include "wire/delivery_budget.hpp"
+
+#include "wire/reliable_channel.hpp"
+
+namespace amuse {
+
+void DeliveryBudget::charge(const SharedPayload& payload) {
+  used_ += payload.head.size();
+  if (payload.tail) {
+    if (tail_refs_[payload.tail.get()]++ == 0) {
+      used_ += payload.tail->size();
+    }
+  }
+}
+
+void DeliveryBudget::release(const SharedPayload& payload) {
+  used_ -= payload.head.size();
+  if (payload.tail) {
+    auto it = tail_refs_.find(payload.tail.get());
+    if (it != tail_refs_.end() && --it->second == 0) {
+      used_ -= payload.tail->size();
+      tail_refs_.erase(it);
+    }
+  }
+}
+
+}  // namespace amuse

@@ -24,6 +24,13 @@ ReliableChannel::ReliableChannel(Executor& executor, ServiceId self,
 ReliableChannel::~ReliableChannel() {
   executor_.cancel(timer_);
   executor_.cancel(ack_timer_);
+  // Return retained bytes to the bus-wide ledger. Silent (no shed/pressure
+  // callbacks): the owner is tearing the channel down and may itself be
+  // mid-destruction.
+  if (config_.shared_budget) {
+    for (const Outbound& o : window_) config_.shared_budget->release(o.payload);
+    for (const Outbound& o : queue_) config_.shared_budget->release(o.payload);
+  }
 }
 
 std::size_t ReliableChannel::in_flight() const { return window_.size(); }
@@ -34,40 +41,168 @@ Bytes SharedPayload::flatten() const {
   return whole;
 }
 
-bool ReliableChannel::send(Bytes message) {
-  return send(SharedPayload{std::move(message), nullptr});
+bool ReliableChannel::send(Bytes message, MsgClass cls) {
+  return send(SharedPayload{std::move(message), nullptr}, cls);
 }
 
-bool ReliableChannel::send(SharedPayload payload) {
+bool ReliableChannel::send(SharedPayload payload, MsgClass cls) {
   std::size_t frag = config_.max_fragment_payload;
   std::size_t total = payload.size();
-  if (frag == 0 || total <= frag) {
-    if (queue_.size() >= config_.max_queue) return false;
-    queue_.push_back(Outbound{0, 0, std::move(payload), true});
-    pump(/*flush=*/false);
-    return true;
+  std::size_t pieces =
+      (frag == 0 || total <= frag) ? 1 : (total + frag - 1) / frag;
+  if (cls == MsgClass::kData) {
+    // Admission control for data: the legacy count cap, then the byte
+    // budget — shed the oldest queued data first to make room, and drop
+    // the newcomer only when shedding cannot free enough. Control traffic
+    // bypasses both (it is small, rare, and protocol-load-bearing).
+    if (queue_.size() + pieces > config_.max_queue) {
+      account_shed(total, payload);
+      return false;
+    }
+    if (config_.max_queue_bytes > 0) {
+      while (retained_bytes_ + total > config_.max_queue_bytes &&
+             shed_oldest_data()) {
+      }
+      if (retained_bytes_ + total > config_.max_queue_bytes) {
+        account_shed(total, payload);
+        return false;
+      }
+    }
   }
-  // Fragment: all pieces must fit in the queue or none are sent. A message
-  // too large for one frame is materialised — fragments re-own their slice
-  // regardless, so the shared tail saves nothing here.
-  std::size_t pieces = (total + frag - 1) / frag;
-  if (queue_.size() + pieces > config_.max_queue) return false;
-  Bytes message = payload.flatten();
-  for (std::size_t off = 0; off < message.size(); off += frag) {
-    std::size_t len = std::min(frag, message.size() - off);
-    bool last = off + len >= message.size();
-    Outbound o{0, last ? std::uint16_t{0} : kFlagMoreFragments,
-               SharedPayload{
-                   Bytes(message.begin() + static_cast<std::ptrdiff_t>(off),
-                         message.begin() +
-                             static_cast<std::ptrdiff_t>(off + len)),
-                   nullptr},
-               /*batchable=*/false};
-    ++stats_.fragments_sent;
-    queue_.push_back(std::move(o));
+  std::vector<Outbound> out;
+  out.reserve(pieces);
+  if (pieces == 1) {
+    out.push_back(Outbound{0, 0, std::move(payload), true, cls});
+  } else {
+    // Fragment: a message too large for one frame is materialised —
+    // fragments re-own their slice regardless, so the shared tail saves
+    // nothing here.
+    Bytes message = payload.flatten();
+    for (std::size_t off = 0; off < message.size(); off += frag) {
+      std::size_t len = std::min(frag, message.size() - off);
+      bool last = off + len >= message.size();
+      Outbound o{0, last ? std::uint16_t{0} : kFlagMoreFragments,
+                 SharedPayload{
+                     Bytes(message.begin() + static_cast<std::ptrdiff_t>(off),
+                           message.begin() +
+                               static_cast<std::ptrdiff_t>(off + len)),
+                     nullptr},
+                 /*batchable=*/false, cls};
+      ++stats_.fragments_sent;
+      out.push_back(std::move(o));
+    }
   }
+  if (cls == MsgClass::kControl) ++stats_.control_sent;
+  enqueue_pieces(std::move(out), cls);
   pump(/*flush=*/false);
+  update_pressure();
   return true;
+}
+
+void ReliableChannel::enqueue_pieces(std::vector<Outbound> pieces,
+                                     MsgClass cls) {
+  std::size_t pos = queue_.size();
+  if (cls == MsgClass::kControl) {
+    // Control jumps the data backlog but stays FIFO among control: insert
+    // after the leading run of control entries. A fragment train is never
+    // split — its continuation entries are not valid insertion points, and
+    // a train whose head already moved into the window pins the queue
+    // front (interleaving a foreign message would corrupt reassembly).
+    pos = 0;
+    bool in_train = !window_.empty() &&
+                    (window_.back().flags & kFlagMoreFragments) != 0;
+    while (pos < queue_.size()) {
+      const Outbound& o = queue_[pos];
+      bool continuation = in_train;
+      in_train = (o.flags & kFlagMoreFragments) != 0;
+      if (!continuation && o.cls != MsgClass::kControl) break;
+      ++pos;
+    }
+  }
+  for (const Outbound& o : pieces) charge_entry(o);
+  queue_.insert(queue_.begin() + static_cast<std::ptrdiff_t>(pos),
+                std::make_move_iterator(pieces.begin()),
+                std::make_move_iterator(pieces.end()));
+}
+
+bool ReliableChannel::shed_oldest_data() {
+  // Head of the oldest data-class message lying wholly in the queue: skip
+  // control entries and any fragments continuing a train begun in the
+  // window (the peer may already hold its first pieces).
+  std::size_t start = 0;
+  bool in_train = !window_.empty() &&
+                  (window_.back().flags & kFlagMoreFragments) != 0;
+  while (start < queue_.size()) {
+    const Outbound& o = queue_[start];
+    bool continuation = in_train;
+    in_train = (o.flags & kFlagMoreFragments) != 0;
+    if (!continuation && o.cls == MsgClass::kData) break;
+    ++start;
+  }
+  if (start >= queue_.size()) return false;
+  // The whole fragment train sheds as one message (it was one send()).
+  std::size_t end = start + 1;
+  while (end < queue_.size() &&
+         (queue_[end - 1].flags & kFlagMoreFragments) != 0) {
+    ++end;
+  }
+  Bytes whole;
+  std::size_t bytes = 0;
+  for (std::size_t i = start; i < end; ++i) {
+    const SharedPayload& pl = queue_[i].payload;
+    bytes += pl.size();
+    whole.insert(whole.end(), pl.head.begin(), pl.head.end());
+    if (pl.tail) whole.insert(whole.end(), pl.tail->begin(), pl.tail->end());
+  }
+  for (std::size_t i = start; i < end; ++i) release_entry(queue_[i]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(start),
+               queue_.begin() + static_cast<std::ptrdiff_t>(end));
+  ++stats_.events_shed;
+  stats_.bytes_shed += bytes;
+  if (on_shed_) on_shed_(whole);
+  update_pressure();
+  return true;
+}
+
+void ReliableChannel::account_shed(std::size_t bytes,
+                                   const SharedPayload& payload) {
+  ++stats_.events_shed;
+  stats_.bytes_shed += bytes;
+  if (on_shed_) {
+    if (payload.tail) {
+      Bytes whole = payload.flatten();
+      on_shed_(whole);
+    } else {
+      on_shed_(payload.head);
+    }
+  }
+}
+
+void ReliableChannel::charge_entry(const Outbound& entry) {
+  retained_bytes_ += entry.payload.size();
+  if (config_.shared_budget) config_.shared_budget->charge(entry.payload);
+  stats_.peak_retained_bytes = std::max<std::uint64_t>(
+      stats_.peak_retained_bytes, retained_bytes_);
+}
+
+void ReliableChannel::release_entry(const Outbound& entry) {
+  retained_bytes_ -= entry.payload.size();
+  if (config_.shared_budget) config_.shared_budget->release(entry.payload);
+}
+
+void ReliableChannel::update_pressure() {
+  std::size_t high = config_.flow_high_water;
+  if (high == 0) return;
+  std::size_t low =
+      config_.flow_low_water != 0 ? config_.flow_low_water : high / 2;
+  if (!pressured_ && retained_bytes_ >= high) {
+    pressured_ = true;
+    ++stats_.pressure_raised;
+    if (on_pressure_) on_pressure_(true);
+  } else if (pressured_ && retained_bytes_ <= low) {
+    pressured_ = false;
+    if (on_pressure_) on_pressure_(false);
+  }
 }
 
 bool ReliableChannel::coalescing() const {
@@ -300,6 +435,8 @@ void ReliableChannel::poke() {
 void ReliableChannel::reset() {
   executor_.cancel(timer_);
   timer_ = kNoTimer;
+  for (const Outbound& o : window_) release_entry(o);
+  for (const Outbound& o : queue_) release_entry(o);
   window_.clear();
   queue_.clear();
   // Keep next_seq_ monotonic within this session so a reset sender can't
@@ -309,6 +446,7 @@ void ReliableChannel::reset() {
   rto_ = base_rto();
   rtt_pending_ = false;
   failed_ = false;
+  update_pressure();
 }
 
 void ReliableChannel::on_packet(const Packet& packet) {
@@ -465,6 +603,7 @@ void ReliableChannel::handle_ack(const Packet& packet) {
   if (acked > next_seq_) return;  // nonsense (corrupt peer)
   dup_acks_ = 0;
   while (!window_.empty() && window_.front().seq < acked) {
+    release_entry(window_.front());
     window_.pop_front();
   }
   base_ = acked;
@@ -489,6 +628,7 @@ void ReliableChannel::handle_ack(const Packet& packet) {
   }
   pump();
   if (!window_.empty()) arm_timer();
+  update_pressure();
 }
 
 }  // namespace amuse

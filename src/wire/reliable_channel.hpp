@@ -23,6 +23,14 @@
 // frames or piggybacks on reverse DATA. Both are config knobs; disabled
 // they reproduce the original one-frame-per-message, ack-per-DATA wire
 // behaviour exactly. See DESIGN.md §8.
+//
+// Overload: outbound retention is accounted in bytes against a per-peer
+// budget and an optional bus-wide DeliveryBudget ledger. send() takes a
+// message class — control (subscriptions, quench, membership) is never
+// shed and queues ahead of data; data beyond the budget sheds the oldest
+// queued data-class message first, every shed counted and reported through
+// the shed callback. Watermarks on retained bytes drive a pressure
+// callback for publisher backpressure. See DESIGN.md §9.
 #pragma once
 
 #include <cstdint>
@@ -30,13 +38,27 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/service_id.hpp"
 #include "sim/executor.hpp"
+#include "wire/delivery_budget.hpp"
 #include "wire/packet.hpp"
 
 namespace amuse {
+
+/// Priority class of an outbound message. Control messages (subscriptions,
+/// unsubscriptions, quench tables, flow control, membership traffic) are
+/// small, rare, and load-bearing for protocol correctness: they are never
+/// shed, never counted against the queue bounds, and are queued ahead of
+/// data-class traffic (without ever splitting a fragment train or touching
+/// in-flight messages). Data is the bulk sensor/event traffic the shed
+/// policy may drop under overload.
+enum class MsgClass : std::uint8_t {
+  kData = 0,
+  kControl = 1,
+};
 
 struct ReliableChannelConfig {
   Duration rto_initial = milliseconds(200);
@@ -105,6 +127,23 @@ struct ReliableChannelConfig {
   /// incarnation N can reject every frame from incarnations < N outright.
   /// 0 = accept any session at seq 0 (legacy / first contact).
   std::uint32_t min_peer_session = 0;
+  /// Per-peer retained-byte budget: payload bytes across the outbound queue
+  /// and the in-flight window. A data-class send that would exceed it sheds
+  /// the oldest queued data-class message(s) to make room, and is itself
+  /// shed when shedding cannot free enough. Control-class messages are
+  /// exempt. 0 = unlimited (legacy count-cap behaviour only).
+  std::size_t max_queue_bytes = 0;
+  /// Flow-control watermarks on retained bytes: crossing the high water
+  /// raises pressure (PressureFn fires with true); draining to the low
+  /// water releases it. 0 disables pressure signalling.
+  std::size_t flow_high_water = 0;
+  /// 0 = flow_high_water / 2.
+  std::size_t flow_low_water = 0;
+  /// Optional bus-wide ledger shared by every proxy channel; charged and
+  /// released entry-by-entry (shared event bodies counted once across the
+  /// whole fan-out). The budget's owner (EventBus) enforces the bus-wide
+  /// limit by picking shed victims across channels.
+  std::shared_ptr<DeliveryBudget> shared_budget;
 };
 
 /// One outbound message assembled from an owned per-message head and an
@@ -142,6 +181,12 @@ struct ReliableChannelStats {
   std::uint64_t batched_messages = 0; // messages inside those frames
   std::uint64_t acks_delayed = 0;     // ack requests deferred to the timer
   std::uint64_t malformed_batch_dropped = 0;  // bad sub-lengths in a batch
+  // Overload accounting (DESIGN.md §9): drops are counted, never silent.
+  std::uint64_t events_shed = 0;      // data-class messages dropped
+  std::uint64_t bytes_shed = 0;       // payload bytes of those messages
+  std::uint64_t control_sent = 0;     // control-class messages accepted
+  std::uint64_t peak_retained_bytes = 0;  // high-water of retained bytes
+  std::uint64_t pressure_raised = 0;  // high-water crossings signalled
 };
 
 class ReliableChannel {
@@ -153,6 +198,12 @@ class ReliableChannel {
   /// Retries exhausted for the oldest in-flight message. The channel stops
   /// retransmitting until poke() or a packet from the peer arrives.
   using FailFn = std::function<void()>;
+  /// A data-class message was shed (budget or queue-cap exhaustion). The
+  /// view is the flattened message payload, valid only for the call.
+  using ShedFn = std::function<void(BytesView message)>;
+  /// Retained bytes crossed the high watermark (true) or drained back to
+  /// the low watermark (false).
+  using PressureFn = std::function<void(bool under_pressure)>;
 
   ReliableChannel(Executor& executor, ServiceId self, ServiceId peer,
                   std::uint32_t session, ReliableChannelConfig config,
@@ -163,12 +214,26 @@ class ReliableChannel {
   ReliableChannel(const ReliableChannel&) = delete;
   ReliableChannel& operator=(const ReliableChannel&) = delete;
 
-  /// Queues one message for reliable delivery. Returns false (and drops the
-  /// message) only when the outbound queue bound is hit.
-  bool send(Bytes message);
+  /// Queues one message for reliable delivery. Data-class sends return
+  /// false (and count the message as shed) when the queue bounds are hit;
+  /// control-class sends are always accepted and jump ahead of queued data.
+  bool send(Bytes message, MsgClass cls = MsgClass::kData);
   /// As send(Bytes), but the shared tail bytes are queued by reference and
   /// only copied into the wire frame (or into fragments) at transmit time.
-  bool send(SharedPayload payload);
+  bool send(SharedPayload payload, MsgClass cls = MsgClass::kData);
+
+  /// Installs the shed-accounting tap (fired for every dropped data-class
+  /// message, whether displaced from the queue or rejected on entry).
+  void set_on_shed(ShedFn fn) { on_shed_ = std::move(fn); }
+  /// Installs the watermark pressure tap.
+  void set_on_pressure(PressureFn fn) { on_pressure_ = std::move(fn); }
+
+  /// Sheds the oldest queued data-class message (a whole fragment train
+  /// counts as one message). In-flight messages are never touched — the
+  /// peer may already hold part of the window. Returns false when nothing
+  /// in the queue is data-class. Public so the bus-wide budget owner can
+  /// pick shed victims across channels.
+  bool shed_oldest_data();
 
   /// Feed every DATA/ACK packet from this peer here.
   void on_packet(const Packet& packet);
@@ -184,6 +249,10 @@ class ReliableChannel {
 
   [[nodiscard]] std::size_t in_flight() const;
   [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+  /// Payload bytes retained across the queue and the in-flight window.
+  [[nodiscard]] std::size_t retained_bytes() const { return retained_bytes_; }
+  /// True between a high-watermark crossing and the low-watermark drain.
+  [[nodiscard]] bool under_pressure() const { return pressured_; }
   [[nodiscard]] bool failed() const { return failed_; }
   /// Current retransmission timeout (for tests and diagnostics).
   [[nodiscard]] Duration current_rto() const { return rto_; }
@@ -201,6 +270,7 @@ class ReliableChannel {
     std::uint16_t flags;
     SharedPayload payload;
     bool batchable = true;  // false for fragments: never coalesced
+    MsgClass cls = MsgClass::kData;
   };
 
   /// How many entries starting at `from` fit in the next frame. `closed`
@@ -236,6 +306,18 @@ class ReliableChannel {
   /// Outgoing DATA piggybacks the cumulative ack: nothing left to delay.
   void clear_ack_debt();
   void record_wire(std::size_t payload_bytes);
+  /// Retention accounting: every entry entering/leaving queue_ or window_
+  /// passes through exactly one of these.
+  void charge_entry(const Outbound& entry);
+  void release_entry(const Outbound& entry);
+  /// Enqueues the message's piece(s): data appends, control is inserted
+  /// after the leading run of control entries without splitting any
+  /// fragment train.
+  void enqueue_pieces(std::vector<Outbound> pieces, MsgClass cls);
+  /// Counts a dropped data-class message and fires the shed tap.
+  void account_shed(std::size_t bytes, const SharedPayload& payload);
+  /// Fires the pressure tap on watermark transitions of retained_bytes_.
+  void update_pressure();
   void arm_timer();
   void on_timeout();
   void handle_data(const Packet& packet);
@@ -251,6 +333,8 @@ class ReliableChannel {
   SendPacketFn send_packet_;
   DeliverFn deliver_;
   FailFn on_fail_;
+  ShedFn on_shed_;
+  PressureFn on_pressure_;
 
   // Sender state.
   std::uint32_t next_seq_ = 0;   // next sequence number to assign
@@ -262,6 +346,8 @@ class ReliableChannel {
   int dup_acks_ = 0;
   TimerId timer_ = kNoTimer;
   bool failed_ = false;
+  std::size_t retained_bytes_ = 0;  // payload bytes in queue_ + window_
+  bool pressured_ = false;
 
   // RTT estimation (one outstanding sample; Karn's rule).
   bool rtt_pending_ = false;

@@ -317,5 +317,66 @@ TEST(Membership, SweepReportsTransitionsWithoutMutating) {
   EXPECT_TRUE(sweep5.to_purge.empty());
 }
 
+// Boundary semantics: both thresholds are inclusive. Silence exactly equal
+// to suspect_after reports the member suspect; exactly equal to purge_after
+// purges (and wins over the suspect report — one member never appears in
+// both lists).
+TEST(Membership, SweepThresholdsAreInclusive) {
+  Membership m;
+  m.admit(MemberInfo{ServiceId(1), "t", "r"}, TimePoint(seconds(0)));
+
+  // One tick short of suspect_after: nothing reported.
+  auto before = m.sweep(TimePoint(seconds(2) - Duration(1)), seconds(2),
+                        seconds(5));
+  EXPECT_TRUE(before.newly_suspect.empty());
+  EXPECT_TRUE(before.to_purge.empty());
+
+  // silence == suspect_after exactly: suspect, not purged.
+  auto at_suspect = m.sweep(TimePoint(seconds(2)), seconds(2), seconds(5));
+  ASSERT_EQ(at_suspect.newly_suspect.size(), 1u);
+  EXPECT_EQ(at_suspect.newly_suspect[0].id, ServiceId(1));
+  EXPECT_TRUE(at_suspect.to_purge.empty());
+
+  // One tick short of purge_after: still only suspect-eligible.
+  auto before_purge = m.sweep(TimePoint(seconds(5) - Duration(1)), seconds(2),
+                              seconds(5));
+  EXPECT_TRUE(before_purge.to_purge.empty());
+
+  // silence == purge_after exactly: purged, and not also re-reported
+  // suspect.
+  auto at_purge = m.sweep(TimePoint(seconds(5)), seconds(2), seconds(5));
+  ASSERT_EQ(at_purge.to_purge.size(), 1u);
+  EXPECT_EQ(at_purge.to_purge[0].id, ServiceId(1));
+  EXPECT_TRUE(at_purge.newly_suspect.empty());
+}
+
+// A member may cycle suspect → recovered → suspect indefinitely: each
+// recovery resets the silence clock, and each fresh lapse is re-reported as
+// newly suspect (the sweep keys off state, not history).
+TEST(Membership, SuspectRecoverSuspectCycles) {
+  Membership m;
+  m.admit(MemberInfo{ServiceId(1), "t", "r"}, TimePoint(seconds(0)));
+
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    TimePoint base(seconds(10 * cycle));
+    auto lapse = m.sweep(base + seconds(2), seconds(2), seconds(5));
+    ASSERT_EQ(lapse.newly_suspect.size(), 1u) << "cycle " << cycle;
+    m.mark_suspect(ServiceId(1));
+    ASSERT_NE(m.find(ServiceId(1)), nullptr);
+    EXPECT_EQ(m.find(ServiceId(1))->state, MemberState::kSuspect);
+
+    // Heartbeat: recovery flips suspect back to active exactly once.
+    EXPECT_TRUE(m.touch(ServiceId(1), base + seconds(3)));
+    EXPECT_FALSE(m.touch(ServiceId(1), base + seconds(3)));
+    EXPECT_EQ(m.find(ServiceId(1))->state, MemberState::kActive);
+
+    // Recovery reset the clock: silence measured from the touch, so the
+    // member is clean again until the next full suspect_after elapses.
+    auto clean = m.sweep(base + seconds(4), seconds(2), seconds(5));
+    EXPECT_TRUE(clean.newly_suspect.empty()) << "cycle " << cycle;
+    m.touch(ServiceId(1), base + seconds(8));  // line up the next cycle
+  }
+}
+
 }  // namespace
 }  // namespace amuse

@@ -87,6 +87,24 @@ TEST(BusMessage, QuenchUpdateRoundTrip) {
   EXPECT_TRUE(back.quench_filters[2].empty());
 }
 
+TEST(BusMessage, FlowControlRoundTrip) {
+  for (bool pressure : {true, false}) {
+    BusMessage back =
+        BusMessage::decode(BusMessage::flow_control(pressure).encode());
+    EXPECT_EQ(back.type, BusMsgType::kFlowControl);
+    EXPECT_EQ(back.pressure, pressure);
+  }
+}
+
+TEST(BusMessage, FlowControlRejectsTruncation) {
+  Bytes wire = BusMessage::flow_control(true).encode();
+  for (std::size_t len = 1; len < wire.size(); ++len) {
+    EXPECT_THROW((void)BusMessage::decode(BytesView(wire.data(), len)),
+                 DecodeError)
+        << len;
+  }
+}
+
 TEST(BusMessage, DecodeRejectsBadType) {
   Bytes junk{0};
   EXPECT_THROW((void)BusMessage::decode(junk), DecodeError);

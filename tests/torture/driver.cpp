@@ -37,6 +37,7 @@ const char* to_string(TortureOp op) {
     case TortureOp::kLinkFault: return "link-fault";
     case TortureOp::kMtuSqueeze: return "mtu-squeeze";
     case TortureOp::kLinkHeal: return "link-heal";
+    case TortureOp::kStall: return "stall";
     case TortureOp::kPartition: return "partition";
     case TortureOp::kHealPartition: return "heal-partition";
     case TortureOp::kBurst: return "burst";
@@ -94,12 +95,21 @@ Schedule generate_schedule(std::uint64_t seed, const TortureConfig& config) {
       push(t, TortureOp::kLinkFault, member,
            20 + static_cast<int>(rng.bounded(51)), bursty ? 1 : 0);
       push(t + at(1.0, 6.0), TortureOp::kLinkHeal, member);
-    } else if (roll < 0.80) {
+    } else if (roll < 0.78) {
       Duration t = at(0.2, horizon_s - 7.0);
       push(t, TortureOp::kMtuSqueeze, member,
            150 + static_cast<int>(rng.bounded(551)));
       push(t + at(1.0, 6.0), TortureOp::kLinkHeal, member);
-    } else if (roll < 0.90) {
+    } else if (roll < 0.86) {
+      // Slow consumer: blackhole deliveries to one member while another
+      // floods, so the budgets and shed accounting actually engage.
+      Duration t = at(0.2, horizon_s - 7.0);
+      push(t, TortureOp::kStall, member);
+      push(t + at(0.1, 1.0), TortureOp::kBurst,
+           (member + 1) % config.members,
+           8 + static_cast<int>(rng.bounded(13)));
+      push(t + at(1.5, 6.0), TortureOp::kLinkHeal, member);
+    } else if (roll < 0.92) {
       // Partition: bit i of `b` sends member i to the far side.
       int mask = 0;
       for (int m = 0; m < config.members; ++m) {
@@ -147,6 +157,14 @@ TortureResult run_torture(const Schedule& schedule,
   // more chances to interleave badly with purges and rejoins.
   cc.bus.channel.rto_initial = milliseconds(120);
   cc.bus.channel.rto_min = milliseconds(80);
+  // Tight delivery budgets (DESIGN.md §9) so stalls and bursts actually
+  // overflow them: events encode to ~100 bytes, so ~20 retained events per
+  // member. Sheds are legal under the refined guarantee (c) because every
+  // one is accounted via the observer's shed tap.
+  cc.bus.channel.max_queue_bytes = 2048;
+  cc.bus.channel.flow_high_water = 1536;
+  cc.bus.channel.flow_low_water = 512;
+  cc.bus.bus_queue_bytes = 6144;
   cc.discovery.beacon_interval = milliseconds(300);
   cc.discovery.heartbeat_interval = milliseconds(300);
   cc.discovery.suspect_after = milliseconds(1200);
@@ -237,6 +255,15 @@ TortureResult run_torture(const Schedule& schedule,
       case TortureOp::kLinkHeal:
         net.update_link(core, *hosts[m], base);
         break;
+      case TortureOp::kStall: {
+        // One-way blackhole core→member: the member's heartbeats still
+        // reach the core (no purge), but nothing the proxy sends arrives —
+        // the classic slow consumer. kLinkHeal restores both directions.
+        LinkModel lm = base;
+        lm.loss = 1.0;
+        net.update_link_oneway(core, *hosts[m], lm);
+        break;
+      }
       case TortureOp::kPartition:
         net.set_partition_group(core, 1);
         for (int i = 0; i < n; ++i) {
@@ -296,6 +323,8 @@ TortureResult run_torture(const Schedule& schedule,
     if (cell->bus().max_proxy_backlog() != 0) return false;
     for (auto& m : members) {
       if (!m->joined() || m->client()->backlog() != 0) return false;
+      // Publishes deferred under flow-control pressure must have flushed.
+      if (m->offline_pending() != 0) return false;
     }
     return true;
   };
@@ -325,6 +354,7 @@ TortureResult run_torture(const Schedule& schedule,
 
   result.publishes = oracle.publishes();
   result.deliveries = oracle.deliveries();
+  result.sheds = oracle.sheds();
   if (stable < 4 || !barrage_done) {
     std::ostringstream os;
     os << "network healed but the system did not quiesce within "

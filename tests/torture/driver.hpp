@@ -27,6 +27,9 @@ enum class TortureOp : std::uint8_t {
   kLinkFault,      // member⟷core link: loss (a%) or bursty loss (b != 0)
   kMtuSqueeze,     // member⟷core link: MTU clamped to a bytes
   kLinkHeal,       // member⟷core link back to the base model
+  kStall,          // core→member direction blackholed (slow consumer: the
+                   // member's heartbeats keep it alive while its proxy
+                   // queue grows against the delivery budgets)
   kPartition,      // split hosts into two groups (core in group 1)
   kHealPartition,  // everyone back into one group
   kBurst,          // member publishes a events
@@ -66,6 +69,7 @@ struct TortureResult {
   std::vector<std::string> log;    // applied steps + phase markers
   std::uint64_t publishes = 0;
   std::uint64_t deliveries = 0;
+  std::uint64_t sheds = 0;  // accounted overload drops (observer shed tap)
 };
 
 /// Expands a seed into a timed schedule. Every fault is paired with a heal

@@ -5,8 +5,11 @@
 //       remains a member";
 //   (b) per-sender FIFO at every receiver — "events from a single sender
 //       are delivered in the order they were published";
-//   (c) no lost delivery — every matching event published while a member
-//       was admitted-and-never-since-purged is eventually delivered;
+//   (c) no silent loss — every matching event published while a member was
+//       admitted-and-never-since-purged is eventually delivered, OR the bus
+//       recorded shedding it for that member under overload (DESIGN.md §9:
+//       "accounted, never silent"). A missing delivery without a matching
+//       shed record is a violation;
 //   (d) quench/matching consistency — an event is handed to a member's
 //       proxy exactly for the member's subscriptions that match it (the
 //       oracle's brute-force Filter::matches is the specification the
@@ -66,6 +69,7 @@ class DeliveryOracle {
   }
   [[nodiscard]] std::uint64_t publishes() const { return publishes_.size(); }
   [[nodiscard]] std::uint64_t deliveries() const { return delivery_count_; }
+  [[nodiscard]] std::uint64_t sheds() const { return shed_.size(); }
 
  private:
   struct Interval {
@@ -110,6 +114,9 @@ class DeliveryOracle {
                       std::uint64_t>, std::uint64_t> fifo_;
   // (member raw, sender raw, n) delivered at least once — for (c).
   std::set<std::tuple<std::uint64_t, std::uint64_t, std::int64_t>> delivered_;
+  // (member raw, sender raw, n) the bus recorded as shed for that member —
+  // the only legal excuse for a missing delivery in (c).
+  std::set<std::tuple<std::uint64_t, std::uint64_t, std::int64_t>> shed_;
   std::uint64_t delivery_count_ = 0;
 
   std::optional<Violation> violation_;
