@@ -12,6 +12,24 @@ if(AMUSE_WERROR)
   target_compile_options(amuse_build_flags INTERFACE -Werror)
 endif()
 
+if(AMUSE_AFFINITY_ASSERTS)
+  target_compile_definitions(amuse_build_flags INTERFACE AMUSE_AFFINITY_ASSERTS=1)
+endif()
+
+if(AMUSE_THREAD_SAFETY)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    # -Wthread-safety over the amuse::Mutex / AMUSE_GUARDED_BY capability
+    # annotations (common/annotations.hpp). Promoted to an error: the tree
+    # is kept warning-free by the thread-safety CI job.
+    target_compile_options(amuse_build_flags INTERFACE
+      -Wthread-safety -Werror=thread-safety)
+  else()
+    message(FATAL_ERROR
+      "AMUSE_THREAD_SAFETY requires clang (the analysis attributes are "
+      "clang-only); current compiler: ${CMAKE_CXX_COMPILER_ID}")
+  endif()
+endif()
+
 if(AMUSE_SANITIZE)
   set(_amuse_san_known address undefined thread leak)
   foreach(_san IN LISTS AMUSE_SANITIZE)

@@ -28,6 +28,16 @@ compiler nor clang-tidy enforce:
       the shed) or pass MsgClass::kControl (control-class sends always
       succeed). A bare or `(void)`-discarded data-class send is a silent
       drop waiting to happen
+  I9  raw std synchronisation primitives (std::mutex, std::lock_guard,
+      std::unique_lock, std::scoped_lock, std::shared_mutex,
+      std::recursive_mutex, std::condition_variable) are banned in src/
+      outside common/annotations.hpp — use amuse::Mutex / MutexLock /
+      CondVar so clang's -Wthread-safety capability analysis can see every
+      lock (DESIGN.md §10)
+
+`--self-test` rebuilds a scratch tree seeded with one violation per
+invariant and fails unless every invariant fires — proof the checker
+still matches, not merely that the tree passes.
 
 Exit status: 0 clean, 1 violations (each printed as file:line: message).
 """
@@ -35,6 +45,7 @@ from __future__ import annotations
 
 import re
 import sys
+import tempfile
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
@@ -62,6 +73,12 @@ BANNED = [
     (re.compile(r"(?<![\w:])fprintf\s*\("), "I2: fprintf in src/ (only the default sink in common/log.cpp may)", {"src/common/log.cpp"}),
     (re.compile(r"sleep_for|sleep_until|(?<![\w:])usleep\s*\(|(?<![\w:])nanosleep\s*\(|(?<![\w:])sleep\s*\("), "I3: blocking sleep in src/ (schedule on the Executor instead)", set()),
     (re.compile(r"(?<![\w:])s?rand\s*\("), "I5: C rand in src/ (use common/rng.hpp)", set()),
+    (re.compile(r"std::(?:mutex|lock_guard|unique_lock|scoped_lock|"
+                r"shared_mutex|recursive_mutex|condition_variable)\b"),
+     "I9: raw std synchronisation primitive in src/ (use amuse::Mutex / "
+     "MutexLock / CondVar from common/annotations.hpp so -Wthread-safety "
+     "sees the lock)",
+     {"src/common/annotations.hpp"}),
 ]
 
 # I7: the torture harness replays fault schedules bit-identically from a
@@ -175,7 +192,8 @@ def check_cmake_lists_all_sources() -> None:
             report(cpp, 1, "I6: source file not listed in src/CMakeLists.txt")
 
 
-def main() -> int:
+def run_checks() -> list[str]:
+    violations.clear()
     headers = sorted(SRC.rglob("*.hpp"))
     sources = sorted(SRC.rglob("*.cpp"))
     for h in headers:
@@ -188,15 +206,77 @@ def main() -> int:
     for f in torture_files:
         check_torture_determinism(f)
     check_cmake_lists_all_sources()
+    return list(violations), len(headers), len(sources)
 
-    if violations:
-        for v in violations:
+
+# One seeded violation per invariant; --self-test fails unless each fires.
+SELFTEST_FILES = {
+    "src/bad_guard.hpp": ("I1", "#ifndef BAD_GUARD\n#define BAD_GUARD\n#endif\n"),
+    "src/chatty.cpp": ("I2", "#include <iostream>\nvoid f() { std::cout << 1; }\n"),
+    "src/sleepy.cpp": ("I3", "#include <thread>\nvoid g() { std::this_thread::sleep_for(x); }\n"),
+    "src/using.hpp": ("I4", "#pragma once\nusing namespace std;\n"),
+    "src/randy.cpp": ("I5", "int h() { return rand(); }\n"),
+    "src/unlisted.cpp": ("I6", "void unlisted() {}\n"),
+    "tests/torture/clocky.cpp": ("I7", "auto t = std::chrono::steady_clock::now();\n"),
+    "src/dropper.cpp": ("I8", "void d() {\n  (void)channel_->send(payload);\n}\n"),
+    "src/locky.cpp": ("I9", "#include <mutex>\nstd::mutex mu;\n"),
+}
+
+
+def self_test() -> int:
+    global ROOT, SRC, TORTURE
+    saved = (ROOT, SRC, TORTURE)
+    failed = False
+    with tempfile.TemporaryDirectory(prefix="check_invariants_") as tmp:
+        root = Path(tmp)
+        for rel, (_inv, content) in SELFTEST_FILES.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(content)
+        # I6 wants a CMakeLists that lists every source *except* the seeded
+        # one (and not the other seeds either — each must trip its own
+        # invariant, so list them all but unlisted.cpp).
+        listed = [rel[len("src/"):] for rel in SELFTEST_FILES
+                  if rel.startswith("src/") and rel.endswith(".cpp")
+                  and rel != "src/unlisted.cpp"]
+        (root / "src" / "CMakeLists.txt").write_text(
+            "\n".join(f"  {f}" for f in listed) + "\n")
+        try:
+            ROOT, SRC, TORTURE = root, root / "src", root / "tests" / "torture"
+            found, _h, _s = run_checks()
+        finally:
+            ROOT, SRC, TORTURE = saved
+        for rel, (inv, _content) in sorted(SELFTEST_FILES.items()):
+            hits = [v for v in found if v.startswith(rel) and f"{inv}:" in v]
+            status = "ok" if hits else "FAIL"
+            if not hits:
+                failed = True
+            print(f"check_invariants --self-test: {inv} fires on {rel} [{status}]")
+        unexpected = [v for v in found
+                      if not any(v.startswith(rel) and f"{inv}:" in v
+                                 for rel, (inv, _c) in SELFTEST_FILES.items())]
+        for v in unexpected:
+            print(f"check_invariants --self-test: unexpected: {v}")
+    if failed:
+        print("check_invariants --self-test: FAIL")
+        return 1
+    print(f"check_invariants --self-test: OK — all {len(SELFTEST_FILES)} "
+          "invariants fire")
+    return 0
+
+
+def main() -> int:
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
+    found, n_headers, n_sources = run_checks()
+    if found:
+        for v in found:
             print(v)
-        print(f"check_invariants: FAIL — {len(violations)} violation(s)")
+        print(f"check_invariants: FAIL — {len(found)} violation(s)")
         return 1
     print(
-        f"check_invariants: OK — {len(headers)} headers, "
-        f"{len(sources)} sources clean"
+        f"check_invariants: OK — {n_headers} headers, "
+        f"{n_sources} sources clean"
     )
     return 0
 

@@ -37,6 +37,7 @@ BusClient::~BusClient() {
 }
 
 void BusClient::handle_datagram(ServiceId src, BytesView data) {
+  AMUSE_ASSERT_ON_EXECUTOR(executor_, "BusClient::handle_datagram");
   if (src != bus_) return;  // only the bus talks to us on this endpoint
   std::optional<Packet> p = Packet::decode(data);
   if (!p) return;
@@ -44,6 +45,7 @@ void BusClient::handle_datagram(ServiceId src, BytesView data) {
 }
 
 std::uint64_t BusClient::subscribe(const Filter& filter, Handler handler) {
+  AMUSE_ASSERT_ON_EXECUTOR(executor_, "BusClient::subscribe");
   std::uint64_t id = next_sub_id_++;
   handlers_.emplace(id, std::move(handler));
   // Control class: subscription state must reach the bus even when the
@@ -60,6 +62,7 @@ void BusClient::unsubscribe(std::uint64_t id) {
 }
 
 bool BusClient::publish(Event event) {
+  AMUSE_ASSERT_ON_EXECUTOR(executor_, "BusClient::publish");
   event.set_publisher(transport_->local_id());
   event.set_publisher_seq(next_pub_seq_++);
   if (event.timestamp() == TimePoint{}) {

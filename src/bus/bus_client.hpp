@@ -15,6 +15,7 @@
 
 #include "bus/messages.hpp"
 #include "bus/quench.hpp"
+#include "common/annotations.hpp"
 #include "net/transport.hpp"
 #include "wire/reliable_channel.hpp"
 
@@ -46,15 +47,16 @@ class BusClient {
 
   /// Registers a content subscription; the handler runs for every matching
   /// event. Returns the local subscription id.
+  AMUSE_AFFINITY(member_executor)
   std::uint64_t subscribe(const Filter& filter, Handler handler);
-  void unsubscribe(std::uint64_t id);
+  AMUSE_AFFINITY(member_executor) void unsubscribe(std::uint64_t id);
 
   /// Publishes an event. Returns false when the event was quenched
   /// (suppressed because no subscription in the cell matches) or when the
   /// bus has announced flow-control pressure. A pressured publish is still
   /// sent (delivery stays reliable); the false return is the advisory
   /// signal for publishers that can defer — see SmcMember, which buffers.
-  bool publish(Event event);
+  AMUSE_AFFINITY(member_executor) bool publish(Event event);
 
   /// Invoked on kFlowControl transitions from the bus: true when the bus
   /// asks publishers to back off, false when pressure is released.
@@ -68,6 +70,7 @@ class BusClient {
   void set_unclaimed_handler(Handler handler);
 
   /// Feeds one raw datagram (used when install_receive_handler is false).
+  AMUSE_AFFINITY(member_executor)
   void handle_datagram(ServiceId src, BytesView data);
 
   [[nodiscard]] ServiceId id() const { return transport_->local_id(); }
@@ -92,7 +95,7 @@ class BusClient {
   }
 
  private:
-  void on_message(BytesView message);
+  AMUSE_AFFINITY(member_executor) void on_message(BytesView message);
 
   std::shared_ptr<Transport> transport_;
   ServiceId bus_;

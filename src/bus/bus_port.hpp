@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/annotations.hpp"
 #include "common/bytes.hpp"
 #include "common/service_id.hpp"
 #include "pubsub/event.hpp"
@@ -39,20 +40,25 @@ class BusPort {
   /// The event is shared and immutable from here on: the bus routes the
   /// same instance to every matching member (encode-once fan-out), copying
   /// only if it must re-stamp metadata.
+  AMUSE_AFFINITY(core_executor)
   virtual void member_publish(ServiceId member, EventPtr event) = 0;
   /// Registers / replaces the member's subscription `local_id`.
+  AMUSE_AFFINITY(core_executor)
   virtual void member_subscribe(ServiceId member, std::uint64_t local_id,
                                 Filter filter) = 0;
+  AMUSE_AFFINITY(core_executor)
   virtual void member_unsubscribe(ServiceId member,
                                   std::uint64_t local_id) = 0;
 
   /// Sends a raw frame to a member over the bus's transport endpoint.
+  AMUSE_AFFINITY(core_executor)
   virtual void send_datagram(ServiceId dst, BytesView frame) = 0;
 
   /// A proxy shed an outbound event for `member` under budget exhaustion
   /// (DESIGN.md §9). The bus accounts it and surfaces it through
   /// BusObserver::on_shed — drops are accounted, never silent. Default
   /// no-op so proxy fakes in tests need not care.
+  AMUSE_AFFINITY(core_executor)
   virtual void notify_shed(ServiceId member, const Event& event) {
     (void)member;
     (void)event;
@@ -60,6 +66,7 @@ class BusPort {
   /// A member's outbound channel crossed its flow-control high-water mark
   /// (under_pressure=true) or drained back below the low-water mark
   /// (false). Default no-op.
+  AMUSE_AFFINITY(core_executor)
   virtual void member_pressure(ServiceId member, bool under_pressure) {
     (void)member;
     (void)under_pressure;
@@ -75,7 +82,8 @@ class BusPort {
   /// incarnation can never be adopted as the fresh channel's stream by a
   /// rejoined member — and honours a session reserved at admission time so
   /// the JoinAccept can tell the member which session to expect.
-  [[nodiscard]] virtual std::uint32_t next_channel_session(ServiceId member) {
+  [[nodiscard]] AMUSE_AFFINITY(core_executor) virtual std::uint32_t
+  next_channel_session(ServiceId member) {
     (void)member;
     return bus_session();
   }

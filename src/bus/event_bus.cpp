@@ -61,6 +61,7 @@ EventBus::EventBus(Executor& executor, std::shared_ptr<Transport> transport,
 EventBus::~EventBus() { transport_->set_receive_handler(nullptr); }
 
 void EventBus::add_member(const MemberInfo& info) {
+  AMUSE_ASSERT_ON_EXECUTOR(executor_, "EventBus::add_member");
   if (has_member(info.id)) purge_member(info.id);
   member_info_.emplace(info.id, info);
   // The proxy constructor may immediately register subscriptions on the
@@ -76,6 +77,7 @@ void EventBus::add_member(const MemberInfo& info) {
 }
 
 void EventBus::purge_member(ServiceId id) {
+  AMUSE_ASSERT_ON_EXECUTOR(executor_, "EventBus::purge_member");
   auto it = proxies_.find(id);
   if (it == proxies_.end()) return;
   it->second->on_purge();  // destroy outbound data awaiting delivery
@@ -124,6 +126,7 @@ std::vector<MemberInfo> EventBus::members() const {
 
 std::uint64_t EventBus::subscribe_local(const Filter& filter,
                                         Handler handler) {
+  AMUSE_ASSERT_ON_EXECUTOR(executor_, "EventBus::subscribe_local");
   std::uint64_t id = next_local_id_++;
   local_handlers_.emplace(id, std::move(handler));
   registry_.subscribe(bus_id(), id, filter);
@@ -132,12 +135,14 @@ std::uint64_t EventBus::subscribe_local(const Filter& filter,
 }
 
 void EventBus::unsubscribe_local(std::uint64_t id) {
+  AMUSE_ASSERT_ON_EXECUTOR(executor_, "EventBus::unsubscribe_local");
   local_handlers_.erase(id);
   registry_.unsubscribe(bus_id(), id);
   quench_changed();
 }
 
 void EventBus::publish_local(Event event) {
+  AMUSE_ASSERT_ON_EXECUTOR(executor_, "EventBus::publish_local");
   if (event.publisher().is_nil()) event.set_publisher(bus_id());
   if (event.timestamp() == TimePoint{}) event.set_timestamp(executor_.now());
   route(freeze(std::move(event)));
@@ -152,6 +157,7 @@ void EventBus::set_observer(BusObserver observer) {
 }
 
 void EventBus::member_publish(ServiceId member, EventPtr event) {
+  AMUSE_ASSERT_ON_EXECUTOR(executor_, "EventBus::member_publish");
   if (!event) return;
   const MemberInfo* info = member_info(member);
   if (!info) return;  // raced with a purge
@@ -178,6 +184,7 @@ void EventBus::member_publish(ServiceId member, EventPtr event) {
 
 void EventBus::member_subscribe(ServiceId member, std::uint64_t local_id,
                                 Filter filter) {
+  AMUSE_ASSERT_ON_EXECUTOR(executor_, "EventBus::member_subscribe");
   const MemberInfo* info = member_info(member);
   if (!info) return;
   if (authoriser_ &&
@@ -193,6 +200,7 @@ void EventBus::member_subscribe(ServiceId member, std::uint64_t local_id,
 }
 
 void EventBus::member_unsubscribe(ServiceId member, std::uint64_t local_id) {
+  AMUSE_ASSERT_ON_EXECUTOR(executor_, "EventBus::member_unsubscribe");
   if (observer_.on_unsubscribe) observer_.on_unsubscribe(member, local_id);
   registry_.unsubscribe(member, local_id);
   quench_changed();

@@ -85,10 +85,10 @@ class EventBus final : public BusPort {
 
   /// Admits a member: instantiates its proxy via the bootstrap factory.
   /// Re-admitting an existing id purges the old incarnation first.
-  void add_member(const MemberInfo& info);
+  AMUSE_AFFINITY(core_executor) void add_member(const MemberInfo& info);
   /// "Purge Member": destroys the proxy and any outbound data awaiting
   /// delivery, and removes all the member's subscriptions.
-  void purge_member(ServiceId id);
+  AMUSE_AFFINITY(core_executor) void purge_member(ServiceId id);
   [[nodiscard]] bool has_member(ServiceId id) const;
   [[nodiscard]] const MemberInfo* member_info(ServiceId id) const;
   [[nodiscard]] Proxy* proxy_for(ServiceId id);
@@ -99,10 +99,11 @@ class EventBus final : public BusPort {
 
   // ---- Local pub/sub for co-located services.
 
+  AMUSE_AFFINITY(core_executor)
   std::uint64_t subscribe_local(const Filter& filter, Handler handler);
-  void unsubscribe_local(std::uint64_t id);
+  AMUSE_AFFINITY(core_executor) void unsubscribe_local(std::uint64_t id);
   /// Publishes as the bus host itself (discovery events, policy actions…).
-  void publish_local(Event event);
+  AMUSE_AFFINITY(core_executor) void publish_local(Event event);
 
   void set_authoriser(Authoriser authoriser);
 
@@ -145,12 +146,18 @@ class EventBus final : public BusPort {
 
   // ---- BusPort (called by proxies).
 
+  AMUSE_AFFINITY(core_executor)
   void member_publish(ServiceId member, EventPtr event) override;
+  AMUSE_AFFINITY(core_executor)
   void member_subscribe(ServiceId member, std::uint64_t local_id,
                         Filter filter) override;
+  AMUSE_AFFINITY(core_executor)
   void member_unsubscribe(ServiceId member, std::uint64_t local_id) override;
+  AMUSE_AFFINITY(core_executor)
   void send_datagram(ServiceId dst, BytesView frame) override;
+  AMUSE_AFFINITY(core_executor)
   void notify_shed(ServiceId member, const Event& event) override;
+  AMUSE_AFFINITY(core_executor)
   void member_pressure(ServiceId member, bool under_pressure) override;
   [[nodiscard]] Executor& executor() override { return executor_; }
   [[nodiscard]] ServiceId bus_id() const override {
@@ -189,7 +196,9 @@ class EventBus final : public BusPort {
 
  private:
   static std::unique_ptr<Matcher> make_matcher(BusEngine engine);
-  void route(EventPtr event);  // translation + cost + match + fan-out
+  // translation + cost + match + fan-out
+  AMUSE_AFFINITY(core_executor) void route(EventPtr event);
+  AMUSE_AFFINITY(core_executor)
   void fan_out(const EncodedEvent& event,
                const SubscriptionRegistry::MatchResult& hit);
   void quench_changed();

@@ -1,0 +1,157 @@
+// Thread-capability and executor-affinity annotations (DESIGN.md §10).
+//
+// The threading model of the event service is deliberately narrow:
+//   1. All protocol state (bus, channels, membership, proxies, members) is
+//      owned by exactly one Executor and is only touched from that
+//      executor's consumer thread. Cross-thread code paths (the UDP receive
+//      thread, foreign producers) hand work over with Executor::post().
+//   2. The few genuinely cross-thread surfaces (RealExecutor's queue,
+//      UdpTransport's handler slot, the log sink) carry explicit
+//      synchronisation — and from this header on, that synchronisation is
+//      machine-checked.
+//
+// Layer 1 — clang Thread Safety Analysis. `amuse::Mutex` / `MutexLock` /
+// `CondVar` wrap the std primitives with capability annotations so that
+// `-Wthread-safety` (CMake: AMUSE_THREAD_SAFETY=ON, clang only) proves
+// every access to a AMUSE_GUARDED_BY field happens under its mutex. Raw
+// std::mutex / std::lock_guard are banned in src/ outside this header
+// (check_invariants.py, invariant I9): a mutex the analysis cannot see is
+// a mutex nobody can prove is held.
+//
+// Layer 2 — executor affinity. AMUSE_AFFINITY(label) declares that a
+// method must run on its owning executor's consumer thread; the static
+// checker (scripts/check_affinity.py) walks the call graph from annotated
+// receive-thread entry points (AMUSE_RECEIVE_CONTEXT) and fails on any
+// path into an affinity method that does not pass through an executor
+// post() hop. AMUSE_ASSERT_ON_EXECUTOR (sim/executor.hpp) is the dynamic
+// spot-check of the same claim.
+//
+// Every macro degrades to nothing on compilers without the attributes
+// (gcc builds the same code unannotated).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Clang Thread Safety Analysis attribute macros
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html)
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define AMUSE_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef AMUSE_TSA
+#define AMUSE_TSA(x)  // not clang (or too old): annotations compile away
+#endif
+
+#define AMUSE_CAPABILITY(x) AMUSE_TSA(capability(x))
+#define AMUSE_SCOPED_CAPABILITY AMUSE_TSA(scoped_lockable)
+#define AMUSE_GUARDED_BY(x) AMUSE_TSA(guarded_by(x))
+#define AMUSE_PT_GUARDED_BY(x) AMUSE_TSA(pt_guarded_by(x))
+#define AMUSE_REQUIRES(...) AMUSE_TSA(requires_capability(__VA_ARGS__))
+#define AMUSE_EXCLUDES(...) AMUSE_TSA(locks_excluded(__VA_ARGS__))
+#define AMUSE_ACQUIRE(...) AMUSE_TSA(acquire_capability(__VA_ARGS__))
+#define AMUSE_RELEASE(...) AMUSE_TSA(release_capability(__VA_ARGS__))
+#define AMUSE_TRY_ACQUIRE(...) AMUSE_TSA(try_acquire_capability(__VA_ARGS__))
+#define AMUSE_RETURN_CAPABILITY(x) AMUSE_TSA(lock_returned(x))
+#define AMUSE_NO_THREAD_SAFETY_ANALYSIS AMUSE_TSA(no_thread_safety_analysis)
+
+// ---------------------------------------------------------------------------
+// Executor-affinity annotations (scripts/check_affinity.py reads the macro
+// text; the clang annotate attribute additionally lands in the AST for the
+// libclang backend). Zero runtime cost.
+//
+//   AMUSE_AFFINITY(label)   this method touches state owned by the `label`
+//                           executor and must run on its consumer thread.
+//                           Labels used in this tree: core_executor (bus /
+//                           proxies / discovery service / cell-side
+//                           channels), member_executor (bus client /
+//                           discovery agent / SmcMember), owner_executor
+//                           (ReliableChannel — used on both sides).
+//   AMUSE_RECEIVE_CONTEXT   this function runs on a raw OS thread that is
+//                           NOT an executor (e.g. the UDP receive thread).
+//                           It may only reach AMUSE_AFFINITY methods
+//                           through an Executor::post() hop.
+//
+// Both macros go at the *start* of the declaration:
+//   AMUSE_AFFINITY(core_executor) void member_publish(...) override;
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define AMUSE_AFFINITY(label) \
+  __attribute__((annotate("amuse::affinity:" #label)))
+#define AMUSE_RECEIVE_CONTEXT __attribute__((annotate("amuse::receive_context")))
+#else
+#define AMUSE_AFFINITY(label)
+#define AMUSE_RECEIVE_CONTEXT
+#endif
+
+namespace amuse {
+
+class CondVar;
+
+/// Capability-annotated mutex. The only sanctioned mutual-exclusion
+/// primitive in src/ (invariant I9): declare the guarded fields with
+/// AMUSE_GUARDED_BY(mu_) and clang's -Wthread-safety proves every access
+/// is under the lock.
+class AMUSE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() AMUSE_ACQUIRE() { mu_.lock(); }
+  void unlock() AMUSE_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over amuse::Mutex (the std::lock_guard / unique_lock
+/// replacement). Holds a std::unique_lock internally so CondVar can wait
+/// on it; the capability is considered held for the whole scope, which is
+/// exactly the condition-variable contract (the wait re-acquires before
+/// returning).
+class AMUSE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) AMUSE_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() AMUSE_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with amuse::Mutex via MutexLock. The caller
+/// holds the lock across the wait (temporarily released inside, invisible
+/// to — and sound for — the static analysis).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Clock, typename Dur>
+  void wait_until(MutexLock& lock,
+                  const std::chrono::time_point<Clock, Dur>& deadline) {
+    cv_.wait_until(lock.lock_, deadline);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace amuse

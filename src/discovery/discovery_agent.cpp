@@ -54,6 +54,7 @@ void DiscoveryAgent::leave() {
 }
 
 void DiscoveryAgent::handle_datagram(ServiceId src, BytesView data) {
+  AMUSE_ASSERT_ON_EXECUTOR(executor_, "DiscoveryAgent::handle_datagram");
   std::optional<Packet> packet = Packet::decode(data);
   if (!packet) return;
 

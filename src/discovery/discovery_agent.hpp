@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 
+#include "common/annotations.hpp"
 #include "common/rng.hpp"
 #include "common/sha256.hpp"
 #include "net/transport.hpp"
@@ -48,13 +49,14 @@ class DiscoveryAgent {
   DiscoveryAgent& operator=(const DiscoveryAgent&) = delete;
 
   /// Begins listening for beacons (joins automatically when one is heard).
-  void start();
+  AMUSE_AFFINITY(member_executor) void start();
   /// Graceful exit: sends LEAVE and stops heartbeats.
-  void leave();
+  AMUSE_AFFINITY(member_executor) void leave();
 
   void set_on_joined(JoinedFn fn) { on_joined_ = std::move(fn); }
   void set_on_left(LeftFn fn) { on_left_ = std::move(fn); }
 
+  AMUSE_AFFINITY(member_executor)
   void handle_datagram(ServiceId src, BytesView data);
 
   enum class State { kIdle, kSearching, kWaitChallenge, kWaitAccept, kJoined };
@@ -80,9 +82,9 @@ class DiscoveryAgent {
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
-  void on_beacon(const Packet& p);
-  void send_join_request();
-  void send_heartbeat();
+  AMUSE_AFFINITY(member_executor) void on_beacon(const Packet& p);
+  AMUSE_AFFINITY(member_executor) void send_join_request();
+  AMUSE_AFFINITY(member_executor) void send_heartbeat();
   void arm_handshake_timeout();
   void arm_loss_check();
   void declare_lost();

@@ -84,6 +84,7 @@ void DiscoveryService::send_beacon() {
 }
 
 void DiscoveryService::on_datagram(ServiceId src, BytesView data) {
+  AMUSE_ASSERT_ON_EXECUTOR(executor_, "DiscoveryService::on_datagram");
   std::optional<Packet> packet = Packet::decode(data);
   if (!packet) return;
   // Any authenticated member traffic counts as liveness evidence.

@@ -25,6 +25,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/annotations.hpp"
 #include "common/rng.hpp"
 #include "common/sha256.hpp"
 #include "discovery/membership.hpp"
@@ -97,8 +98,8 @@ class DiscoveryService {
   DiscoveryService& operator=(const DiscoveryService&) = delete;
 
   /// Starts beaconing and membership sweeps.
-  void start();
-  void stop();
+  AMUSE_AFFINITY(core_executor) void start();
+  AMUSE_AFFINITY(core_executor) void stop();
 
   void set_on_new_member(NewMemberFn fn) { on_new_member_ = std::move(fn); }
   void set_on_purge_member(PurgeMemberFn fn) { on_purge_ = std::move(fn); }
@@ -115,6 +116,7 @@ class DiscoveryService {
   }
 
   /// Administrative removal (e.g. a policy decision), same path as timeout.
+  AMUSE_AFFINITY(core_executor)
   void purge(ServiceId id, const std::string& reason);
 
   [[nodiscard]] const Membership& membership() const { return membership_; }
@@ -141,11 +143,13 @@ class DiscoveryService {
     TimePoint expires;
   };
 
-  void on_datagram(ServiceId src, BytesView data);
-  void send_beacon();
-  void sweep();
+  AMUSE_AFFINITY(core_executor) void on_datagram(ServiceId src, BytesView data);
+  AMUSE_AFFINITY(core_executor) void send_beacon();
+  AMUSE_AFFINITY(core_executor) void sweep();
+  AMUSE_AFFINITY(core_executor)
   void admit(ServiceId device, const std::string& device_type,
              const std::string& role);
+  AMUSE_AFFINITY(core_executor)
   void do_purge(const MemberInfo& info, const std::string& reason);
 
   Executor& executor_;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bus/bus_port.hpp"
+#include "common/annotations.hpp"
 #include "sim/time.hpp"
 
 namespace amuse {
@@ -29,13 +30,15 @@ struct MemberRecord {
 class Membership {
  public:
   /// Admits (or re-admits) a member.
-  void admit(const MemberInfo& info, TimePoint now);
+  AMUSE_AFFINITY(core_executor) void admit(const MemberInfo& info,
+                                           TimePoint now);
   /// Records liveness evidence (heartbeat, join, any packet).
   /// Returns true if the member was SUSPECT and has now recovered.
-  bool touch(ServiceId id, TimePoint now);
+  AMUSE_AFFINITY(core_executor) bool touch(ServiceId id, TimePoint now);
   /// Flips a member to SUSPECT (after the sweep reported it).
-  void mark_suspect(ServiceId id);
+  AMUSE_AFFINITY(core_executor) void mark_suspect(ServiceId id);
   /// Removes a member (graceful leave or purge). Returns its record.
+  AMUSE_AFFINITY(core_executor)
   std::optional<MemberRecord> remove(ServiceId id);
 
   struct Sweep {

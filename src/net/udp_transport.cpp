@@ -97,7 +97,7 @@ UdpTransport::~UdpTransport() {
   ::close(multicast_fd_);
   // Drop the handler so datagram tasks still queued on the executor become
   // no-ops (their weak_ptr can no longer lock).
-  std::lock_guard lock(handler_mu_);
+  MutexLock lock(handler_mu_);
   handler_.reset();
 }
 
@@ -105,14 +105,16 @@ void UdpTransport::set_receive_handler(ReceiveHandler handler) {
   auto next = handler
                   ? std::make_shared<const ReceiveHandler>(std::move(handler))
                   : std::shared_ptr<const ReceiveHandler>();
-  std::lock_guard lock(handler_mu_);
+  MutexLock lock(handler_mu_);
   handler_ = std::move(next);
 }
 
 void UdpTransport::send(ServiceId dst, BytesView data) {
   sockaddr_in addr = make_addr(dst.addr(), dst.port());
-  (void)::sendto(unicast_fd_, data.data(), data.size(), 0,
-                 reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  ssize_t sent = ::sendto(unicast_fd_, data.data(), data.size(), 0,
+                          reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  datagrams_sent_.fetch_add(1, std::memory_order_relaxed);
+  if (sent < 0) send_failures_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void UdpTransport::broadcast(BytesView data) {
@@ -120,8 +122,10 @@ void UdpTransport::broadcast(BytesView data) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = inet_addr(options_.multicast_group);
   addr.sin_port = htons(options_.broadcast_port);
-  (void)::sendto(unicast_fd_, data.data(), data.size(), 0,
-                 reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  ssize_t sent = ::sendto(unicast_fd_, data.data(), data.size(), 0,
+                          reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  datagrams_sent_.fetch_add(1, std::memory_order_relaxed);
+  if (sent < 0) send_failures_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void UdpTransport::receive_loop() {
@@ -147,10 +151,16 @@ void UdpTransport::receive_loop() {
       if (src_id == id_) continue;
       std::weak_ptr<const ReceiveHandler> weak_handler;
       {
-        std::lock_guard lock(handler_mu_);
-        if (!handler_) continue;
+        MutexLock lock(handler_mu_);
+        if (!handler_) {
+          dropped_no_handler_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
         weak_handler = handler_;
       }
+      datagrams_received_.fetch_add(1, std::memory_order_relaxed);
+      bytes_received_.fetch_add(static_cast<std::uint64_t>(got),
+                                std::memory_order_relaxed);
       Bytes datagram(buffer.begin(), buffer.begin() + got);
       executor_.post(
           [weak_handler, src_id, datagram = std::move(datagram)]() {

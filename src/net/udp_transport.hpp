@@ -8,15 +8,17 @@
 //   several endpoints in one or many processes on a machine all hear
 //   discovery beacons.
 // - A background thread polls the sockets and posts datagrams onto the
-//   owning Executor, keeping all protocol logic single-threaded.
+//   owning Executor, keeping all protocol logic single-threaded. That
+//   thread is annotated AMUSE_RECEIVE_CONTEXT: scripts/check_affinity.py
+//   proves it never calls into executor-owned state except through post().
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 
+#include "common/annotations.hpp"
 #include "net/transport.hpp"
 #include "sim/executor.hpp"
 
@@ -27,6 +29,15 @@ struct UdpOptions {
   std::uint16_t broadcast_port = 45'999;
   /// Loopback multicast group used to emulate the shared medium.
   const char* multicast_group = "239.255.42.1";
+};
+
+/// Snapshot of the transport's wire counters (see stats()).
+struct UdpTransportStats {
+  std::uint64_t datagrams_sent = 0;      // unicast + broadcast handed to sendto
+  std::uint64_t send_failures = 0;       // sendto() returned an error
+  std::uint64_t datagrams_received = 0;  // posted to the executor
+  std::uint64_t bytes_received = 0;
+  std::uint64_t dropped_no_handler = 0;  // arrived with no handler installed
 };
 
 class UdpTransport final : public Transport {
@@ -45,10 +56,26 @@ class UdpTransport final : public Transport {
   void broadcast(BytesView data) override;
   void set_receive_handler(ReceiveHandler handler) override;
 
+  /// Snapshot of the wire counters. The counters are touched by the
+  /// receive thread and by any thread that sends, so they are relaxed
+  /// atomics: monotonic totals with no ordering contract between them (a
+  /// snapshot taken mid-traffic may see a send counted before its
+  /// matching receive, never torn values).
+  [[nodiscard]] UdpTransportStats stats() const {
+    UdpTransportStats s;
+    s.datagrams_sent = datagrams_sent_.load(std::memory_order_relaxed);
+    s.send_failures = send_failures_.load(std::memory_order_relaxed);
+    s.datagrams_received = datagrams_received_.load(std::memory_order_relaxed);
+    s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+    s.dropped_no_handler = dropped_no_handler_.load(std::memory_order_relaxed);
+    return s;
+  }
+
  private:
   UdpTransport(Executor& executor, int unicast_fd, int multicast_fd,
                ServiceId id, const Options& options);
-  void receive_loop();
+  /// Body of the background receive thread — not an executor context.
+  AMUSE_RECEIVE_CONTEXT void receive_loop();
 
   Executor& executor_;
   int unicast_fd_;
@@ -61,8 +88,15 @@ class UdpTransport final : public Transport {
   // is replaced — or a transport destroyed — before the posted task runs is
   // never invoked, while a handler mid-invoke stays alive through the
   // task's temporary shared_ptr.
-  mutable std::mutex handler_mu_;
-  std::shared_ptr<const ReceiveHandler> handler_;
+  mutable Mutex handler_mu_;
+  std::shared_ptr<const ReceiveHandler> handler_ AMUSE_GUARDED_BY(handler_mu_);
+  // Hot wire counters: incremented on the receive thread and on whatever
+  // threads send. Relaxed atomics by contract — totals only, no ordering.
+  std::atomic<std::uint64_t> datagrams_sent_{0};
+  std::atomic<std::uint64_t> send_failures_{0};
+  std::atomic<std::uint64_t> datagrams_received_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+  std::atomic<std::uint64_t> dropped_no_handler_{0};
   std::atomic<bool> stop_{false};
   std::thread receiver_;
 };

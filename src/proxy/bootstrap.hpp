@@ -32,8 +32,8 @@ class ProxyFactory {
   void set_default(Creator creator);
 
   /// Instantiates the proxy for a newly admitted member.
-  [[nodiscard]] std::unique_ptr<Proxy> create(BusPort& bus,
-                                              const MemberInfo& info) const;
+  [[nodiscard]] AMUSE_AFFINITY(core_executor) std::unique_ptr<Proxy> create(
+      BusPort& bus, const MemberInfo& info) const;
 
   [[nodiscard]] std::size_t registered_types() const {
     return creators_.size();

@@ -19,17 +19,22 @@ class ForwardingProxy final : public Proxy {
  public:
   ForwardingProxy(BusPort& bus, MemberInfo info);
 
+  AMUSE_AFFINITY(core_executor)
   void deliver_event(const EncodedEvent& event,
                      const std::vector<std::uint64_t>& matched) override;
-  void on_datagram(BytesView data) override;
-  void on_purge() override;
+  AMUSE_AFFINITY(core_executor) void on_datagram(BytesView data) override;
+  AMUSE_AFFINITY(core_executor) void on_purge() override;
+  AMUSE_AFFINITY(core_executor)
   void send_quench_update(const std::vector<Filter>& filters) override;
+  AMUSE_AFFINITY(core_executor)
   void send_flow_control(bool under_pressure) override;
   [[nodiscard]] std::size_t pending() const override;
   [[nodiscard]] std::size_t retained_bytes() const override {
     return channel_->retained_bytes();
   }
-  bool shed_oldest_data() override { return channel_->shed_oldest_data(); }
+  AMUSE_AFFINITY(core_executor) bool shed_oldest_data() override {
+    return channel_->shed_oldest_data();
+  }
   [[nodiscard]] bool delivery_stalled() const override {
     return channel_->failed();
   }
@@ -44,8 +49,8 @@ class ForwardingProxy final : public Proxy {
   void resume() { channel_->poke(); }
 
  private:
-  void on_message(BytesView message);
-  void on_shed(BytesView message);
+  AMUSE_AFFINITY(core_executor) void on_message(BytesView message);
+  AMUSE_AFFINITY(core_executor) void on_shed(BytesView message);
 
   std::unique_ptr<ReliableChannel> channel_;
 };

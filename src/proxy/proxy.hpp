@@ -17,6 +17,7 @@
 #include <cstddef>
 
 #include "bus/bus_port.hpp"
+#include "common/annotations.hpp"
 #include "pubsub/encoded_event.hpp"
 
 namespace amuse {
@@ -34,29 +35,33 @@ class Proxy {
   /// event arrives as the fan-out's shared encode-once value: proxies that
   /// forward the wire protocol reuse its cached body bytes, proxies that
   /// translate read the shared immutable event; none copy it.
+  AMUSE_AFFINITY(core_executor)
   virtual void deliver_event(const EncodedEvent& event,
                              const std::vector<std::uint64_t>& matched) = 0;
 
   /// Raw datagram arriving on the bus endpoint from this member.
-  virtual void on_datagram(BytesView data) = 0;
+  AMUSE_AFFINITY(core_executor) virtual void on_datagram(BytesView data) = 0;
 
   /// "Purge Member": drop any outbound data awaiting delivery and stop all
   /// timers. The bus destroys the proxy right after calling this.
-  virtual void on_purge() = 0;
+  AMUSE_AFFINITY(core_executor) virtual void on_purge() = 0;
 
   /// Quench table changed (default: device cannot use it; ignore).
+  AMUSE_AFFINITY(core_executor)
   virtual void send_quench_update(const std::vector<Filter>& filters);
 
   /// Bus-wide flow control (DESIGN.md §9): tell the member to pause
   /// (true) or resume (false) publishing. Default: device cannot use it.
-  virtual void send_flow_control(bool under_pressure);
+  AMUSE_AFFINITY(core_executor) virtual void send_flow_control(bool under_pressure);
 
   /// Payload bytes this proxy retains for the member (queued + in flight).
   /// Default 0: proxies without a budgeted queue are never shed victims.
   [[nodiscard]] virtual std::size_t retained_bytes() const { return 0; }
   /// Sheds the proxy's oldest queued data-class message; returns false
   /// when nothing is eligible. Called by the bus-wide budget enforcement.
-  virtual bool shed_oldest_data() { return false; }
+  AMUSE_AFFINITY(core_executor) virtual bool shed_oldest_data() {
+    return false;
+  }
   /// True when deliveries to the member have stalled (retries exhausted) —
   /// the shed policy prefers victims that are not making progress anyway.
   [[nodiscard]] virtual bool delivery_stalled() const { return false; }

@@ -32,10 +32,11 @@ class TranslatingProxy final : public Proxy {
                    TranslatingProxyConfig config = {});
   ~TranslatingProxy() override;
 
+  AMUSE_AFFINITY(core_executor)
   void deliver_event(const EncodedEvent& event,
                      const std::vector<std::uint64_t>& matched) override;
-  void on_datagram(BytesView data) override;
-  void on_purge() override;
+  AMUSE_AFFINITY(core_executor) void on_datagram(BytesView data) override;
+  AMUSE_AFFINITY(core_executor) void on_purge() override;
   [[nodiscard]] std::size_t pending() const override { return queue_.size(); }
 
   struct Stats {
@@ -52,10 +53,11 @@ class TranslatingProxy final : public Proxy {
   [[nodiscard]] bool stalled() const { return stalled_; }
 
  private:
-  void pump();             // start transmitting the queue head
-  void transmit_head();
-  void arm_timer();
-  void on_timeout();
+  // start transmitting the queue head
+  AMUSE_AFFINITY(core_executor) void pump();
+  AMUSE_AFFINITY(core_executor) void transmit_head();
+  AMUSE_AFFINITY(core_executor) void arm_timer();
+  AMUSE_AFFINITY(core_executor) void on_timeout();
 
   std::unique_ptr<DeviceCodec> codec_;
   TranslatingProxyConfig config_;

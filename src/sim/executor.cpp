@@ -1,5 +1,9 @@
 #include "sim/executor.hpp"
 
+#include <cstdlib>
+
+#include "common/log.hpp"
+
 namespace amuse {
 
 Executor::~Executor() = default;
@@ -7,5 +11,20 @@ Executor::~Executor() = default;
 TimerId Executor::schedule_after(Duration delay, Task fn) {
   return schedule_at(now() + delay, std::move(fn));
 }
+
+namespace detail {
+
+[[noreturn]] void affinity_violation(const char* what) {
+  // Deliberately fatal: a foreign thread inside single-owner protocol
+  // state is a data race in flight, not a recoverable condition. The
+  // message is the death-test anchor (tests/affinity_test.cpp).
+  Logger log("affinity");
+  log.error("affinity violation: ", what,
+            " called off its owning executor thread while the loop is "
+            "running (post() the call instead)");
+  std::abort();
+}
+
+}  // namespace detail
 
 }  // namespace amuse

@@ -3,11 +3,21 @@
 // Two implementations exist:
 //  - SimExecutor: discrete-event virtual time (all tests and benches);
 //  - RealExecutor: wall-clock time (the real-UDP demo).
+//
+// Threading model (DESIGN.md §10): every component is owned by exactly one
+// executor and its state is only touched from that executor's consumer
+// thread. post()/schedule_at()/cancel() are the *only* thread-safe entry
+// points; everything else an implementation or component exposes is
+// consumer-thread-only. AMUSE_ASSERT_ON_EXECUTOR below is the debug-build
+// spot-check of that rule; scripts/check_affinity.py is the static proof.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <thread>
 
+#include "common/annotations.hpp"
 #include "sim/time.hpp"
 
 namespace amuse {
@@ -29,7 +39,12 @@ class Executor {
   /// Current time on this executor's clock.
   [[nodiscard]] virtual TimePoint now() const = 0;
 
-  /// Runs `fn` as soon as possible, after already-queued work.
+  /// Runs `fn` as soon as possible, after already-queued work. This is the
+  /// one sanctioned cross-thread hop: on RealExecutor, post (and
+  /// schedule_at/cancel) are callable from any thread — the UDP receive
+  /// thread hands datagrams over with it. SimExecutor is strictly
+  /// single-threaded (discrete-event determinism), so the question never
+  /// arises there.
   virtual void post(Task fn) = 0;
 
   /// Runs `fn` at absolute time `t` (or immediately if `t` has passed).
@@ -41,6 +56,67 @@ class Executor {
   /// Cancels a pending timer. Cancelling an already-fired or unknown id is
   /// a harmless no-op (components race their own timers against packets).
   virtual void cancel(TimerId id) = 0;
+
+  /// True when the calling thread may touch state owned by this executor:
+  /// either no run loop is active (the single-threaded setup / teardown /
+  /// test-driver phases), or the calling thread is the one inside the
+  /// loop. The affinity assertions below are built on this; it can only
+  /// prove a *violation* (a foreign thread calling in while the loop is
+  /// live), never the absence of one.
+  [[nodiscard]] bool on_executor_thread() const {
+    if (loop_depth_.load(std::memory_order_acquire) == 0) return true;
+    return loop_thread_.load(std::memory_order_relaxed) ==
+           std::this_thread::get_id();
+  }
+
+ protected:
+  /// RAII marker implementations hold while running tasks on the calling
+  /// thread; makes that thread the executor's consumer for the duration.
+  /// Re-entrant on the same thread (nested run()s share the identity).
+  class LoopGuard {
+   public:
+    explicit LoopGuard(Executor& ex) : ex_(ex) {
+      ex_.loop_thread_.store(std::this_thread::get_id(),
+                             std::memory_order_relaxed);
+      ex_.loop_depth_.fetch_add(1, std::memory_order_release);
+    }
+    ~LoopGuard() { ex_.loop_depth_.fetch_sub(1, std::memory_order_release); }
+    LoopGuard(const LoopGuard&) = delete;
+    LoopGuard& operator=(const LoopGuard&) = delete;
+
+   private:
+    Executor& ex_;
+  };
+
+ private:
+  // Identity of the thread inside the run loop, and how many nested loop
+  // levels are live. Written by the consumer thread only; read by any
+  // thread through on_executor_thread().
+  std::atomic<int> loop_depth_{0};
+  std::atomic<std::thread::id> loop_thread_{};
 };
+
+namespace detail {
+/// Logs the violation and aborts: a thread that is not the owning
+/// executor's consumer called into single-owner protocol state.
+[[noreturn]] void affinity_violation(const char* what);
+}  // namespace detail
+
+/// Debug-build runtime check of an AMUSE_AFFINITY(...) annotation: aborts
+/// when the calling thread is provably not `ex`'s consumer thread while
+/// the loop is live. Compiled to nothing when AMUSE_AFFINITY_ASSERTS is
+/// off (cmake -DAMUSE_AFFINITY_ASSERTS=OFF); on by default — the cost is
+/// two relaxed atomic loads.
+#if defined(AMUSE_AFFINITY_ASSERTS)
+#define AMUSE_ASSERT_ON_EXECUTOR(ex, what)                                   \
+  do {                                                                       \
+    if (!(ex).on_executor_thread()) ::amuse::detail::affinity_violation(what); \
+  } while (0)
+#else
+#define AMUSE_ASSERT_ON_EXECUTOR(ex, what) \
+  do {                                     \
+    (void)sizeof(ex);                      \
+  } while (0)
+#endif
 
 }  // namespace amuse

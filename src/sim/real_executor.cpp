@@ -14,7 +14,7 @@ TimePoint RealExecutor::now() const {
 void RealExecutor::post(Task fn) { (void)schedule_at(now(), std::move(fn)); }
 
 TimerId RealExecutor::schedule_at(TimePoint t, Task fn) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   TimerId id = next_id_++;
   Key key{t, next_seq_++};
   queue_.emplace(key, std::make_pair(id, std::move(fn)));
@@ -24,7 +24,7 @@ TimerId RealExecutor::schedule_at(TimePoint t, Task fn) {
 }
 
 void RealExecutor::cancel(TimerId id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = by_id_.find(id);
   if (it == by_id_.end()) return;
   queue_.erase(it->second);
@@ -40,14 +40,15 @@ void RealExecutor::run_for(Duration d) {
 }
 
 void RealExecutor::run_until_wall(TimePoint deadline, bool has_deadline) {
+  LoopGuard guard(*this);  // the calling thread is this executor's consumer
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stop_ = false;
   }
   for (;;) {
     Task task;
     {
-      std::unique_lock lock(mu_);
+      MutexLock lock(mu_);
       for (;;) {
         if (stop_) return;
         if (has_deadline && now() >= deadline) return;
@@ -75,7 +76,7 @@ void RealExecutor::run_until_wall(TimePoint deadline, bool has_deadline) {
 
 void RealExecutor::stop() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();

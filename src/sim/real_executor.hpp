@@ -1,13 +1,16 @@
 // Wall-clock executor for running the SMC stack on a real network (the
 // prototype's UDP configuration, paper §IV). Single consumer thread calls
 // run(); producers (e.g. the UDP receive thread) post from any thread.
+//
+// This is one of the tree's three genuinely cross-thread surfaces
+// (DESIGN.md §10): every field below is guarded by mu_, and the capability
+// annotations let clang's -Wthread-safety prove it.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 
+#include "common/annotations.hpp"
 #include "sim/executor.hpp"
 
 namespace amuse {
@@ -43,15 +46,15 @@ class RealExecutor final : public Executor {
   void run_until_wall(TimePoint deadline, bool has_deadline);
 
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<Key, std::pair<TimerId, Task>> queue_;
-  std::map<TimerId, Key> by_id_;
-  std::uint64_t next_seq_ = 1;
-  std::uint64_t next_id_ = 1;
-  bool stop_ = false;  // guarded by mu_; stop() notifies under the lock so
-                       // the wakeup cannot slip between the loop's check
-                       // and its cv_ wait
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::map<Key, std::pair<TimerId, Task>> queue_ AMUSE_GUARDED_BY(mu_);
+  std::map<TimerId, Key> by_id_ AMUSE_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ AMUSE_GUARDED_BY(mu_) = 1;
+  std::uint64_t next_id_ AMUSE_GUARDED_BY(mu_) = 1;
+  // stop() notifies under the lock so the wakeup cannot slip between the
+  // loop's check and its cv_ wait.
+  bool stop_ AMUSE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace amuse

@@ -17,6 +17,8 @@ TimerId SimExecutor::schedule_at(TimePoint t, Task fn) {
 void SimExecutor::cancel(TimerId id) { tasks_.erase(id); }
 
 bool SimExecutor::step() {
+  LoopGuard guard(*this);  // the calling thread is the consumer while a
+                           // task runs (affinity assertions key off this)
   while (!queue_.empty()) {
     Entry e = queue_.top();
     queue_.pop();

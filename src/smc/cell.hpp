@@ -39,11 +39,11 @@ class SelfManagedCell {
                   SmcCellConfig config = {});
 
   /// Starts discovery beaconing and the policy engine.
-  void start();
-  void stop();
+  AMUSE_AFFINITY(core_executor) void start();
+  AMUSE_AFFINITY(core_executor) void stop();
 
   /// Parses and loads Ponder-lite policy text into the store.
-  void load_policies(const std::string& text);
+  AMUSE_AFFINITY(core_executor) void load_policies(const std::string& text);
 
   [[nodiscard]] EventBus& bus() { return *bus_; }
   [[nodiscard]] DiscoveryService& discovery() { return *discovery_; }

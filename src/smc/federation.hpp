@@ -32,8 +32,10 @@ class FederationBridge {
   FederationBridge(const FederationBridge&) = delete;
   FederationBridge& operator=(const FederationBridge&) = delete;
 
-  /// Exports events matching `filter` into the destination cell.
-  void share(const Filter& filter);
+  /// Exports events matching `filter` into the destination cell. Both
+  /// cells must share one core executor: forward() republishes straight
+  /// into the destination bus with no cross-executor hop.
+  AMUSE_AFFINITY(core_executor) void share(const Filter& filter);
 
   struct Stats {
     std::uint64_t forwarded = 0;
@@ -42,7 +44,7 @@ class FederationBridge {
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
-  void forward(const Event& e);
+  AMUSE_AFFINITY(core_executor) void forward(const Event& e);
 
   EventBus& from_;
   EventBus& to_;

@@ -28,8 +28,9 @@ class FederationGateway {
       : from_(from), to_(to), config_(std::move(config)) {}
 
   /// Exports events matching `filter` into the destination cell. Durable
-  /// across re-joins (SmcMember re-registers subscriptions).
-  void share(const Filter& filter) {
+  /// across re-joins (SmcMember re-registers subscriptions). Both members
+  /// must be owned by the same executor: forward() republishes directly.
+  AMUSE_AFFINITY(member_executor) void share(const Filter& filter) {
     subscriptions_.push_back(
         from_.subscribe(filter, [this](const Event& e) { forward(e); }));
   }
@@ -42,7 +43,7 @@ class FederationGateway {
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
-  void forward(const Event& e) {
+  AMUSE_AFFINITY(member_executor) void forward(const Event& e) {
     std::int64_t hops = e.get_int(config_.hop_attr, 0);
     if (hops >= config_.max_hops) {
       ++stats_.hop_limited;

@@ -56,6 +56,7 @@ void SmcMember::unsubscribe(std::uint64_t id) {
 }
 
 bool SmcMember::publish(Event event) {
+  AMUSE_ASSERT_ON_EXECUTOR(executor_, "SmcMember::publish");
   if (client_ && !client_->pressured()) {
     return client_->publish(std::move(event));
   }

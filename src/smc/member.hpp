@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "bus/bus_client.hpp"
+#include "common/annotations.hpp"
 #include "discovery/discovery_agent.hpp"
 
 namespace amuse {
@@ -40,16 +41,17 @@ class SmcMember {
   SmcMember& operator=(const SmcMember&) = delete;
 
   /// Starts searching for the cell.
-  void start();
+  AMUSE_AFFINITY(member_executor) void start();
   /// Graceful leave.
-  void leave();
+  AMUSE_AFFINITY(member_executor) void leave();
 
+  AMUSE_AFFINITY(member_executor)
   std::uint64_t subscribe(const Filter& filter, Handler handler);
-  void unsubscribe(std::uint64_t id);
+  AMUSE_AFFINITY(member_executor) void unsubscribe(std::uint64_t id);
   /// Publishes now if joined and unpressured, otherwise buffers (returns
   /// false when the event was dropped because the buffer is full or the
   /// publish was quenched).
-  bool publish(Event event);
+  AMUSE_AFFINITY(member_executor) bool publish(Event event);
 
   [[nodiscard]] bool joined() const { return client_ != nullptr; }
   [[nodiscard]] ServiceId id() const { return transport_->local_id(); }
@@ -82,9 +84,10 @@ class SmcMember {
     Handler handler;
   };
 
+  AMUSE_AFFINITY(member_executor)
   void on_cell_joined(ServiceId bus, std::uint32_t session);
-  void on_cell_left();
-  void flush_offline();
+  AMUSE_AFFINITY(member_executor) void on_cell_left();
+  AMUSE_AFFINITY(member_executor) void flush_offline();
 
   Executor& executor_;
   std::shared_ptr<Transport> transport_;

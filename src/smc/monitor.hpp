@@ -37,13 +37,13 @@ class SelfMonitor {
   SelfMonitor(const SelfMonitor&) = delete;
   SelfMonitor& operator=(const SelfMonitor&) = delete;
 
-  void start();
-  void stop();
+  AMUSE_AFFINITY(core_executor) void start();
+  AMUSE_AFFINITY(core_executor) void stop();
 
   [[nodiscard]] std::uint64_t reports_published() const { return reports_; }
 
  private:
-  void tick();
+  AMUSE_AFFINITY(core_executor) void tick();
 
   Executor& executor_;
   SelfManagedCell& cell_;

@@ -46,6 +46,7 @@ bool ReliableChannel::send(Bytes message, MsgClass cls) {
 }
 
 bool ReliableChannel::send(SharedPayload payload, MsgClass cls) {
+  AMUSE_ASSERT_ON_EXECUTOR(executor_, "ReliableChannel::send");
   std::size_t frag = config_.max_fragment_payload;
   std::size_t total = payload.size();
   std::size_t pieces =
@@ -450,6 +451,7 @@ void ReliableChannel::reset() {
 }
 
 void ReliableChannel::on_packet(const Packet& packet) {
+  AMUSE_ASSERT_ON_EXECUTOR(executor_, "ReliableChannel::on_packet");
   if (packet.src != peer_) return;
   switch (packet.type) {
     case PacketType::kData:

@@ -40,6 +40,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/bytes.hpp"
 #include "common/service_id.hpp"
 #include "sim/executor.hpp"
@@ -217,9 +218,11 @@ class ReliableChannel {
   /// Queues one message for reliable delivery. Data-class sends return
   /// false (and count the message as shed) when the queue bounds are hit;
   /// control-class sends are always accepted and jump ahead of queued data.
+  AMUSE_AFFINITY(owner_executor)
   bool send(Bytes message, MsgClass cls = MsgClass::kData);
   /// As send(Bytes), but the shared tail bytes are queued by reference and
   /// only copied into the wire frame (or into fragments) at transmit time.
+  AMUSE_AFFINITY(owner_executor)
   bool send(SharedPayload payload, MsgClass cls = MsgClass::kData);
 
   /// Installs the shed-accounting tap (fired for every dropped data-class
@@ -233,19 +236,19 @@ class ReliableChannel {
   /// peer may already hold part of the window. Returns false when nothing
   /// in the queue is data-class. Public so the bus-wide budget owner can
   /// pick shed victims across channels.
-  bool shed_oldest_data();
+  AMUSE_AFFINITY(owner_executor) bool shed_oldest_data();
 
   /// Feed every DATA/ACK packet from this peer here.
-  void on_packet(const Packet& packet);
+  AMUSE_AFFINITY(owner_executor) void on_packet(const Packet& packet);
 
   /// Restart retransmission after a failure report (e.g. the discovery
   /// service saw a heartbeat again before the purge timeout).
-  void poke();
+  AMUSE_AFFINITY(owner_executor) void poke();
 
   /// Drops all queued and in-flight outbound data and stops timers — the
   /// paper's proxy behaviour on "Purge Member": destroy "any outbound data
   /// awaiting delivery".
-  void reset();
+  AMUSE_AFFINITY(owner_executor) void reset();
 
   [[nodiscard]] std::size_t in_flight() const;
   [[nodiscard]] std::size_t queued() const { return queue_.size(); }
