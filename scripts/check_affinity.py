@@ -567,8 +567,20 @@ def self_test() -> int:
               "AMUSE_AFFINITY methods found in src/ (expected the annotated "
               "protocol surface; did the parser regress?)")
         failed = True
+    # The federation surface (DESIGN.md §11) runs on the member executor and
+    # must stay inside the checked graph: FederationGateway::share/
+    # reconcile/forward plus FederationBridge::share/forward.
+    fed_annotated = [f for f in annotated
+                     if "gateway" in f.path or "federation" in f.path]
+    if len(fed_annotated) < 5:
+        print(f"check_affinity --self-test: FAIL: only {len(fed_annotated)} "
+              "AMUSE_AFFINITY methods found on the federation surface "
+              "(smc/gateway, smc/federation); gateway forwarding would be "
+              "unchecked")
+        failed = True
     print(f"check_affinity --self-test: tree has {len(entries)} entry "
-          f"point(s), {len(annotated)} affinity-annotated method(s)")
+          f"point(s), {len(annotated)} affinity-annotated method(s) "
+          f"({len(fed_annotated)} on the federation surface)")
     return 1 if failed else 0
 
 

@@ -4,6 +4,7 @@
 #   <build>/BENCH_fig4b.json    - Figure 4(b) throughput sweep (+ legacy A/B)
 #   <build>/BENCH_fanout.json   - A1 fan-out scaling (+ datagrams/delivery)
 #   <build>/BENCH_overload.json - §9 bounded delivery under a slow consumer
+#   <build>/BENCH_federation.json - §11 inter-cell traffic vs selectivity A/B
 # Usage: scripts/run_benches.sh [build-dir]   (default: build)
 set -euo pipefail
 
@@ -18,6 +19,7 @@ ctest --test-dir "$BUILD" -L bench --output-on-failure
 "$BUILD/bench/fig4b_throughput" --json "$BUILD/BENCH_fig4b.json"
 "$BUILD/bench/fanout_scaling" --json "$BUILD/BENCH_fanout.json"
 "$BUILD/bench/overload" --json "$BUILD/BENCH_overload.json"
+"$BUILD/bench/federation_scaling" --json "$BUILD/BENCH_federation.json"
 
 echo "bench artifacts:"
 ls -l "$BUILD"/BENCH_*.json

@@ -87,6 +87,14 @@ bool BusClient::publish(Event event) {
   return true;
 }
 
+bool BusClient::publish(const EventPtr& event) {
+  if (!event) return false;
+  // Copy-on-write restamp: one copy to take ownership of the publisher
+  // metadata; the attribute payload (body, federation origin stamp) is
+  // carried over verbatim.
+  return publish(Event(*event));
+}
+
 void BusClient::set_unclaimed_handler(Handler handler) {
   unclaimed_ = std::move(handler);
 }
@@ -116,6 +124,29 @@ void BusClient::on_message(BytesView message) {
     case BusMsgType::kQuenchUpdate:
       quench_.update(m.quench_filters);
       break;
+    case BusMsgType::kInterestUpdate: {
+      if (!m.interest || m.interest->request_resync) {
+        kLog.warn("nonsense interest message from bus");
+        break;
+      }
+      switch (mirror_.apply(*m.interest)) {
+        case InterestMirror::Apply::kApplied:
+          ++stats_.interest_updates;
+          if (on_interest_) on_interest_(mirror_.interests());
+          break;
+        case InterestMirror::Apply::kResyncNeeded:
+          // Version gap or digest mismatch: never route on a suspect
+          // table — ask for a full one. Control class, like the push.
+          ++stats_.interest_resyncs;
+          kLog.debug("interest mirror lost sync at v",
+                     std::to_string(m.interest->version),
+                     "; requesting resync");
+          (void)channel_->send(BusMessage::interest_resync_request().encode(),
+                               MsgClass::kControl);
+          break;
+      }
+      break;
+    }
     case BusMsgType::kFlowControl:
       ++stats_.flow_signals;
       if (pressured_ != m.pressure) {

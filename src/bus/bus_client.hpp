@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 
+#include "bus/interest_table.hpp"
 #include "bus/messages.hpp"
 #include "bus/quench.hpp"
 #include "common/annotations.hpp"
@@ -57,6 +58,11 @@ class BusClient {
   /// sent (delivery stays reliable); the false return is the advisory
   /// signal for publishers that can defer — see SmcMember, which buffers.
   AMUSE_AFFINITY(member_executor) bool publish(Event event);
+  /// Shared-instance variant: pays exactly one copy — the copy-on-write
+  /// restamp that assigns this client's publisher id and sequence number.
+  /// All other attributes (including federation origin stamps) forward
+  /// untouched.
+  AMUSE_AFFINITY(member_executor) bool publish(const EventPtr& event);
 
   /// Invoked on kFlowControl transitions from the bus: true when the bus
   /// asks publishers to back off, false when pressure is released.
@@ -68,6 +74,16 @@ class BusClient {
   /// Handler for events that arrive for an already-unsubscribed id
   /// (in-flight at unsubscribe time); defaults to dropping them.
   void set_unclaimed_handler(Handler handler);
+
+  /// Invoked after every cleanly applied kInterestUpdate with the current
+  /// remote interest table (gateway members only; never fires for plain
+  /// members — the bus only pushes interest to gateway-role peers).
+  using InterestFn = std::function<void(const FilterSet&)>;
+  void set_on_interest(InterestFn fn) { on_interest_ = std::move(fn); }
+  /// The mirror of the interest table the bus last pushed to this peer.
+  [[nodiscard]] const InterestMirror& interest_mirror() const {
+    return mirror_;
+  }
 
   /// Feeds one raw datagram (used when install_receive_handler is false).
   AMUSE_AFFINITY(member_executor)
@@ -83,6 +99,8 @@ class BusClient {
     std::uint64_t flow_signals = 0;         // kFlowControl messages received
     std::uint64_t events_received = 0;
     std::uint64_t handler_invocations = 0;
+    std::uint64_t interest_updates = 0;   // cleanly applied pushes
+    std::uint64_t interest_resyncs = 0;   // resync requests sent
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const ReliableChannelStats& channel_stats() const {
@@ -106,8 +124,10 @@ class BusClient {
   std::uint64_t next_pub_seq_ = 1;
   Handler unclaimed_;
   PressureFn on_pressure_;
+  InterestFn on_interest_;
   bool pressured_ = false;
   QuenchTable quench_;
+  InterestMirror mirror_;
   Stats stats_;
   Executor& executor_;
 };

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/annotations.hpp"
 #include "common/bytes.hpp"
@@ -27,6 +28,11 @@ struct MemberInfo {
   /// Drives authorisation policies, e.g. "sensor", "nurse", "guest".
   std::string role;
 };
+
+/// Members admitted with this role are federation routing peers: the bus
+/// pushes them per-link interest tables and counts them as inter-cell
+/// links for suppression accounting.
+inline constexpr std::string_view kGatewayRole = "gateway";
 
 class BusPort {
  public:
@@ -71,6 +77,11 @@ class BusPort {
     (void)member;
     (void)under_pressure;
   }
+  /// A gateway member's interest mirror lost sync (version gap or digest
+  /// mismatch) and requests a full interest-table push. Default no-op so
+  /// proxy fakes in tests need not care.
+  AMUSE_AFFINITY(core_executor)
+  virtual void member_interest_resync(ServiceId member) { (void)member; }
 
   [[nodiscard]] virtual Executor& executor() = 0;
   [[nodiscard]] virtual ServiceId bus_id() const = 0;

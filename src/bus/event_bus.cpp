@@ -71,6 +71,15 @@ void EventBus::add_member(const MemberInfo& info) {
   // elided when the effective filter set is unchanged, so admission cannot
   // rely on a later table change to deliver the first copy.
   push_quench_table(*it->second);
+  if (info.role == kGatewayRole) {
+    // A routing peer: from here on every routed event carries an origin
+    // stamp, and this link gets the cell's split-horizon interest table.
+    // Admission (first join *and* rejoin) always pushes a full table — a
+    // rejoined incarnation must never route on a stale mirror.
+    enable_federation();
+    gateway_members_.insert(info.id);
+    push_interest_table(*it->second);
+  }
   if (observer_.on_member_admitted) observer_.on_member_admitted(info);
   kLog.debug("member ", info.id.to_string(), " admitted as ",
              info.device_type);
@@ -89,8 +98,10 @@ void EventBus::purge_member(ServiceId id) {
   // without a pressure transition so a dead member can't pin the cell's
   // publishers under flow control forever.
   pressured_members_.erase(id);
+  gateway_members_.erase(id);
+  table_.drop_link(id);
   update_flow_control();
-  quench_changed();
+  interests_changed();
   if (observer_.on_member_purged) observer_.on_member_purged(id);
   kLog.debug("member ", id.to_string(), " purged");
 }
@@ -126,11 +137,18 @@ std::vector<MemberInfo> EventBus::members() const {
 
 std::uint64_t EventBus::subscribe_local(const Filter& filter,
                                         Handler handler) {
+  return subscribe_local_shared(
+      filter,
+      [h = std::move(handler)](const EventPtr& event) { h(*event); });
+}
+
+std::uint64_t EventBus::subscribe_local_shared(const Filter& filter,
+                                               SharedHandler handler) {
   AMUSE_ASSERT_ON_EXECUTOR(executor_, "EventBus::subscribe_local");
   std::uint64_t id = next_local_id_++;
   local_handlers_.emplace(id, std::move(handler));
   registry_.subscribe(bus_id(), id, filter);
-  quench_changed();
+  interests_changed();
   return id;
 }
 
@@ -138,7 +156,7 @@ void EventBus::unsubscribe_local(std::uint64_t id) {
   AMUSE_ASSERT_ON_EXECUTOR(executor_, "EventBus::unsubscribe_local");
   local_handlers_.erase(id);
   registry_.unsubscribe(bus_id(), id);
-  quench_changed();
+  interests_changed();
 }
 
 void EventBus::publish_local(Event event) {
@@ -146,6 +164,28 @@ void EventBus::publish_local(Event event) {
   if (event.publisher().is_nil()) event.set_publisher(bus_id());
   if (event.timestamp() == TimePoint{}) event.set_timestamp(executor_.now());
   route(freeze(std::move(event)));
+}
+
+void EventBus::publish_local(EventPtr event) {
+  AMUSE_ASSERT_ON_EXECUTOR(executor_, "EventBus::publish_local");
+  if (!event) return;
+  // Copy-on-write restamp: a forwarded event normally arrives with its
+  // origin metadata intact and is routed as-is; only a bare event pays
+  // for a copy.
+  if (event->publisher().is_nil() || event->timestamp() == TimePoint{}) {
+    auto stamped = std::make_shared<Event>(*event);
+    if (stamped->publisher().is_nil()) stamped->set_publisher(bus_id());
+    if (stamped->timestamp() == TimePoint{}) {
+      stamped->set_timestamp(executor_.now());
+    }
+    event = std::move(stamped);
+  }
+  route(std::move(event));
+}
+
+void EventBus::enable_federation() {
+  AMUSE_ASSERT_ON_EXECUTOR(executor_, "EventBus::enable_federation");
+  federation_ = true;
 }
 
 void EventBus::set_authoriser(Authoriser authoriser) {
@@ -196,14 +236,14 @@ void EventBus::member_subscribe(ServiceId member, std::uint64_t local_id,
   }
   if (observer_.on_subscribe) observer_.on_subscribe(member, local_id, filter);
   registry_.subscribe(member, local_id, filter);
-  quench_changed();
+  interests_changed();
 }
 
 void EventBus::member_unsubscribe(ServiceId member, std::uint64_t local_id) {
   AMUSE_ASSERT_ON_EXECUTOR(executor_, "EventBus::member_unsubscribe");
   if (observer_.on_unsubscribe) observer_.on_unsubscribe(member, local_id);
   registry_.unsubscribe(member, local_id);
-  quench_changed();
+  interests_changed();
 }
 
 void EventBus::send_datagram(ServiceId dst, BytesView frame) {
@@ -277,6 +317,30 @@ void EventBus::enforce_shared_budget() {
 }
 
 void EventBus::route(EventPtr event) {
+  if (federation_) {
+    // Origin-stamped routing (DESIGN.md §11): every event is stamped with
+    // an immutable (cell, seq) pair exactly once, at its origin cell. A
+    // stamp naming *this* cell means the event has looped home; a stamp we
+    // have already routed is a multi-path duplicate. Both die here —
+    // before the publish counters and the oracle's publish tap — so loop
+    // termination needs no mutable hop counter.
+    auto origin =
+        static_cast<std::uint64_t>(event->get_int(kFedOriginCellAttr, 0));
+    if (origin != 0) {
+      auto seq =
+          static_cast<std::uint64_t>(event->get_int(kFedOriginSeqAttr, 0));
+      if (origin == bus_id().raw() || !fed_dedup_.admit(origin, seq)) {
+        ++stats_.fed_duplicates_dropped;
+        return;
+      }
+    } else {
+      auto stamped = std::make_shared<Event>(*event);
+      stamped->set(kFedOriginCellAttr,
+                   static_cast<std::int64_t>(bus_id().raw()));
+      stamped->set(kFedOriginSeqAttr, static_cast<std::int64_t>(++fed_seq_));
+      event = std::move(stamped);
+    }
+  }
   ++stats_.published;
   if (observer_.on_publish) observer_.on_publish(*event);
 
@@ -315,10 +379,23 @@ void EventBus::route(EventPtr event) {
 
 void EventBus::fan_out(const EncodedEvent& event,
                        const SubscriptionRegistry::MatchResult& hit) {
+  if (!gateway_members_.empty()) {
+    // Suppression accounting for the federation A/B: an event no gateway
+    // matched crossed zero inter-cell links — the downstream interest
+    // tables said nobody out there wants it.
+    bool crossed = false;
+    for (ServiceId link : gateway_members_) {
+      if (hit.contains(link)) {
+        crossed = true;
+        break;
+      }
+    }
+    if (!crossed) ++stats_.fed_events_suppressed;
+  }
   for (const auto& [member, locals] : hit) {
     if (member == bus_id()) {
       // Local handlers may (un)subscribe from inside the callback.
-      std::vector<Handler> handlers;
+      std::vector<SharedHandler> handlers;
       handlers.reserve(locals.size());
       for (std::uint64_t local : locals) {
         auto hit_handler = local_handlers_.find(local);
@@ -326,10 +403,10 @@ void EventBus::fan_out(const EncodedEvent& event,
           handlers.push_back(hit_handler->second);
         }
       }
-      for (const Handler& h : handlers) {
+      for (const SharedHandler& h : handlers) {
         ++stats_.local_deliveries;
         if (observer_.on_local_deliver) observer_.on_local_deliver(event.event());
-        h(event.event());
+        h(event.event_ptr());
       }
       continue;
     }
@@ -342,73 +419,71 @@ void EventBus::fan_out(const EncodedEvent& event,
   enforce_shared_budget();
 }
 
-std::vector<Filter> EventBus::quench_table(Digest256* digest) const {
-  std::vector<Filter> filters = registry_.all_filters();
-  // The table is a *set*: members only test candidate events against it, so
-  // order and duplicates carry no information. Canonicalise through the
-  // wire encoding so that identical effective sets digest identically no
-  // matter which subscriptions produced them.
-  std::vector<std::pair<Bytes, Filter>> keyed;
-  keyed.reserve(filters.size());
-  for (Filter& f : filters) {
-    Writer w;
-    f.encode(w);
-    keyed.emplace_back(std::move(w).take(), std::move(f));
+void EventBus::interests_changed() {
+  bool links = !gateway_members_.empty();
+  if (!config_.quench && !links) return;
+  // One canonical table (sorted by wire encoding, deduped — the quench
+  // table is a *set*: order and duplicates carry no information), grouped
+  // by owner so each link gets its split-horizon view.
+  table_.rebuild(registry_.filters_by_member());
+  bool pushed = false;
+  if (config_.quench) {
+    Digest256 digest = table_.all().digest();
+    if (quench_pushed_ && digest_equal(digest, quench_digest_)) {
+      // The effective filter set is unchanged (duplicate subscription,
+      // unsubscribe of a duplicated filter, purge of a filterless member…):
+      // pushing the same table to every member would be pure overhead.
+      ++stats_.quench_skipped;
+    } else {
+      quench_pushed_ = true;
+      quench_digest_ = digest;
+      for (auto& [id, proxy] : proxies_) {
+        proxy->send_quench_update(table_.all().filters());
+      }
+      ++stats_.quench_updates;
+      pushed = true;
+    }
   }
-  std::sort(keyed.begin(), keyed.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  keyed.erase(std::unique(keyed.begin(), keyed.end(),
-                          [](const auto& a, const auto& b) {
-                            return a.first == b.first;
-                          }),
-              keyed.end());
-  Sha256 hash;
-  std::vector<Filter> out;
-  out.reserve(keyed.size());
-  for (auto& [bytes, f] : keyed) {
-    // Length-prefix each entry so adjacent encodings cannot alias across
-    // entry boundaries.
-    Writer len(4);
-    len.u32(static_cast<std::uint32_t>(bytes.size()));
-    Bytes len_bytes = std::move(len).take();
-    hash.update(len_bytes);
-    hash.update(bytes);
-    out.push_back(std::move(f));
+  for (ServiceId link : gateway_members_) {
+    auto pit = proxies_.find(link);
+    if (pit == proxies_.end()) continue;
+    if (auto update = table_.refresh_link(link)) {
+      // Versioned incremental diff (full on the first push); digest lets
+      // the mirror detect divergence and ask for a resync.
+      pit->second->send_interest_update(*update);
+      ++stats_.interests_propagated;
+      pushed = true;
+    }
   }
-  if (digest != nullptr) *digest = hash.finish();
-  return out;
-}
-
-void EventBus::quench_changed() {
-  if (!config_.quench) return;
-  Digest256 digest{};
-  std::vector<Filter> filters = quench_table(&digest);
-  if (quench_pushed_ && digest_equal(digest, quench_digest_)) {
-    // The effective filter set is unchanged (duplicate subscription,
-    // unsubscribe of a duplicated filter, purge of a filterless member…):
-    // pushing the same table to every member would be pure overhead.
-    ++stats_.quench_skipped;
-    return;
-  }
-  quench_pushed_ = true;
-  quench_digest_ = digest;
-  for (auto& [id, proxy] : proxies_) {
-    proxy->send_quench_update(filters);
-  }
-  ++stats_.quench_updates;
   // Control bypasses the per-member budgets but still charges the ledger:
-  // make room by shedding data if the push overflowed it.
-  enforce_shared_budget();
+  // make room by shedding data if a push overflowed it.
+  if (pushed) enforce_shared_budget();
 }
 
 void EventBus::push_quench_table(Proxy& proxy) {
   if (!config_.quench) return;
-  Digest256 digest{};
-  std::vector<Filter> filters = quench_table(&digest);
+  table_.rebuild(registry_.filters_by_member());
   quench_pushed_ = true;
-  quench_digest_ = digest;
-  proxy.send_quench_update(filters);
+  quench_digest_ = table_.all().digest();
+  proxy.send_quench_update(table_.all().filters());
   enforce_shared_budget();
+}
+
+void EventBus::push_interest_table(Proxy& proxy) {
+  table_.rebuild(registry_.filters_by_member());
+  proxy.send_interest_update(table_.full_update(proxy.member_id()));
+  ++stats_.interests_propagated;
+  enforce_shared_budget();
+}
+
+void EventBus::member_interest_resync(ServiceId member) {
+  AMUSE_ASSERT_ON_EXECUTOR(executor_, "EventBus::member_interest_resync");
+  if (!gateway_members_.contains(member)) return;
+  auto pit = proxies_.find(member);
+  if (pit == proxies_.end()) return;
+  ++stats_.interest_resyncs;
+  kLog.debug("interest resync requested by ", member.to_string());
+  push_interest_table(*pit->second);
 }
 
 std::string EventBus::topic_of(const Filter& filter) {

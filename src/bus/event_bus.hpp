@@ -17,12 +17,14 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "bus/bus_observer.hpp"
 #include "bus/bus_port.hpp"
+#include "bus/interest_table.hpp"
 #include "bus/subscription_registry.hpp"
 #include "common/sha256.hpp"
 #include "hostmodel/cost_model.hpp"
@@ -70,6 +72,8 @@ struct EventBusConfig {
 class EventBus final : public BusPort {
  public:
   using Handler = std::function<void(const Event&)>;
+  /// Zero-copy local delivery: the handler shares the routed instance.
+  using SharedHandler = std::function<void(const EventPtr&)>;
   /// Authorisation hook installed by the policy service. Return false to
   /// deny. `topic` is the event type being published, or the subscription
   /// filter's type constraint ("*" when unconstrained).
@@ -101,9 +105,27 @@ class EventBus final : public BusPort {
 
   AMUSE_AFFINITY(core_executor)
   std::uint64_t subscribe_local(const Filter& filter, Handler handler);
+  /// Like subscribe_local but the handler receives the shared routed
+  /// instance — what in-process bridges use to forward without copying.
+  AMUSE_AFFINITY(core_executor)
+  std::uint64_t subscribe_local_shared(const Filter& filter,
+                                       SharedHandler handler);
   AMUSE_AFFINITY(core_executor) void unsubscribe_local(std::uint64_t id);
   /// Publishes as the bus host itself (discovery events, policy actions…).
   AMUSE_AFFINITY(core_executor) void publish_local(Event event);
+  /// Zero-copy variant: routes the shared instance directly; pays a
+  /// copy-on-write restamp only when publisher/timestamp are missing.
+  AMUSE_AFFINITY(core_executor) void publish_local(EventPtr event);
+
+  // ---- Federation (ROADMAP "Federated multi-cell routing").
+
+  /// Turns on origin stamping + dedup for every routed event. Implied by
+  /// admitting a gateway-role member; in-process bridges call it
+  /// explicitly. Sticky: gateway churn must not leave a window of
+  /// unstamped events.
+  AMUSE_AFFINITY(core_executor) void enable_federation();
+  [[nodiscard]] bool federation_enabled() const { return federation_; }
+  [[nodiscard]] const InterestTable& interest_table() const { return table_; }
 
   void set_authoriser(Authoriser authoriser);
 
@@ -127,6 +149,12 @@ class EventBus final : public BusPort {
     std::uint64_t encode_reuses = 0;    // cached bodies reused by proxies
     std::uint64_t events_shed = 0;      // queued deliveries dropped, counted
     std::uint64_t flow_control_signals = 0;  // pressure on/off broadcasts
+    std::uint64_t interests_propagated = 0;  // interest pushes to links
+    std::uint64_t interest_resyncs = 0;      // full tables served on request
+    std::uint64_t fed_events_suppressed = 0;  // no downstream interest —
+                                              // crossed zero links
+    std::uint64_t fed_duplicates_dropped = 0;  // origin-dedup hits (loops +
+                                               // multi-path duplicates)
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const SubscriptionRegistry& registry() const {
@@ -159,6 +187,8 @@ class EventBus final : public BusPort {
   void notify_shed(ServiceId member, const Event& event) override;
   AMUSE_AFFINITY(core_executor)
   void member_pressure(ServiceId member, bool under_pressure) override;
+  AMUSE_AFFINITY(core_executor)
+  void member_interest_resync(ServiceId member) override;
   [[nodiscard]] Executor& executor() override { return executor_; }
   [[nodiscard]] ServiceId bus_id() const override {
     return transport_->local_id();
@@ -201,8 +231,13 @@ class EventBus final : public BusPort {
   AMUSE_AFFINITY(core_executor)
   void fan_out(const EncodedEvent& event,
                const SubscriptionRegistry::MatchResult& hit);
-  void quench_changed();
+  /// Recomputes the interest table from the registry and pushes whatever
+  /// changed: the quench table to every member (when quenching is on) and
+  /// per-link interest diffs to gateway members.
+  void interests_changed();
   void push_quench_table(Proxy& proxy);
+  /// Full interest table to one link (admit / rejoin / resync request).
+  void push_interest_table(Proxy& proxy);
   /// Sheds the oldest data of the slowest member (stalled first, then the
   /// largest retained footprint) until the bus-wide ledger fits.
   void enforce_shared_budget();
@@ -210,7 +245,6 @@ class EventBus final : public BusPort {
   /// pressured-member set, looping until stable (the control bytes of the
   /// broadcast itself can move other channels across their watermarks).
   void update_flow_control();
-  [[nodiscard]] std::vector<Filter> quench_table(Digest256* digest) const;
   [[nodiscard]] static std::string topic_of(const Filter& filter);
 
   Executor& executor_;
@@ -221,7 +255,7 @@ class EventBus final : public BusPort {
   ProxyFactory factory_;
   std::unordered_map<ServiceId, MemberInfo> member_info_;
   std::unordered_map<ServiceId, std::unique_ptr<Proxy>> proxies_;
-  std::unordered_map<std::uint64_t, Handler> local_handlers_;
+  std::unordered_map<std::uint64_t, SharedHandler> local_handlers_;
   std::uint64_t next_local_id_ = 1;
   std::uint32_t proxy_incarnations_ = 0;
   std::unordered_map<ServiceId, std::uint32_t> reserved_sessions_;
@@ -236,6 +270,12 @@ class EventBus final : public BusPort {
   // leaves the effective set unchanged skips the whole fan-out.
   bool quench_pushed_ = false;
   Digest256 quench_digest_{};
+  // ---- Federation routing state (DESIGN.md §11).
+  InterestTable table_;
+  OriginDedup fed_dedup_;
+  std::set<ServiceId> gateway_members_;  // ordered: deterministic pushes
+  bool federation_ = false;              // sticky once enabled
+  std::uint64_t fed_seq_ = 0;            // origin sequence for own events
 };
 
 }  // namespace amuse

@@ -1,5 +1,7 @@
 #include "bus/messages.hpp"
 
+#include <algorithm>
+
 namespace amuse {
 
 const char* to_string(BusMsgType t) {
@@ -10,6 +12,7 @@ const char* to_string(BusMsgType t) {
     case BusMsgType::kUnsubscribe: return "UNSUBSCRIBE";
     case BusMsgType::kQuenchUpdate: return "QUENCH";
     case BusMsgType::kFlowControl: return "FLOW";
+    case BusMsgType::kInterestUpdate: return "INTEREST";
   }
   return "?";
 }
@@ -40,6 +43,19 @@ Bytes BusMessage::encode() const {
     case BusMsgType::kFlowControl:
       w.u8(pressure ? 1 : 0);
       break;
+    case BusMsgType::kInterestUpdate: {
+      std::uint8_t flags = 0;
+      if (interest->full) flags |= 0x01;
+      if (interest->request_resync) flags |= 0x02;
+      w.u8(flags);
+      w.u64(interest->version);
+      w.raw(interest->digest);
+      w.u16(static_cast<std::uint16_t>(interest->added.size()));
+      for (const Filter& f : interest->added) f.encode(w);
+      w.u16(static_cast<std::uint16_t>(interest->removed.size()));
+      for (const Filter& f : interest->removed) f.encode(w);
+      break;
+    }
   }
   return std::move(w).take();
 }
@@ -48,7 +64,7 @@ BusMessage BusMessage::decode(BytesView data) {
   Reader r(data);
   BusMessage m;
   auto raw = r.u8();
-  if (raw < 1 || raw > 6) {
+  if (raw < 1 || raw > 7) {
     throw DecodeError("bad bus message type " + std::to_string(raw));
   }
   m.type = static_cast<BusMsgType>(raw);
@@ -84,6 +100,30 @@ BusMessage BusMessage::decode(BytesView data) {
         throw DecodeError("bad flow-control state " + std::to_string(state));
       }
       m.pressure = state == 1;
+      break;
+    }
+    case BusMsgType::kInterestUpdate: {
+      std::uint8_t flags = r.u8();
+      if (flags > 3) {
+        throw DecodeError("bad interest-update flags " + std::to_string(flags));
+      }
+      InterestUpdate u;
+      u.full = (flags & 0x01) != 0;
+      u.request_resync = (flags & 0x02) != 0;
+      u.version = r.u64();
+      BytesView digest = r.raw(u.digest.size());
+      std::copy(digest.begin(), digest.end(), u.digest.begin());
+      std::uint16_t n_added = r.u16();
+      u.added.reserve(n_added);
+      for (std::uint16_t i = 0; i < n_added; ++i) {
+        u.added.push_back(Filter::decode(r));
+      }
+      std::uint16_t n_removed = r.u16();
+      u.removed.reserve(n_removed);
+      for (std::uint16_t i = 0; i < n_removed; ++i) {
+        u.removed.push_back(Filter::decode(r));
+      }
+      m.interest = std::move(u);
       break;
     }
   }
@@ -148,6 +188,21 @@ BusMessage BusMessage::flow_control(bool pressure) {
   BusMessage m;
   m.type = BusMsgType::kFlowControl;
   m.pressure = pressure;
+  return m;
+}
+
+BusMessage BusMessage::interest_update(InterestUpdate update) {
+  BusMessage m;
+  m.type = BusMsgType::kInterestUpdate;
+  m.interest = std::move(update);
+  return m;
+}
+
+BusMessage BusMessage::interest_resync_request() {
+  BusMessage m;
+  m.type = BusMsgType::kInterestUpdate;
+  m.interest.emplace();
+  m.interest->request_resync = true;
   return m;
 }
 

@@ -17,12 +17,22 @@
 //                            when the bus has watermarks configured, so old
 //                            peers never see the new type (back-compat
 //                            gated like the JoinAccept session field).
+// kInterestUpdate  both ways bus → routing peer: a versioned incremental
+//                            (or full) push of the interest table the peer
+//                            should subscribe with on the far side of a
+//                            federation link; member → bus: a resync
+//                            request after a version gap or digest
+//                            mismatch. Only sent to gateway-role members,
+//                            so old peers never see the new type. Rides
+//                            the control class — interest tables are
+//                            routing state and must never be shed.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "common/sha256.hpp"
 #include "pubsub/codec.hpp"
 
 namespace amuse {
@@ -34,9 +44,28 @@ enum class BusMsgType : std::uint8_t {
   kUnsubscribe = 4,
   kQuenchUpdate = 5,
   kFlowControl = 6,
+  kInterestUpdate = 7,
 };
 
 [[nodiscard]] const char* to_string(BusMsgType t);
+
+/// The payload of a kInterestUpdate message. Bus → routing peer it carries
+/// either a full table replacement (`full`, after admit or on resync) or an
+/// incremental add/remove diff that must apply on top of exactly
+/// `version - 1`; `digest` is always the SHA-256 identity of the complete
+/// table *after* the update, so the receiver can detect divergence and fall
+/// back to a resync. Peer → bus only `request_resync` is meaningful.
+struct InterestUpdate {
+  std::uint64_t version = 0;
+  /// FilterSet::digest() of the full table after applying this update.
+  Digest256 digest{};
+  /// True when added holds the complete table and removed is empty.
+  bool full = false;
+  /// Member → bus: the mirror lost sync, push a full table.
+  bool request_resync = false;
+  std::vector<Filter> added;
+  std::vector<Filter> removed;
+};
 
 struct BusMessage {
   BusMsgType type = BusMsgType::kPublish;
@@ -53,6 +82,8 @@ struct BusMessage {
   /// kFlowControl: true = queues crossed the high-water mark, pause
   /// publishing; false = drained to the low-water mark, resume.
   bool pressure = false;
+  /// kInterestUpdate.
+  std::optional<InterestUpdate> interest;
 
   [[nodiscard]] Bytes encode() const;
   /// Throws DecodeError on malformed input.
@@ -74,6 +105,9 @@ struct BusMessage {
   [[nodiscard]] static BusMessage unsubscribe(std::uint64_t sub_id);
   [[nodiscard]] static BusMessage quench_update(std::vector<Filter> filters);
   [[nodiscard]] static BusMessage flow_control(bool pressure);
+  [[nodiscard]] static BusMessage interest_update(InterestUpdate update);
+  /// Member → bus: the interest mirror lost sync, request a full table.
+  [[nodiscard]] static BusMessage interest_resync_request();
 };
 
 }  // namespace amuse

@@ -59,6 +59,19 @@ std::vector<Filter> SubscriptionRegistry::all_filters() const {
   return out;
 }
 
+std::map<ServiceId, std::vector<Filter>>
+SubscriptionRegistry::filters_by_member() const {
+  std::map<ServiceId, std::vector<Filter>> out;
+  for (const auto& [member, locals] : by_member_) {
+    std::vector<Filter>& filters = out[member];
+    filters.reserve(locals.size());
+    for (const auto& [local, sub] : locals) {
+      filters.push_back(by_sub_.at(sub).filter);
+    }
+  }
+  return out;
+}
+
 std::size_t SubscriptionRegistry::member_subscriptions(
     ServiceId member) const {
   auto it = by_member_.find(member);

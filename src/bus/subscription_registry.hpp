@@ -38,6 +38,11 @@ class SubscriptionRegistry {
   /// Every registered filter (for quench updates).
   [[nodiscard]] std::vector<Filter> all_filters() const;
 
+  /// Every registered filter grouped by owning member — the input to the
+  /// interest table's per-link split-horizon views.
+  [[nodiscard]] std::map<ServiceId, std::vector<Filter>> filters_by_member()
+      const;
+
   [[nodiscard]] std::size_t size() const { return by_sub_.size(); }
   [[nodiscard]] std::size_t member_subscriptions(ServiceId member) const;
   [[nodiscard]] const Matcher& matcher() const { return *matcher_; }

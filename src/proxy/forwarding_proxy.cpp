@@ -68,6 +68,13 @@ void ForwardingProxy::send_flow_control(bool under_pressure) {
                        MsgClass::kControl);
 }
 
+void ForwardingProxy::send_interest_update(const InterestUpdate& update) {
+  // Control class like the quench table: an interest table is routing
+  // state — shedding one would silently partition the federation.
+  (void)channel_->send(BusMessage::interest_update(update).encode(),
+                       MsgClass::kControl);
+}
+
 void ForwardingProxy::on_shed(BytesView message) {
   // Only data-class messages are ever shed, and the only data-class
   // traffic on a proxy channel is kEvent deliveries.
@@ -109,6 +116,15 @@ void ForwardingProxy::on_message(BytesView message) {
       break;
     case BusMsgType::kUnsubscribe:
       bus().member_unsubscribe(member_id(), m.sub_id);
+      break;
+    case BusMsgType::kInterestUpdate:
+      // The only member → bus interest message is a resync request.
+      if (m.interest && m.interest->request_resync) {
+        bus().member_interest_resync(member_id());
+      } else {
+        kLog.warn("unexpected interest push from member ",
+                  member_id().to_string());
+      }
       break;
     case BusMsgType::kEvent:
     case BusMsgType::kQuenchUpdate:

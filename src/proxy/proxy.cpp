@@ -14,4 +14,8 @@ void Proxy::send_quench_update(const std::vector<Filter>& filters) {
 
 void Proxy::send_flow_control(bool under_pressure) { (void)under_pressure; }
 
+void Proxy::send_interest_update(const InterestUpdate& update) {
+  (void)update;
+}
+
 }  // namespace amuse

@@ -17,6 +17,7 @@
 #include <cstddef>
 
 #include "bus/bus_port.hpp"
+#include "bus/messages.hpp"
 #include "common/annotations.hpp"
 #include "pubsub/encoded_event.hpp"
 
@@ -53,6 +54,11 @@ class Proxy {
   /// Bus-wide flow control (DESIGN.md §9): tell the member to pause
   /// (true) or resume (false) publishing. Default: device cannot use it.
   AMUSE_AFFINITY(core_executor) virtual void send_flow_control(bool under_pressure);
+
+  /// Interest table changed for this routing peer (gateway members only).
+  /// Default: device is not a routing peer; ignore.
+  AMUSE_AFFINITY(core_executor)
+  virtual void send_interest_update(const InterestUpdate& update);
 
   /// Payload bytes this proxy retains for the member (queued + in flight).
   /// Default 0: proxies without a budgeted queue are never shed victims.

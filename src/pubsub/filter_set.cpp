@@ -1,0 +1,127 @@
+#include "pubsub/filter_set.hpp"
+
+#include <algorithm>
+
+namespace amuse {
+
+Bytes FilterSet::encoding_of(const Filter& f) {
+  Writer w;
+  f.encode(w);
+  return std::move(w).take();
+}
+
+FilterSet::FilterSet(std::vector<Filter> filters)
+    : filters_(std::move(filters)) {
+  keys_.reserve(filters_.size());
+  for (const Filter& f : filters_) keys_.push_back(encoding_of(f));
+  canonicalise();
+}
+
+void FilterSet::canonicalise() {
+  std::vector<std::size_t> order(filters_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return keys_[a] < keys_[b];
+  });
+  std::vector<Filter> filters;
+  std::vector<Bytes> keys;
+  filters.reserve(order.size());
+  keys.reserve(order.size());
+  for (std::size_t idx : order) {
+    if (!keys.empty() && keys.back() == keys_[idx]) continue;  // dedupe
+    filters.push_back(std::move(filters_[idx]));
+    keys.push_back(std::move(keys_[idx]));
+  }
+  filters_ = std::move(filters);
+  keys_ = std::move(keys);
+}
+
+bool FilterSet::insert(const Filter& f) {
+  Bytes key = encoding_of(f);
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it != keys_.end() && *it == key) return false;
+  auto pos = static_cast<std::size_t>(it - keys_.begin());
+  keys_.insert(it, std::move(key));
+  filters_.insert(filters_.begin() + static_cast<std::ptrdiff_t>(pos), f);
+  return true;
+}
+
+bool FilterSet::erase(const Filter& f) {
+  Bytes key = encoding_of(f);
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it == keys_.end() || *it != key) return false;
+  auto pos = static_cast<std::size_t>(it - keys_.begin());
+  keys_.erase(it);
+  filters_.erase(filters_.begin() + static_cast<std::ptrdiff_t>(pos));
+  return true;
+}
+
+bool FilterSet::contains(const Filter& f) const {
+  return std::binary_search(keys_.begin(), keys_.end(), encoding_of(f));
+}
+
+void FilterSet::compact() {
+  // Keep filter i unless some other filter j covers it; within an
+  // equivalence class (mutual covering) only the canonically first member
+  // survives — j < i breaks the tie, so exactly one representative stays.
+  std::vector<bool> drop(filters_.size(), false);
+  for (std::size_t i = 0; i < filters_.size(); ++i) {
+    for (std::size_t j = 0; j < filters_.size(); ++j) {
+      if (i == j || drop[j]) continue;
+      if (!covers(filters_[j], filters_[i])) continue;
+      if (covers(filters_[i], filters_[j]) && i < j) continue;  // tie: keep i
+      drop[i] = true;
+      break;
+    }
+  }
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < filters_.size(); ++i) {
+    if (drop[i]) continue;
+    if (out != i) {
+      filters_[out] = std::move(filters_[i]);
+      keys_[out] = std::move(keys_[i]);
+    }
+    ++out;
+  }
+  filters_.resize(out);
+  keys_.resize(out);
+}
+
+bool FilterSet::matches_any(const Event& e) const {
+  return std::any_of(filters_.begin(), filters_.end(),
+                     [&](const Filter& f) { return f.matches(e); });
+}
+
+Digest256 FilterSet::digest() const {
+  Sha256 hash;
+  for (const Bytes& key : keys_) {
+    // Length-prefix each entry so adjacent encodings cannot alias across
+    // entry boundaries.
+    Writer len(4);
+    len.u32(static_cast<std::uint32_t>(key.size()));
+    Bytes len_bytes = std::move(len).take();
+    hash.update(len_bytes);
+    hash.update(key);
+  }
+  return hash.finish();
+}
+
+std::vector<Filter> FilterSet::added_in(const FilterSet& next) const {
+  std::vector<Filter> out;
+  for (std::size_t i = 0; i < next.keys_.size(); ++i) {
+    if (!std::binary_search(keys_.begin(), keys_.end(), next.keys_[i])) {
+      out.push_back(next.filters_[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<Filter> FilterSet::removed_in(const FilterSet& next) const {
+  return next.added_in(*this);
+}
+
+bool FilterSet::operator==(const FilterSet& other) const {
+  return keys_ == other.keys_;
+}
+
+}  // namespace amuse

@@ -1,34 +1,46 @@
 #include "smc/federation.hpp"
 
+#include "bus/interest_table.hpp"
+
 namespace amuse {
 
-FederationBridge::FederationBridge(EventBus& from, EventBus& to,
-                                   FederationConfig config)
-    : from_(from), to_(to), config_(std::move(config)) {}
+FederationBridge::FederationBridge(EventBus& from, EventBus& to)
+    : from_(from), to_(to) {
+  // Both ends stamp + dedup from now on: every event that will ever cross
+  // this bridge needs an origin, and the destination must recognise its
+  // own events coming home.
+  from_.enable_federation();
+  to_.enable_federation();
+}
 
 FederationBridge::~FederationBridge() {
   for (std::uint64_t sub : subscriptions_) from_.unsubscribe_local(sub);
 }
 
 void FederationBridge::share(const Filter& filter) {
-  subscriptions_.push_back(
-      from_.subscribe_local(filter, [this](const Event& e) { forward(e); }));
+  subscriptions_.push_back(from_.subscribe_local_shared(
+      filter, [this](const EventPtr& e) { forward(e); }));
 }
 
-void FederationBridge::forward(const Event& e) {
-  std::int64_t hops = e.get_int(config_.hop_attr, 0);
-  if (hops >= config_.max_hops) {
-    ++stats_.hop_limited;
-    return;
+void FederationBridge::forward(const EventPtr& e) {
+  auto origin = static_cast<std::uint64_t>(e->get_int(kFedOriginCellAttr, 0));
+  auto seq = static_cast<std::uint64_t>(e->get_int(kFedOriginSeqAttr, 0));
+  if (origin != 0) {
+    if (last_forwarded_ == std::pair{origin, seq}) {
+      ++stats_.local_dups_suppressed;
+      return;
+    }
+    last_forwarded_ = {origin, seq};
+    if (origin == to_.bus_id().raw()) {
+      ++stats_.loopback_suppressed;
+      return;
+    }
   }
-  Event out = e;
-  out.set(config_.hop_attr, hops + 1);
-  out.set("x-fed-origin", static_cast<std::int64_t>(
-                              e.publisher().is_nil()
-                                  ? from_.bus_id().raw()
-                                  : e.publisher().raw()));
   ++stats_.forwarded;
-  to_.publish_local(std::move(out));
+  // Zero-copy: the routed instance crosses as-is. Publisher, timestamp and
+  // the origin stamp are already set, so the destination bus routes the
+  // same object without a copy-on-write restamp — encode-once end to end.
+  to_.publish_local(e);
 }
 
 }  // namespace amuse

@@ -4,29 +4,31 @@
 //  but also need to collaborate and integrate with each other in
 //  peer-to-peer relationships" (§I; developed further in the authors'
 //  "Self-managed cells and their federation"). The bridge re-publishes
-// events matching an export filter from one cell's bus into another's,
-// tagging them with a hop count so federated loops terminate.
+// events matching an export filter from one cell's bus into another's.
+// It is the in-process flavour of federation: both buses share one core
+// executor and one address space, so the forward is zero-copy — the
+// shared routed instance crosses untouched. Loop termination and
+// multi-path dedup come from the buses' immutable origin stamps
+// (DESIGN.md §11), not from a mutable hop counter: an event that loops
+// home, or arrives twice over different paths, dies at the destination
+// bus before it counts as published. The deployable, interest-driven
+// flavour is FederationGateway (smc/gateway.hpp).
 #pragma once
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "bus/event_bus.hpp"
 
 namespace amuse {
 
-struct FederationConfig {
-  /// Maximum number of cell-to-cell hops an event may take.
-  int max_hops = 2;
-  /// Attribute carrying the hop count.
-  std::string hop_attr = "x-fed-hops";
-};
-
 class FederationBridge {
  public:
   /// Bridges `from` → `to`; create a second bridge for the reverse
-  /// direction.
-  FederationBridge(EventBus& from, EventBus& to,
-                   FederationConfig config = {});
+  /// direction. Enables federation (origin stamping + dedup) on both
+  /// buses.
+  FederationBridge(EventBus& from, EventBus& to);
   ~FederationBridge();
 
   FederationBridge(const FederationBridge&) = delete;
@@ -39,17 +41,24 @@ class FederationBridge {
 
   struct Stats {
     std::uint64_t forwarded = 0;
-    std::uint64_t hop_limited = 0;
+    /// Events that originated in the destination cell — forwarding them
+    /// back would only feed its origin dedup, so they never cross.
+    std::uint64_t loopback_suppressed = 0;
+    /// Same delivery matched several share filters — forwarded once.
+    std::uint64_t local_dups_suppressed = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
-  AMUSE_AFFINITY(core_executor) void forward(const Event& e);
+  AMUSE_AFFINITY(core_executor) void forward(const EventPtr& e);
 
   EventBus& from_;
   EventBus& to_;
-  FederationConfig config_;
   std::vector<std::uint64_t> subscriptions_;
+  // (origin cell, seq) of the last forwarded event: handler invocations
+  // for one delivery are consecutive, so one element dedups overlapping
+  // share filters exactly.
+  std::pair<std::uint64_t, std::uint64_t> last_forwarded_{0, 0};
   Stats stats_;
 };
 

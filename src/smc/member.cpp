@@ -70,6 +70,22 @@ bool SmcMember::publish(Event event) {
   return true;
 }
 
+bool SmcMember::publish(const EventPtr& event) {
+  AMUSE_ASSERT_ON_EXECUTOR(executor_, "SmcMember::publish");
+  if (!event) return false;
+  if (client_ && !client_->pressured()) {
+    return client_->publish(event);
+  }
+  if (offline_.size() >= config_.offline_buffer) {
+    ++stats_.buffer_dropped;
+    return false;
+  }
+  if (client_) ++stats_.pressure_deferrals;
+  offline_.push_back(Event(*event));
+  ++stats_.buffered;
+  return true;
+}
+
 void SmcMember::on_cell_joined(ServiceId bus, std::uint32_t session) {
   ++stats_.joins;
   BusClientConfig cc;
@@ -87,6 +103,7 @@ void SmcMember::on_cell_joined(ServiceId bus, std::uint32_t session) {
     if (!under_pressure) flush_offline();
     if (on_pressure_) on_pressure_(under_pressure);
   });
+  if (on_interest_) client_->set_on_interest(on_interest_);
 
   // Re-register durable subscriptions under the fresh session.
   live_ids_.clear();

@@ -52,6 +52,10 @@ class SmcMember {
   /// false when the event was dropped because the buffer is full or the
   /// publish was quenched).
   AMUSE_AFFINITY(member_executor) bool publish(Event event);
+  /// Shared-instance variant for forwarders (federation gateways): the
+  /// client pays exactly one copy-on-write restamp; all other attributes —
+  /// including the federation origin stamp — forward untouched.
+  AMUSE_AFFINITY(member_executor) bool publish(const EventPtr& event);
 
   [[nodiscard]] bool joined() const { return client_ != nullptr; }
   [[nodiscard]] ServiceId id() const { return transport_->local_id(); }
@@ -64,6 +68,14 @@ class SmcMember {
   /// Forwarded from the bus client: true = the cell asked us to back off.
   void set_on_pressure(std::function<void(bool)> fn) {
     on_pressure_ = std::move(fn);
+  }
+  /// Forwarded from the bus client: fires with the cell's aggregated
+  /// interest table after every cleanly applied push (gateway members
+  /// only). Survives re-joins — the callback is re-installed on every
+  /// fresh client, and admission always pushes a full table.
+  void set_on_interest(BusClient::InterestFn fn) {
+    on_interest_ = std::move(fn);
+    if (client_) client_->set_on_interest(on_interest_);
   }
 
   /// Events waiting in the offline/pressure buffer.
@@ -101,6 +113,7 @@ class SmcMember {
   std::function<void()> on_joined_;
   std::function<void()> on_left_;
   std::function<void(bool)> on_pressure_;
+  BusClient::InterestFn on_interest_;
   Stats stats_;
 };
 

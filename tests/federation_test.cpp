@@ -1,9 +1,11 @@
-// Federation tests: peer-to-peer event sharing between two cells' buses
-// with hop-count loop termination.
+// Federation tests: peer-to-peer event sharing between cells with
+// interest-driven routing, immutable origin stamps for loop termination
+// and multi-path dedup (DESIGN.md §11) — no mutable hop counters.
 #include "smc/federation.hpp"
 
 #include <gtest/gtest.h>
 
+#include "bus/interest_table.hpp"
 #include "hostmodel/profiles.hpp"
 #include "net/link_profiles.hpp"
 #include "net/loopback.hpp"
@@ -41,16 +43,16 @@ TEST_F(FederationFixture, SharedEventsCrossCells) {
 
   ASSERT_EQ(in_b.size(), 1u);
   EXPECT_EQ(in_b[0].type(), "alarm.cardiac");
-  EXPECT_EQ(in_b[0].get_int("x-fed-hops"), 1);
-  EXPECT_TRUE(in_b[0].has("x-fed-origin"));
+  // The immutable origin stamp: (origin cell, per-cell sequence).
+  EXPECT_EQ(in_b[0].get_int(kFedOriginCellAttr),
+            static_cast<std::int64_t>(cell_a.bus_id().raw()));
+  EXPECT_TRUE(in_b[0].has(kFedOriginSeqAttr));
   EXPECT_EQ(bridge.stats().forwarded, 1u);
 }
 
 TEST_F(FederationFixture, BidirectionalBridgesTerminateLoops) {
-  FederationConfig cfg;
-  cfg.max_hops = 2;
-  FederationBridge ab(cell_a, cell_b, cfg);
-  FederationBridge ba(cell_b, cell_a, cfg);
+  FederationBridge ab(cell_a, cell_b);
+  FederationBridge ba(cell_b, cell_a);
   ab.share(Filter::for_type("alarm.cardiac"));
   ba.share(Filter::for_type("alarm.cardiac"));
 
@@ -64,12 +66,13 @@ TEST_F(FederationFixture, BidirectionalBridgesTerminateLoops) {
   cell_a.publish_local(Event("alarm.cardiac"));
   ex.run();
 
-  // a: original + the one bounced back (hops=2). b: one forwarded copy.
-  // The hops=2 copy in a is NOT forwarded again (max_hops reached).
+  // Exactly-once per live member: the copy in b is recognised as a's own
+  // event by the reverse bridge and never bounces home — no hop counter,
+  // and no duplicate delivery in a.
   EXPECT_EQ(seen_b, 1);
-  EXPECT_EQ(seen_a, 2);
-  EXPECT_GE(ab.stats().forwarded + ba.stats().forwarded, 2u);
-  EXPECT_GE(ab.stats().hop_limited + ba.stats().hop_limited, 1u);
+  EXPECT_EQ(seen_a, 1);
+  EXPECT_EQ(ab.stats().forwarded, 1u);
+  EXPECT_EQ(ba.stats().loopback_suppressed, 1u);
 }
 
 TEST_F(FederationFixture, MultipleShares) {
@@ -84,6 +87,98 @@ TEST_F(FederationFixture, MultipleShares) {
   cell_a.publish_local(Event("c"));
   ex.run();
   EXPECT_EQ(types, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(FederationFixture, OverlappingSharesForwardOnce) {
+  FederationBridge bridge(cell_a, cell_b);
+  bridge.share(Filter::for_type_prefix("alarm."));
+  bridge.share(Filter::for_type("alarm.cardiac"));  // covered by the prefix
+
+  int seen_b = 0;
+  cell_b.subscribe_local(Filter::for_type("alarm.cardiac"),
+                         [&](const Event&) { ++seen_b; });
+  cell_a.publish_local(Event("alarm.cardiac"));
+  ex.run();
+
+  EXPECT_EQ(seen_b, 1);
+  EXPECT_EQ(bridge.stats().forwarded, 1u);
+  EXPECT_EQ(bridge.stats().local_dups_suppressed, 1u);
+}
+
+TEST_F(FederationFixture, SelfOriginatedEventNeverRoutesTwice) {
+  cell_a.enable_federation();
+  int seen = 0;
+  cell_a.subscribe_local(Filter::for_type("x"), [&](const Event&) { ++seen; });
+  cell_a.publish_local(Event("x"));
+  ex.run();
+  ASSERT_EQ(seen, 1);
+
+  // An event claiming to originate *here* must be a loop come home.
+  Event echo("x");
+  echo.set(kFedOriginCellAttr, static_cast<std::int64_t>(cell_a.bus_id().raw()));
+  echo.set(kFedOriginSeqAttr, std::int64_t{1});
+  auto published_before = cell_a.stats().published;
+  cell_a.publish_local(std::move(echo));
+  ex.run();
+  EXPECT_EQ(seen, 1);
+  EXPECT_EQ(cell_a.stats().published, published_before);
+  EXPECT_EQ(cell_a.stats().fed_duplicates_dropped, 1u);
+}
+
+TEST(FederationTopology, DiamondDeliversExactlyOnce) {
+  // Multi-path: a → {b, c} → d. d hears the event over two paths and must
+  // deliver it exactly once, dropping the second arrival by origin stamp.
+  SimExecutor ex;
+  LoopbackNetwork net(ex);
+  EventBus a(ex, net.create_endpoint());
+  EventBus b(ex, net.create_endpoint());
+  EventBus c(ex, net.create_endpoint());
+  EventBus d(ex, net.create_endpoint());
+
+  FederationBridge ab(a, b);
+  FederationBridge ac(a, c);
+  FederationBridge bd(b, d);
+  FederationBridge cd(c, d);
+  for (FederationBridge* br : {&ab, &ac, &bd, &cd}) {
+    br->share(Filter::for_type("x"));
+  }
+
+  int seen_d = 0;
+  d.subscribe_local(Filter::for_type("x"), [&](const Event&) { ++seen_d; });
+  a.publish_local(Event("x"));
+  ex.run();
+
+  EXPECT_EQ(seen_d, 1);
+  EXPECT_EQ(d.stats().fed_duplicates_dropped, 1u);
+  EXPECT_EQ(bd.stats().forwarded + cd.stats().forwarded, 2u);
+}
+
+TEST(FederationTopology, CycleTerminatesWithoutHopCounter) {
+  SimExecutor ex;
+  LoopbackNetwork net(ex);
+  EventBus a(ex, net.create_endpoint());
+  EventBus b(ex, net.create_endpoint());
+  EventBus c(ex, net.create_endpoint());
+
+  FederationBridge ab(a, b);
+  FederationBridge bc(b, c);
+  FederationBridge ca(c, a);
+  for (FederationBridge* br : {&ab, &bc, &ca}) {
+    br->share(Filter::for_type("x"));
+  }
+
+  int seen_a = 0, seen_b = 0, seen_c = 0;
+  a.subscribe_local(Filter::for_type("x"), [&](const Event&) { ++seen_a; });
+  b.subscribe_local(Filter::for_type("x"), [&](const Event&) { ++seen_b; });
+  c.subscribe_local(Filter::for_type("x"), [&](const Event&) { ++seen_c; });
+  a.publish_local(Event("x"));
+  ex.run();
+
+  EXPECT_EQ(seen_a, 1);
+  EXPECT_EQ(seen_b, 1);
+  EXPECT_EQ(seen_c, 1);
+  // The c → a bridge recognises a's own event and never re-injects it.
+  EXPECT_EQ(ca.stats().loopback_suppressed, 1u);
 }
 
 // ---- Networked federation via a dual-homed gateway member.
@@ -142,28 +237,69 @@ struct GatewayFixture : ::testing::Test {
   std::unique_ptr<FederationGateway> gateway;
 };
 
-TEST_F(GatewayFixture, EventsCrossCellsOverTheNetwork) {
+TEST_F(GatewayFixture, InterestDrivenForwarding) {
+  gw_in_a->start();
+  gw_in_b->start();
+  ex.run_for(seconds(3));
+  ASSERT_TRUE(gw_in_a->joined() && gw_in_b->joined());
+
+  // No static share: the only reason anything crosses is cell b's own
+  // aggregated interest, learned through the kInterestUpdate push and
+  // subscribed in cell a by the gateway.
+  std::vector<Event> in_b;
+  cell_b->bus().subscribe_local(Filter::for_type_prefix("alarm."),
+                                [&](const Event& e) { in_b.push_back(e); });
+  ex.run_for(seconds(2));  // interest propagates a-ward
+  EXPECT_GT(gateway->interest_subscriptions(), 0u);
+
+  auto suppressed_before = cell_a->bus().stats().fed_events_suppressed;
+  cell_a->bus().publish_local(Event("alarm.cardiac", {{"level", "high"}}));
+  cell_a->bus().publish_local(Event("vitals.heartrate"));  // nobody remote
+  ex.run_for(seconds(3));
+
+  ASSERT_EQ(in_b.size(), 1u);
+  EXPECT_EQ(in_b[0].type(), "alarm.cardiac");
+  EXPECT_EQ(in_b[0].get_int(kFedOriginCellAttr),
+            static_cast<std::int64_t>(cell_a->bus().bus_id().raw()));
+  EXPECT_EQ(gateway->stats().forwarded, 1u);
+  // The event nobody downstream wanted crossed zero links.
+  EXPECT_GT(cell_a->bus().stats().fed_events_suppressed, suppressed_before);
+  EXPECT_GT(cell_b->bus().stats().interests_propagated, 0u);
+  // Different pre-shared keys: each cell only admitted its own members.
+  EXPECT_EQ(cell_a->bus().members().size(), 1u);
+  EXPECT_EQ(cell_b->bus().members().size(), 1u);
+}
+
+TEST_F(GatewayFixture, EncodesStayFlatAcrossTwoCellFanOut) {
   gateway->share(Filter::for_type_prefix("alarm."));
   gw_in_a->start();
   gw_in_b->start();
   ex.run_for(seconds(3));
   ASSERT_TRUE(gw_in_a->joined() && gw_in_b->joined());
 
-  std::vector<Event> in_b;
+  int in_b = 0;
   cell_b->bus().subscribe_local(Filter::for_type_prefix("alarm."),
-                                [&](const Event& e) { in_b.push_back(e); });
+                                [&](const Event&) { ++in_b; });
+  ex.run_for(seconds(2));
 
-  cell_a->bus().publish_local(Event("alarm.cardiac", {{"level", "high"}}));
-  cell_a->bus().publish_local(Event("vitals.heartrate"));  // not shared
+  auto enc_a = cell_a->bus().stats().encodes;
+  auto pub_a = cell_a->bus().stats().published;
+  auto enc_b = cell_b->bus().stats().encodes;
+  auto pub_b = cell_b->bus().stats().published;
+  for (int i = 0; i < 8; ++i) {
+    cell_a->bus().publish_local(Event("alarm.cardiac", {{"n", i}}));
+  }
   ex.run_for(seconds(3));
+  EXPECT_EQ(in_b, 8);
 
-  ASSERT_EQ(in_b.size(), 1u);
-  EXPECT_EQ(in_b[0].type(), "alarm.cardiac");
-  EXPECT_EQ(in_b[0].get_int("x-fed-hops"), 1);
-  EXPECT_EQ(gateway->stats().forwarded, 1u);
-  // Different pre-shared keys: each cell only admitted its own members.
-  EXPECT_EQ(cell_a->bus().members().size(), 1u);
-  EXPECT_EQ(cell_b->bus().members().size(), 1u);
+  // Encode-once across cells (PR 2's invariant extended to federation):
+  // each bus serialises a forwarded event at most once, regardless of the
+  // fan-out on either side — never per member, never per hop extra.
+  EXPECT_LE(cell_a->bus().stats().encodes - enc_a,
+            cell_a->bus().stats().published - pub_a);
+  EXPECT_LE(cell_b->bus().stats().encodes - enc_b,
+            cell_b->bus().stats().published - pub_b);
+  EXPECT_GE(cell_a->bus().stats().published - pub_a, 8u);
 }
 
 TEST_F(GatewayFixture, DestinationOutageBuffersAndFlushes) {
@@ -189,6 +325,45 @@ TEST_F(GatewayFixture, DestinationOutageBuffersAndFlushes) {
   host_b->set_up(true);
   ex.run_for(seconds(15));
   EXPECT_EQ(in_b, 1);
+}
+
+TEST_F(GatewayFixture, RejoinResyncsInterestTable) {
+  gw_in_a->start();
+  gw_in_b->start();
+  ex.run_for(seconds(3));
+  ASSERT_TRUE(gw_in_a->joined() && gw_in_b->joined());
+
+  cell_b->bus().subscribe_local(Filter::for_type("alarm.cardiac"),
+                                [&](const Event&) {});
+  ex.run_for(seconds(2));
+  auto subs_before = gateway->interest_subscriptions();
+  EXPECT_GT(subs_before, 0u);
+
+  // The gateway crashes (network-wise) long enough for both cells to purge
+  // it and for it to notice the loss.
+  gw_host->set_up(false);
+  ex.run_for(seconds(12));
+  EXPECT_FALSE(gw_in_b->joined());
+
+  // Cell b's interests change while the gateway is gone: a stale mirror
+  // would route on the old table and miss this.
+  int ecg_in_b = 0;
+  cell_b->bus().subscribe_local(Filter::for_type("vitals.ecg"),
+                                [&](const Event& e) {
+                                  (void)e;
+                                  ++ecg_in_b;
+                                });
+
+  gw_host->set_up(true);
+  ex.run_for(seconds(15));
+  ASSERT_TRUE(gw_in_a->joined() && gw_in_b->joined());
+
+  // Admission pushed a full table; the rejoined incarnation routes on the
+  // *new* interests.
+  cell_a->bus().publish_local(Event("vitals.ecg", {{"bpm", 72}}));
+  ex.run_for(seconds(3));
+  EXPECT_EQ(ecg_in_b, 1);
+  EXPECT_GE(cell_b->bus().stats().interests_propagated, 2u);
 }
 
 TEST_F(FederationFixture, BridgeDestructionStopsForwarding) {

@@ -1,0 +1,263 @@
+// FilterSet + covering-relation tests.
+//
+// covers(f, g) is the foundation federation routing stands on: a cell
+// exports the *compacted* union of downstream interests, so a compaction
+// bug silently drops events at cell boundaries. Two lines of defence here:
+// directed cases for each operator family, and seeded property tests
+// (deterministic per invariant I7 — no wall clock, no unseeded randomness)
+// checking the semantic contract `covers(f, g) ⇒ match(g) ⊆ match(f)`
+// against brute-force evaluation.
+#include "pubsub/filter_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pubsub/brute_matcher.hpp"
+
+namespace amuse {
+namespace {
+
+// ---- Directed covering cases, one block per operator family.
+
+TEST(Covers, EmptyFilterCoversEverything) {
+  Filter anything;
+  EXPECT_TRUE(covers(anything, Filter::for_type("alarm.cardiac")));
+  EXPECT_TRUE(covers(anything, anything));
+  EXPECT_FALSE(covers(Filter::for_type("alarm.cardiac"), anything));
+}
+
+TEST(Covers, PrefixFamily) {
+  Filter al = Filter::for_type_prefix("al");
+  Filter alarm = Filter::for_type_prefix("alarm.");
+  Filter cardiac = Filter::for_type("alarm.cardiac");
+
+  EXPECT_TRUE(covers(al, alarm));       // shorter prefix is more general
+  EXPECT_FALSE(covers(alarm, al));      // near-miss: the reverse direction
+  EXPECT_TRUE(covers(alarm, cardiac));  // prefix covers pinned equality
+  EXPECT_FALSE(covers(cardiac, alarm));
+  // Near-miss: sibling prefixes overlap on neither side.
+  EXPECT_FALSE(covers(Filter::for_type_prefix("vitals."), alarm));
+}
+
+TEST(Covers, RangeFamily) {
+  auto lt = [](int v) { return Filter().where("x", Op::kLt, v); };
+  auto le = [](int v) { return Filter().where("x", Op::kLe, v); };
+  auto gt = [](int v) { return Filter().where("x", Op::kGt, v); };
+  auto ge = [](int v) { return Filter().where("x", Op::kGe, v); };
+  auto eq = [](int v) { return Filter().where("x", Op::kEq, v); };
+
+  EXPECT_TRUE(covers(lt(10), lt(5)));  // wider bound covers tighter
+  EXPECT_FALSE(covers(lt(5), lt(10)));
+  EXPECT_TRUE(covers(le(5), lt(5)));   // v < 5 ⇒ v ≤ 5
+  EXPECT_FALSE(covers(lt(5), le(5)));  // near-miss: 5 itself
+  EXPECT_TRUE(covers(ge(5), gt(5)));
+  EXPECT_FALSE(covers(gt(5), ge(5)));
+  EXPECT_TRUE(covers(le(5), eq(3)));   // equality inside the range
+  EXPECT_FALSE(covers(le(5), eq(7)));  // near-miss: outside it
+  EXPECT_FALSE(covers(eq(3), le(5)));
+  // Near-miss: opposite-facing ranges never cover.
+  EXPECT_FALSE(covers(gt(5), lt(5)));
+}
+
+TEST(Covers, ExistsFamily) {
+  Filter exists = Filter().where("x", Op::kExists);
+  EXPECT_TRUE(covers(exists, Filter().where("x", Op::kEq, 3)));
+  EXPECT_TRUE(covers(exists, Filter().where("x", Op::kPrefix, "a")));
+  EXPECT_FALSE(covers(Filter().where("x", Op::kEq, 3), exists));
+  // Near-miss: exists on a *different* attribute.
+  EXPECT_FALSE(covers(Filter().where("y", Op::kExists),
+                      Filter().where("x", Op::kEq, 3)));
+}
+
+TEST(Covers, ConjunctionNeedsEveryConstraintCovered) {
+  Filter general =
+      Filter().where("type", Op::kPrefix, "alarm.").where("level", Op::kExists);
+  Filter specific = Filter()
+                        .where("type", Op::kEq, "alarm.cardiac")
+                        .where("level", Op::kEq, "high");
+  EXPECT_TRUE(covers(general, specific));
+  // Near-miss: one general constraint with no specific counterpart.
+  Filter no_level = Filter().where("type", Op::kEq, "alarm.cardiac");
+  EXPECT_FALSE(covers(general, no_level));
+}
+
+// ---- Seeded random universe shared by the property tests. Small pools so
+// random filters and events actually collide.
+
+const std::vector<std::string> kAttrs = {"type", "level", "x", "ward"};
+const std::vector<std::string> kStrings = {"al",    "alarm",  "alarm.cardiac",
+                                           "high",  "low",    "icu",
+                                           "ward3", "vitals.ecg"};
+
+Value random_value(Rng& rng) {
+  switch (rng.bounded(3)) {
+    case 0:
+      return Value(static_cast<std::int64_t>(rng.bounded(8)));
+    case 1:
+      return Value(kStrings[rng.bounded(static_cast<std::uint32_t>(
+          kStrings.size()))]);
+    default:
+      return Value(static_cast<double>(rng.bounded(16)) / 2.0);
+  }
+}
+
+Constraint random_constraint(Rng& rng) {
+  Constraint c;
+  c.attribute = kAttrs[rng.bounded(static_cast<std::uint32_t>(kAttrs.size()))];
+  c.op = static_cast<Op>(1 + rng.bounded(10));
+  if (c.op != Op::kExists) c.value = random_value(rng);
+  return c;
+}
+
+Filter random_filter(Rng& rng) {
+  Filter f;
+  auto n = 1 + rng.bounded(3);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Constraint c = random_constraint(rng);
+    f.where(c.attribute, c.op, c.value);
+  }
+  return f;
+}
+
+Event random_event(Rng& rng) {
+  Event e(kStrings[rng.bounded(static_cast<std::uint32_t>(kStrings.size()))]);
+  auto n = rng.bounded(4);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    e.set(kAttrs[rng.bounded(static_cast<std::uint32_t>(kAttrs.size()))],
+          random_value(rng));
+  }
+  return e;
+}
+
+/// Weakens one constraint of `g` (or drops one) — a pair that covers()
+/// should usually prove, keeping the property test far from vacuous.
+Filter weakened(const Filter& g, Rng& rng) {
+  Filter f;
+  for (std::size_t i = 0; i < g.constraints().size(); ++i) {
+    Constraint c = g.constraints()[i];
+    if (rng.bounded(3) == 0) continue;  // drop: strictly more general
+    if (rng.bounded(2) == 0) c.op = Op::kExists, c.value = Value();
+    f.where(c.attribute, c.op, c.value);
+  }
+  return f;
+}
+
+TEST(CoversProperty, CoversImpliesMatchSubset) {
+  Rng rng(0x515EA, 7);
+  std::size_t covered_pairs = 0;
+  std::size_t checked_events = 0;
+  for (int iter = 0; iter < 4000; ++iter) {
+    Filter g = random_filter(rng);
+    // Half the pairs are unrelated random filters (covers() rarely true,
+    // but when it claims so it must be right); half are weakened copies.
+    Filter f = (iter % 2 == 0) ? random_filter(rng) : weakened(g, rng);
+    if (!covers(f, g)) continue;
+    ++covered_pairs;
+    for (int k = 0; k < 40; ++k) {
+      Event e = random_event(rng);
+      if (g.matches(e)) {
+        ++checked_events;
+        ASSERT_TRUE(f.matches(e))
+            << "covers claims " << f.to_string() << " ⊇ " << g.to_string()
+            << " but it misses an event matching the specific filter";
+      }
+    }
+  }
+  // Non-vacuity: the weakened pairs guarantee plenty of positive cases.
+  EXPECT_GT(covered_pairs, 500u);
+  EXPECT_GT(checked_events, 2000u);
+}
+
+// ---- FilterSet canonical form.
+
+TEST(FilterSet, CanonicalOrderIsInsertionIndependent) {
+  Filter a = Filter::for_type("a");
+  Filter b = Filter::for_type_prefix("b.");
+  Filter c = Filter().where("x", Op::kGt, 3);
+
+  FilterSet fwd({a, b, c});
+  FilterSet rev({c, b, a, b, a});  // duplicates collapse too
+  EXPECT_EQ(fwd, rev);
+  EXPECT_EQ(fwd.size(), 3u);
+  EXPECT_TRUE(digest_equal(fwd.digest(), rev.digest()));
+
+  FilterSet incremental;
+  EXPECT_TRUE(incremental.insert(c));
+  EXPECT_TRUE(incremental.insert(a));
+  EXPECT_FALSE(incremental.insert(a));  // duplicate: unchanged
+  EXPECT_TRUE(incremental.insert(b));
+  EXPECT_EQ(incremental, fwd);
+
+  EXPECT_TRUE(incremental.erase(b));
+  EXPECT_FALSE(incremental.erase(b));
+  EXPECT_FALSE(incremental.contains(b));
+  EXPECT_TRUE(incremental.contains(a));
+  EXPECT_FALSE(digest_equal(incremental.digest(), fwd.digest()));
+}
+
+TEST(FilterSet, DiffPrimitives) {
+  FilterSet from({Filter::for_type("a"), Filter::for_type("b")});
+  FilterSet to({Filter::for_type("b"), Filter::for_type("c")});
+  EXPECT_EQ(from.added_in(to), std::vector<Filter>{Filter::for_type("c")});
+  EXPECT_EQ(from.removed_in(to), std::vector<Filter>{Filter::for_type("a")});
+  EXPECT_TRUE(to.added_in(to).empty());
+  EXPECT_TRUE(to.removed_in(to).empty());
+}
+
+TEST(FilterSet, CompactDropsCoveredFilters) {
+  FilterSet set({Filter::for_type_prefix("alarm."),
+                 Filter::for_type("alarm.cardiac"),
+                 Filter::for_type("vitals.ecg"),
+                 Filter().where("x", Op::kLt, 10),
+                 Filter().where("x", Op::kLt, 5)});
+  set.compact();
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.contains(Filter::for_type_prefix("alarm.")));
+  EXPECT_TRUE(set.contains(Filter::for_type("vitals.ecg")));
+  EXPECT_TRUE(set.contains(Filter().where("x", Op::kLt, 10)));
+}
+
+TEST(FilterSet, CompactKeepsOneOfMutuallyCoveringPair) {
+  // Same semantics, different constraint order: each covers the other.
+  Filter ab = Filter().where("a", Op::kExists).where("b", Op::kExists);
+  Filter ba = Filter().where("b", Op::kExists).where("a", Op::kExists);
+  ASSERT_TRUE(covers(ab, ba) && covers(ba, ab));
+  FilterSet set({ab, ba});
+  ASSERT_EQ(set.size(), 2u);  // distinct encodings, both canonical members
+  set.compact();
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(FilterSetProperty, CompactPreservesMatchingAgainstBruteOracle) {
+  Rng rng(0xC0417AC7, 3);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::vector<Filter> filters;
+    auto n = 1 + rng.bounded(8);
+    for (std::uint32_t i = 0; i < n; ++i) filters.push_back(random_filter(rng));
+
+    // Oracle: linear scan over the *original* subscriptions.
+    BruteForceMatcher oracle;
+    for (std::size_t i = 0; i < filters.size(); ++i) {
+      oracle.add(i, filters[i]);
+    }
+
+    FilterSet compacted((std::vector<Filter>(filters)));
+    compacted.compact();
+    ASSERT_LE(compacted.size(), filters.size());
+
+    std::vector<SubId> hits;
+    for (int k = 0; k < 60; ++k) {
+      Event e = random_event(rng);
+      hits.clear();
+      oracle.match(e, hits);
+      ASSERT_EQ(compacted.matches_any(e), !hits.empty())
+          << "compaction changed matching semantics at iter " << iter;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace amuse

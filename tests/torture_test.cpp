@@ -11,6 +11,7 @@
 //   TORTURE_TRACE_DIR  where failing traces are written (default: cwd).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <string>
@@ -19,6 +20,7 @@
 #include "net/sim_network.hpp"
 #include "sim/sim_executor.hpp"
 #include "torture/driver.hpp"
+#include "torture/multicell.hpp"
 #include "torture/shrink.hpp"
 
 namespace amuse {
@@ -180,6 +182,149 @@ TEST(SimNetworkFaults, PartitionBlocksTrafficUntilHealed) {
   ea->send(eb->local_id(), to_bytes("x"));
   ex.run_for(seconds(1));
   EXPECT_EQ(received, 1);
+}
+
+// ---- Multi-cell federation torture (ctest: torture.multicell, labels
+// "torture;federation"): seeded fault schedules against line/tree/cycle
+// broker overlays — gateway host crashes straddling the purge timeout,
+// member churn, lossy links — checked by the cross-cell oracle in
+// tests/torture/multicell.hpp. MULTICELL_TOPOLOGY=line|tree|cycle
+// restricts the sweep (the CI seed matrix cranks TORTURE_SEEDS on cycle,
+// the topology with genuinely disjoint multipaths).
+
+std::string dump_multicell_trace(const torture::McSchedule& schedule,
+                                 const torture::McConfig& config,
+                                 const torture::McResult& result) {
+  const char* dir = std::getenv("TORTURE_TRACE_DIR");
+  std::string path = std::string(dir != nullptr ? dir : ".") +
+                     "/multicell_trace_seed" + std::to_string(schedule.seed) +
+                     "_" + torture::to_string(config.topology) + "_" +
+                     to_string(config.engine) + ".txt";
+  std::ofstream out(path);
+  out << torture::format_multicell_trace(schedule, config, result);
+  return path;
+}
+
+void run_multicell_seed(std::uint64_t seed, torture::McTopology topology,
+                        BusEngine engine) {
+  torture::McConfig config;
+  config.engine = engine;
+  config.topology = topology;
+  torture::McSchedule schedule =
+      torture::generate_multicell_schedule(seed, config);
+  torture::McResult result = torture::run_multicell(schedule, config);
+  if (std::getenv("TORTURE_VERBOSE") != nullptr) {
+    std::fprintf(
+        stderr,
+        "[multicell] seed %llu %s/%s: steps=%zu publishes=%llu "
+        "deliveries=%llu cross=%llu dups-dropped=%llu suppressed=%llu %s\n",
+        static_cast<unsigned long long>(seed), torture::to_string(topology),
+        to_string(engine), schedule.steps.size(),
+        static_cast<unsigned long long>(result.publishes),
+        static_cast<unsigned long long>(result.deliveries),
+        static_cast<unsigned long long>(result.cross_cell),
+        static_cast<unsigned long long>(result.fed_dups_dropped),
+        static_cast<unsigned long long>(result.fed_suppressed),
+        result.ok ? "ok" : result.invariant.c_str());
+  }
+  if (result.ok) {
+    // The barrage alone crosses cells, so a run that saw zero cross-cell
+    // deliveries means federation never engaged at all.
+    EXPECT_GT(result.cross_cell, 0u)
+        << "no event ever crossed a cell boundary";
+    if (topology == torture::McTopology::kCycle) {
+      // Two disjoint paths per pair: the second arrival must be getting
+      // dropped somewhere, or the dedup is not actually engaging.
+      EXPECT_GT(result.fed_dups_dropped, 0u)
+          << "cycle run never exercised multipath dedup";
+    }
+    return;
+  }
+  std::string trace = dump_multicell_trace(schedule, config, result);
+  FAIL() << "federation-guarantee violation [" << result.invariant << "] "
+         << result.violation << "\n  seed " << seed << ", topology "
+         << torture::to_string(topology) << ", engine " << to_string(engine)
+         << "\n  trace written to " << trace
+         << "\n  reproduce with: TORTURE_SEED=" << seed
+         << " MULTICELL_TOPOLOGY=" << torture::to_string(topology)
+         << " ctest -R torture.multicell --output-on-failure";
+}
+
+TEST(MulticellTorture, Smoke) {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  int count = 3;
+#else
+  int count = 6;
+#endif
+  std::vector<std::uint64_t> seeds;
+  if (const char* one = std::getenv("TORTURE_SEED")) {
+    seeds.push_back(std::strtoull(one, nullptr, 0));
+  } else {
+    if (const char* many = std::getenv("TORTURE_SEEDS")) {
+      count = std::max(1, std::atoi(many));
+    }
+    for (int i = 0; i < count; ++i) {
+      seeds.push_back(0x3c3110 + static_cast<std::uint64_t>(i));
+    }
+  }
+  std::vector<torture::McTopology> topologies = {torture::McTopology::kLine,
+                                                 torture::McTopology::kTree,
+                                                 torture::McTopology::kCycle};
+  if (const char* only = std::getenv("MULTICELL_TOPOLOGY")) {
+    std::string want(only);
+    topologies.erase(
+        std::remove_if(topologies.begin(), topologies.end(),
+                       [&](torture::McTopology t) {
+                         return want != torture::to_string(t);
+                       }),
+        topologies.end());
+  }
+  for (std::uint64_t seed : seeds) {
+    for (torture::McTopology topology : topologies) {
+      for (BusEngine engine :
+           {BusEngine::kCBased, BusEngine::kSienaBased}) {
+        SCOPED_TRACE("seed " + std::to_string(seed) + " topology " +
+                     std::string(torture::to_string(topology)) + " engine " +
+                     std::string(to_string(engine)));
+        run_multicell_seed(seed, topology, engine);
+        if (HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+// Directed S6 regression: a gateway host crash that straddles both cells'
+// purge timeouts, with interests changing while it is gone. The rejoined
+// incarnation must route on a freshly-pushed table — bursts published well
+// after recovery still have to reach every cell (the barrage check), and
+// nothing may duplicate on the way back in.
+TEST(MulticellTorture, GatewayCrashRejoin) {
+  using torture::McOp;
+  using torture::McStep;
+  for (BusEngine engine : {BusEngine::kCBased, BusEngine::kSienaBased}) {
+    SCOPED_TRACE(std::string("engine ") + to_string(engine));
+    torture::McConfig config;
+    config.engine = engine;
+    config.topology = torture::McTopology::kLine;
+    torture::McSchedule schedule;
+    schedule.seed = 0x6c0a1;
+    schedule.steps = {
+        McStep{from_seconds(0.5), McOp::kBurst, 0, 3},
+        // The middle link goes dark for 7 s — well past purge_after (3 s)
+        // and cell_lost_after (2 s): both cells purge the gateway and the
+        // gateway notices the loss, so recovery is a genuine re-join with
+        // a full interest-table resync, not a heartbeat hiccup.
+        McStep{from_seconds(2.0), McOp::kGwCrash, 1},
+        McStep{from_seconds(3.0), McOp::kBurst, 2, 2},
+        McStep{from_seconds(9.0), McOp::kGwRecover, 1},
+        McStep{from_seconds(16.0), McOp::kBurst, 0, 3},
+        McStep{from_seconds(17.0), McOp::kBurst, 6, 2},
+    };
+    torture::McResult result = torture::run_multicell(schedule, config);
+    EXPECT_TRUE(result.ok) << "[" << result.invariant << "] "
+                           << result.violation;
+    EXPECT_GT(result.cross_cell, 0u);
+  }
 }
 
 TEST(SimNetworkFaults, UpdateLinkSwapsModelInPlace) {
