@@ -1,0 +1,24 @@
+# Platform feature probes for the real-network datapath (DESIGN.md §12).
+#
+# recvmmsg()/sendmmsg() batch many datagrams into one syscall — the core of
+# the kernel-rate UDP path. They are Linux-specific (glibc/musl export them
+# under _GNU_SOURCE); macOS and other BSDs don't have them, so UdpTransport
+# keeps a portable recvfrom/sendto fallback compiled whenever the probe
+# fails. The probe result is exported as AMUSE_HAVE_MMSG on the shared
+# amuse_build_flags interface target so every consumer sees one consistent
+# configuration.
+include(CheckCXXSymbolExists)
+
+set(CMAKE_REQUIRED_DEFINITIONS -D_GNU_SOURCE)
+check_cxx_symbol_exists(recvmmsg "sys/socket.h" AMUSE_HAVE_RECVMMSG)
+check_cxx_symbol_exists(sendmmsg "sys/socket.h" AMUSE_HAVE_SENDMMSG)
+unset(CMAKE_REQUIRED_DEFINITIONS)
+
+if(AMUSE_HAVE_RECVMMSG AND AMUSE_HAVE_SENDMMSG)
+  target_compile_definitions(amuse_build_flags INTERFACE AMUSE_HAVE_MMSG=1)
+  message(STATUS "AMUSE: recvmmsg/sendmmsg available - batched UDP syscalls on")
+else()
+  message(STATUS
+    "AMUSE: recvmmsg/sendmmsg unavailable - UdpTransport uses the portable "
+    "per-datagram fallback")
+endif()

@@ -11,14 +11,18 @@ This script proves the rule statically:
 
   1. It collects every method annotated AMUSE_AFFINITY(<label>) ("must run
      on its owning executor's consumer thread") and every function
-     annotated AMUSE_RECEIVE_CONTEXT ("runs on a raw OS thread").
+     annotated AMUSE_RECEIVE_CONTEXT ("runs on a raw OS thread") or
+     AMUSE_EGRESS_CONTEXT ("wire-egress surface, callable from any
+     thread" — DESIGN.md §12).
   2. It builds a call graph over all function definitions in src/
-     (call edges are matched by name; calls lexically inside the argument
+     (call edges are matched by name, preferring a same-class method when
+     the caller's class defines one; calls lexically inside the argument
      list of post()/schedule_at()/schedule_after() are *excluded*, because
      those closures execute later, on the executor).
-  3. It walks the graph from each receive-context entry point and fails on
-     any path that reaches an affinity-annotated method — that would be a
-     receive thread mutating executor-owned state without the post() hop.
+  3. It walks the graph from each receive-context and egress-context entry
+     point and fails on any path that reaches an affinity-annotated method
+     — that would be a foreign thread mutating executor-owned state
+     without the post() hop.
 
 Backends:
   * text (default, dependency-free): a comment/string-stripping,
@@ -48,6 +52,7 @@ SRC = os.path.join(ROOT, "src")
 
 AFFINITY_MACRO = "AMUSE_AFFINITY"
 RECEIVE_MACRO = "AMUSE_RECEIVE_CONTEXT"
+EGRESS_MACRO = "AMUSE_EGRESS_CONTEXT"
 
 # Executor hand-off calls: anything inside their argument parentheses runs
 # later, on the executor's consumer thread, so it is exempt from the walk.
@@ -130,7 +135,12 @@ class Function:
     line: int
     affinity: str | None = None    # executor label, if annotated
     receive_context: bool = False
+    egress_context: bool = False
     calls: set[str] = field(default_factory=set)
+
+    @property
+    def context_kind(self) -> str:
+        return "receive" if self.receive_context else "egress"
 
 
 @dataclass
@@ -145,6 +155,8 @@ class Analysis:
                 existing.affinity = existing.affinity or fn.affinity
                 existing.receive_context = (existing.receive_context
                                             or fn.receive_context)
+                existing.egress_context = (existing.egress_context
+                                           or fn.egress_context)
                 return existing
         self.functions[fn.name].append(fn)
         return fn
@@ -155,7 +167,11 @@ class Analysis:
 
     def entry_points(self) -> list[Function]:
         return [f for fns in self.functions.values() for f in fns
-                if f.receive_context]
+                if f.receive_context or f.egress_context]
+
+    def egress_entries(self) -> list[Function]:
+        return [f for fns in self.functions.values() for f in fns
+                if f.egress_context]
 
 
 def class_context(clean: str):
@@ -233,7 +249,9 @@ def find_name_after_macro(clean: str, pos: int) -> tuple[str, int] | None:
 
 def extract_annotations(clean: str, path: str, analysis: Analysis,
                         ctx_lookup) -> None:
-    for macro, is_receive in ((AFFINITY_MACRO, False), (RECEIVE_MACRO, True)):
+    for macro, kind in ((AFFINITY_MACRO, "affinity"),
+                        (RECEIVE_MACRO, "receive"),
+                        (EGRESS_MACRO, "egress")):
         for m in re.finditer(r"\b" + macro + r"\b", clean):
             # Skip the macro's own #define and mentions in other macros.
             line_start = clean.rfind("\n", 0, m.start()) + 1
@@ -241,7 +259,7 @@ def extract_annotations(clean: str, path: str, analysis: Analysis,
                 continue
             pos = m.end()
             label = None
-            if not is_receive:
+            if kind == "affinity":
                 if pos < len(clean) and clean[pos:].lstrip().startswith("("):
                     open_p = clean.index("(", pos)
                     close = matching(clean, open_p, "(", ")")
@@ -260,8 +278,10 @@ def extract_annotations(clean: str, path: str, analysis: Analysis,
                 path=path,
                 line=line_of(clean, m.start()),
             )
-            if is_receive:
+            if kind == "receive":
                 fn.receive_context = True
+            elif kind == "egress":
+                fn.egress_context = True
             else:
                 fn.affinity = label or "unspecified"
             analysis.add(fn)
@@ -355,9 +375,21 @@ def analyze_sources(sources: dict[str, str]) -> Analysis:
 
 
 def find_violations(analysis: Analysis) -> list[str]:
-    affinity_names = {f.name: f for fns in analysis.functions.values()
-                      for f in fns if f.affinity}
     violations = []
+
+    def resolve(caller: Function, callee: str) -> list[Function]:
+        """Candidate targets for a by-name call edge. An unqualified call
+        from a member function resolves to the caller's own class first —
+        e.g. UdpTransport::send_batch calling send() means
+        UdpTransport::send, not every send() in the tree."""
+        cands = analysis.functions.get(callee, [])
+        if "::" in caller.qualified:
+            cls = caller.qualified.split("::")[0]
+            same = [c for c in cands if c.qualified == f"{cls}::{callee}"]
+            if same:
+                return same
+        return cands
+
     for entry in analysis.entry_points():
         # BFS over call edges, remembering one path per reached name.
         queue = [(entry, [entry.qualified])]
@@ -365,22 +397,24 @@ def find_violations(analysis: Analysis) -> list[str]:
         while queue:
             fn, trail = queue.pop(0)
             for callee in sorted(fn.calls):
-                if callee in affinity_names:
-                    target = affinity_names[callee]
-                    violations.append(
-                        f"{entry.path}:{entry.line}: receive context "
-                        f"'{entry.qualified}' reaches "
-                        f"AMUSE_AFFINITY({target.affinity}) method "
-                        f"'{target.qualified}' ({target.path}:{target.line}) "
-                        f"without an executor post() hop\n"
-                        f"    call path: {' -> '.join(trail + [target.qualified])}"
-                    )
-                    continue
-                for next_fn in analysis.functions.get(callee, []):
-                    if next_fn.qualified in seen:
+                for target in resolve(fn, callee):
+                    if target.affinity:
+                        violations.append(
+                            f"{entry.path}:{entry.line}: "
+                            f"{entry.context_kind} context "
+                            f"'{entry.qualified}' reaches "
+                            f"AMUSE_AFFINITY({target.affinity}) method "
+                            f"'{target.qualified}' "
+                            f"({target.path}:{target.line}) "
+                            f"without an executor post() hop\n"
+                            f"    call path: "
+                            f"{' -> '.join(trail + [target.qualified])}"
+                        )
                         continue
-                    seen.add(next_fn.qualified)
-                    queue.append((next_fn, trail + [next_fn.qualified]))
+                    if target.qualified in seen:
+                        continue
+                    seen.add(target.qualified)
+                    queue.append((target, trail + [target.qualified]))
     return violations
 
 
@@ -430,7 +464,8 @@ def run_libclang(build_dir: str) -> int:
                     if child.spelling.startswith("amuse::affinity:"):
                         annotated[usr] = (
                             child.spelling.split(":", 2)[2], node.displayname)
-                    elif child.spelling == "amuse::receive_context":
+                    elif child.spelling in ("amuse::receive_context",
+                                            "amuse::egress_context"):
                         receive[usr] = node.displayname
             current = usr if node.is_definition() else current
         if node.kind == cindex.CursorKind.CALL_EXPR and current:
@@ -514,6 +549,41 @@ void Transport::receive_loop() {
 }
 """
 
+SELFTEST_EGRESS_VIOLATING = """
+#include "common/annotations.hpp"
+class Channel {
+ public:
+  AMUSE_AFFINITY(owner_executor) void on_packet(int p);
+};
+void Channel::on_packet(int p) { (void)p; }
+class Transport {
+ public:
+  AMUSE_EGRESS_CONTEXT void send_batch(int n);
+  Channel* chan_;
+};
+void Transport::send_batch(int n) {
+  chan_->on_packet(n);  // BUG: egress surface touching protocol state
+}
+"""
+
+SELFTEST_EGRESS_SAME_CLASS_CLEAN = """
+#include "common/annotations.hpp"
+class Channel {
+ public:
+  AMUSE_AFFINITY(owner_executor) void send(int p);
+};
+void Channel::send(int p) { (void)p; }
+class Transport {
+ public:
+  AMUSE_EGRESS_CONTEXT void send(int n);
+  AMUSE_EGRESS_CONTEXT void send_batch(int n);
+};
+void Transport::send(int n) { (void)n; }
+void Transport::send_batch(int n) {
+  send(n);  // OK: resolves to Transport::send, not Channel::send
+}
+"""
+
 SELFTEST_CLEAN = """
 #include "common/annotations.hpp"
 struct Executor { template <class F> void post(F f); };
@@ -538,6 +608,8 @@ def self_test() -> int:
         ("direct violation", SELFTEST_VIOLATING, 1),
         ("indirect violation", SELFTEST_INDIRECT, 1),
         ("clean post() hop", SELFTEST_CLEAN, 0),
+        ("egress violation", SELFTEST_EGRESS_VIOLATING, 1),
+        ("egress same-class resolution", SELFTEST_EGRESS_SAME_CLASS_CLEAN, 0),
     ]
     failed = False
     for label, source, expected in cases:
@@ -578,9 +650,27 @@ def self_test() -> int:
               "(smc/gateway, smc/federation); gateway forwarding would be "
               "unchecked")
         failed = True
+    # The real-wire datapath (DESIGN.md §12) must keep its egress surface
+    # in the walk: UdpTransport::send/send_batch are callable from any
+    # thread and the checker proves they never touch executor-owned state.
+    egress = tree.egress_entries()
+    net_egress = [f for f in egress if f.path.startswith(os.path.join("src",
+                                                                      "net"))]
+    if len(net_egress) < 2:
+        print(f"check_affinity --self-test: FAIL: only {len(net_egress)} "
+              "AMUSE_EGRESS_CONTEXT entry point(s) found in src/net "
+              "(expected the UdpTransport send surface); the egress walk "
+              "would be vacuous")
+        failed = True
+    if len(entries) < 2:
+        print(f"check_affinity --self-test: FAIL: only {len(entries)} "
+              "entry point(s) in the walk (expected receive + egress "
+              "contexts)")
+        failed = True
     print(f"check_affinity --self-test: tree has {len(entries)} entry "
-          f"point(s), {len(annotated)} affinity-annotated method(s) "
-          f"({len(fed_annotated)} on the federation surface)")
+          f"point(s) ({len(egress)} egress), {len(annotated)} "
+          f"affinity-annotated method(s) ({len(fed_annotated)} on the "
+          f"federation surface)")
     return 1 if failed else 0
 
 
@@ -610,12 +700,14 @@ def main() -> int:
         print(f"check_affinity: VIOLATION: {v}", file=sys.stderr)
     entries = analysis.entry_points()
     annotated = analysis.annotated()
-    print(f"check_affinity[text]: {len(entries)} receive-context entry "
-          f"point(s), {len(annotated)} affinity-annotated method(s), "
+    print(f"check_affinity[text]: {len(entries)} entry point(s) "
+          f"({len(analysis.egress_entries())} egress), "
+          f"{len(annotated)} affinity-annotated method(s), "
           f"{len(violations)} violation(s)")
     if not entries:
-        print("check_affinity: error: no AMUSE_RECEIVE_CONTEXT entry point "
-              "found — the walk is vacuous", file=sys.stderr)
+        print("check_affinity: error: no AMUSE_RECEIVE_CONTEXT / "
+              "AMUSE_EGRESS_CONTEXT entry point found — the walk is "
+              "vacuous", file=sys.stderr)
         return 2
     return 1 if violations else 0
 

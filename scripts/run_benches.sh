@@ -5,6 +5,7 @@
 #   <build>/BENCH_fanout.json   - A1 fan-out scaling (+ datagrams/delivery)
 #   <build>/BENCH_overload.json - §9 bounded delivery under a slow consumer
 #   <build>/BENCH_federation.json - §11 inter-cell traffic vs selectivity A/B
+#   <build>/BENCH_udp_datapath.json - §12 batched real-wire datapath A/B
 # Usage: scripts/run_benches.sh [build-dir]   (default: build)
 set -euo pipefail
 
@@ -20,6 +21,12 @@ ctest --test-dir "$BUILD" -L bench --output-on-failure
 "$BUILD/bench/fanout_scaling" --json "$BUILD/BENCH_fanout.json"
 "$BUILD/bench/overload" --json "$BUILD/BENCH_overload.json"
 "$BUILD/bench/federation_scaling" --json "$BUILD/BENCH_federation.json"
+# Real sockets: skip the artifact (not the run) where the sandbox has none.
+"$BUILD/bench/udp_datapath" --json "$BUILD/BENCH_udp_datapath.json" || {
+  rc=$?
+  if [[ $rc -ne 77 ]]; then exit $rc; fi
+  echo "udp_datapath: skipped (no socket support)"
+}
 
 echo "bench artifacts:"
 ls -l "$BUILD"/BENCH_*.json

@@ -23,6 +23,19 @@ BusClient::BusClient(Executor& executor, std::shared_ptr<Transport> transport,
       executor, transport_->local_id(), bus_, session, config_.channel,
       [this](const Packet& p) { transport_->send(p.dst, p.encode()); },
       [this](BytesView message) { on_message(message); });
+  // Burst sink: a pump round's frames reach the kernel in one sendmmsg on
+  // batching transports; non-batching transports loop, byte-identical.
+  channel_->set_send_frames([this](std::vector<Packet>& frames) {
+    std::vector<Bytes> encodings;
+    encodings.reserve(frames.size());
+    std::vector<Transport::Datagram> burst;
+    burst.reserve(frames.size());
+    for (const Packet& p : frames) {
+      encodings.push_back(p.encode());
+      burst.push_back(Transport::Datagram{p.dst, BytesView(encodings.back())});
+    }
+    transport_->send_batch(burst);
+  });
   if (config_.install_receive_handler) {
     transport_->set_receive_handler([this](ServiceId src, BytesView data) {
       handle_datagram(src, data);

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -59,6 +60,16 @@ class BusPort {
   /// Sends a raw frame to a member over the bus's transport endpoint.
   AMUSE_AFFINITY(core_executor)
   virtual void send_datagram(ServiceId dst, BytesView frame) = 0;
+
+  /// Sends a burst of encoded frames to one member, in order. Semantically
+  /// identical to calling send_datagram() per frame; EventBus forwards the
+  /// burst to Transport::send_batch so one proxy pump round reaches the
+  /// kernel in one sendmmsg. Default loops, so bus fakes need not care.
+  AMUSE_AFFINITY(core_executor)
+  virtual void send_datagram_batch(ServiceId dst,
+                                   std::span<const Bytes> frames) {
+    for (const Bytes& f : frames) send_datagram(dst, f);
+  }
 
   /// A proxy shed an outbound event for `member` under budget exhaustion
   /// (DESIGN.md §9). The bus accounts it and surfaces it through

@@ -250,6 +250,16 @@ void EventBus::send_datagram(ServiceId dst, BytesView frame) {
   transport_->send(dst, frame);
 }
 
+void EventBus::send_datagram_batch(ServiceId dst,
+                                   std::span<const Bytes> frames) {
+  std::vector<Transport::Datagram> burst;
+  burst.reserve(frames.size());
+  for (const Bytes& f : frames) {
+    burst.push_back(Transport::Datagram{dst, BytesView(f)});
+  }
+  transport_->send_batch(burst);
+}
+
 void EventBus::notify_shed(ServiceId member, const Event& event) {
   ++stats_.events_shed;
   if (observer_.on_shed) observer_.on_shed(member, event);

@@ -184,6 +184,9 @@ class EventBus final : public BusPort {
   AMUSE_AFFINITY(core_executor)
   void send_datagram(ServiceId dst, BytesView frame) override;
   AMUSE_AFFINITY(core_executor)
+  void send_datagram_batch(ServiceId dst,
+                           std::span<const Bytes> frames) override;
+  AMUSE_AFFINITY(core_executor)
   void notify_shed(ServiceId member, const Event& event) override;
   AMUSE_AFFINITY(core_executor)
   void member_pressure(ServiceId member, bool under_pressure) override;

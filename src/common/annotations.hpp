@@ -76,8 +76,15 @@
 //                           NOT an executor (e.g. the UDP receive thread).
 //                           It may only reach AMUSE_AFFINITY methods
 //                           through an Executor::post() hop.
+//   AMUSE_EGRESS_CONTEXT    this function is a wire-egress surface callable
+//                           from ANY thread (executor consumers, the bench
+//                           blast thread, the receive thread sending acks).
+//                           Like a receive context it must never touch
+//                           executor-owned protocol state: it may only call
+//                           down into the socket layer. The affinity checker
+//                           walks it as an entry point.
 //
-// Both macros go at the *start* of the declaration:
+// All macros go at the *start* of the declaration:
 //   AMUSE_AFFINITY(core_executor) void member_publish(...) override;
 // ---------------------------------------------------------------------------
 
@@ -85,9 +92,11 @@
 #define AMUSE_AFFINITY(label) \
   __attribute__((annotate("amuse::affinity:" #label)))
 #define AMUSE_RECEIVE_CONTEXT __attribute__((annotate("amuse::receive_context")))
+#define AMUSE_EGRESS_CONTEXT __attribute__((annotate("amuse::egress_context")))
 #else
 #define AMUSE_AFFINITY(label)
 #define AMUSE_RECEIVE_CONTEXT
+#define AMUSE_EGRESS_CONTEXT
 #endif
 
 namespace amuse {

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <span>
 
 #include "common/bytes.hpp"
 #include "common/service_id.hpp"
@@ -37,6 +38,24 @@ class Transport {
   /// Sends one datagram. Fire-and-forget: silently droppable, may arrive
   /// out of order or duplicated depending on the underlying network.
   virtual void send(ServiceId dst, BytesView data) = 0;
+
+  /// One outbound datagram of a burst. The view is non-owning and must stay
+  /// alive for the duration of the send_batch() call only.
+  struct Datagram {
+    ServiceId dst;
+    BytesView data;
+  };
+
+  /// Sends a burst of datagrams in one call. Semantically identical to
+  /// calling send() once per entry, in order — same fire-and-forget
+  /// contract, same per-peer FIFO behaviour on transports that preserve
+  /// it — but implementations may hand the whole burst to the kernel in
+  /// one syscall (UdpTransport uses sendmmsg where available). The default
+  /// implementation is the per-datagram loop, so every transport accepts
+  /// bursts.
+  virtual void send_batch(std::span<const Datagram> batch) {
+    for (const Datagram& d : batch) send(d.dst, d.data);
+  }
 
   /// Sends to every endpoint in the local broadcast domain (discovery
   /// beacons use this; the prototype used "an arbitrarily chosen port

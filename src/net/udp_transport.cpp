@@ -1,3 +1,7 @@
+#if defined(AMUSE_HAVE_MMSG) && !defined(_GNU_SOURCE)
+#define _GNU_SOURCE  // recvmmsg/sendmmsg live behind the GNU feature gate
+#endif
+
 #include "net/udp_transport.hpp"
 
 #include <arpa/inet.h>
@@ -6,10 +10,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <array>
 #include <cerrno>
 #include <cstring>
 #include <system_error>
 #include <utility>
+
+#include "sim/executor_pool.hpp"
 
 namespace amuse {
 namespace {
@@ -26,10 +33,54 @@ sockaddr_in make_addr(std::uint32_t host_order_addr, std::uint16_t port) {
   return addr;
 }
 
+/// Receive slots hold a full UDP datagram so harvests never truncate.
+constexpr std::size_t kSlotBytes = 65536;
+
 }  // namespace
+
+Bytes UdpBufferPool::acquire() {
+  {
+    MutexLock lock(mu_);
+    if (!free_.empty()) {
+      Bytes buffer = std::move(free_.back());
+      free_.pop_back();
+      recycled_.fetch_add(1, std::memory_order_relaxed);
+      return buffer;
+    }
+  }
+  fresh_.fetch_add(1, std::memory_order_relaxed);
+  return Bytes(slot_bytes_);
+}
+
+void UdpBufferPool::release(Bytes buffer) {
+  if (buffer.size() != slot_bytes_) buffer.resize(slot_bytes_);
+  MutexLock lock(mu_);
+  if (free_.size() < max_free_) free_.push_back(std::move(buffer));
+}
+
+/// mmsg harvest headers, allocated once and reused by the receive thread
+/// across every recvmmsg call (the "reusable ring" of DESIGN.md §12).
+struct UdpTransport::RecvScratch {
+#if defined(AMUSE_HAVE_MMSG)
+  std::vector<mmsghdr> headers;
+  std::vector<iovec> iovecs;
+  std::vector<sockaddr_in> sources;
+#endif
+};
 
 std::unique_ptr<UdpTransport> UdpTransport::open(Executor& executor,
                                                  Options options) {
+  return open_impl(&executor, nullptr, options);
+}
+
+std::unique_ptr<UdpTransport> UdpTransport::open(ExecutorPool& pool,
+                                                 Options options) {
+  return open_impl(nullptr, &pool, options);
+}
+
+std::unique_ptr<UdpTransport> UdpTransport::open_impl(Executor* executor,
+                                                      ExecutorPool* pool,
+                                                      Options options) {
   int ufd = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (ufd < 0) throw_errno("socket(unicast)");
 
@@ -46,6 +97,13 @@ std::unique_ptr<UdpTransport> UdpTransport::open(Executor& executor,
   }
   ServiceId id = ServiceId::from_addr_port(ntohl(uaddr.sin_addr.s_addr),
                                            ntohs(uaddr.sin_port));
+  if (options.socket_buffer_bytes > 0) {
+    // Best-effort: the kernel clamps to rmem_max/wmem_max. Deep socket
+    // queues let the batched path absorb bursts between harvests.
+    int bytes = options.socket_buffer_bytes;
+    ::setsockopt(ufd, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes));
+    ::setsockopt(ufd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
+  }
 
   int mfd = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (mfd < 0) {
@@ -77,17 +135,22 @@ std::unique_ptr<UdpTransport> UdpTransport::open(Executor& executor,
   ::setsockopt(ufd, IPPROTO_IP, IP_MULTICAST_IF, &mcast_if, sizeof(mcast_if));
 
   return std::unique_ptr<UdpTransport>(
-      new UdpTransport(executor, ufd, mfd, id, options));
+      new UdpTransport(executor, pool, ufd, mfd, id, options));
 }
 
-UdpTransport::UdpTransport(Executor& executor, int unicast_fd,
-                           int multicast_fd, ServiceId id,
+UdpTransport::UdpTransport(Executor* executor, ExecutorPool* pool,
+                           int unicast_fd, int multicast_fd, ServiceId id,
                            const Options& options)
     : executor_(executor),
+      pool_(pool),
       unicast_fd_(unicast_fd),
       multicast_fd_(multicast_fd),
       id_(id),
       options_(options),
+      buffers_(std::make_shared<UdpBufferPool>(
+          kSlotBytes,
+          /*max_free=*/std::max<std::size_t>(8, options.recv_batch * 4))),
+      scratch_(std::make_unique<RecvScratch>()),
       receiver_([this] { receive_loop(); }) {}
 
 UdpTransport::~UdpTransport() {
@@ -96,7 +159,8 @@ UdpTransport::~UdpTransport() {
   ::close(unicast_fd_);
   ::close(multicast_fd_);
   // Drop the handler so datagram tasks still queued on the executor become
-  // no-ops (their weak_ptr can no longer lock).
+  // no-ops (their weak_ptr can no longer lock). The buffer pool stays alive
+  // through the tasks' shared_ptr so they can still return their slots.
   MutexLock lock(handler_mu_);
   handler_.reset();
 }
@@ -114,7 +178,70 @@ void UdpTransport::send(ServiceId dst, BytesView data) {
   ssize_t sent = ::sendto(unicast_fd_, data.data(), data.size(), 0,
                           reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   datagrams_sent_.fetch_add(1, std::memory_order_relaxed);
-  if (sent < 0) send_failures_.fetch_add(1, std::memory_order_relaxed);
+  send_syscalls_.fetch_add(1, std::memory_order_relaxed);
+  if (sent < 0) {
+    send_failures_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    bytes_sent_.fetch_add(data.size(), std::memory_order_relaxed);
+  }
+}
+
+void UdpTransport::send_batch(std::span<const Datagram> batch) {
+#if defined(AMUSE_HAVE_MMSG)
+  if (options_.batch_io && batch.size() > 1) {
+    send_burst_mmsg(batch);
+    return;
+  }
+#endif
+  for (const Datagram& d : batch) send(d.dst, d.data);
+}
+
+void UdpTransport::send_burst_mmsg(std::span<const Datagram> batch) {
+#if defined(AMUSE_HAVE_MMSG)
+  // Flush in bounded chunks: the arrays live on the stack and the kernel
+  // caps a single sendmmsg at UIO_MAXIOV anyway.
+  constexpr std::size_t kChunk = 64;
+  std::array<mmsghdr, kChunk> headers;
+  std::array<iovec, kChunk> iovecs;
+  std::array<sockaddr_in, kChunk> dests;
+  for (std::size_t offset = 0; offset < batch.size(); offset += kChunk) {
+    const std::size_t count = std::min(kChunk, batch.size() - offset);
+    for (std::size_t i = 0; i < count; ++i) {
+      const Datagram& d = batch[offset + i];
+      dests[i] = make_addr(d.dst.addr(), d.dst.port());
+      // iovec's base is non-const by design; the kernel only reads it.
+      iovecs[i] = {const_cast<std::uint8_t*>(d.data.data()), d.data.size()};
+      headers[i] = mmsghdr{};
+      headers[i].msg_hdr.msg_name = &dests[i];
+      headers[i].msg_hdr.msg_namelen = sizeof(dests[i]);
+      headers[i].msg_hdr.msg_iov = &iovecs[i];
+      headers[i].msg_hdr.msg_iovlen = 1;
+    }
+    datagrams_sent_.fetch_add(count, std::memory_order_relaxed);
+    std::size_t done = 0;
+    while (done < count) {
+      const std::size_t attempted = count - done;
+      int n = ::sendmmsg(unicast_fd_, headers.data() + done,
+                         static_cast<unsigned int>(attempted), 0);
+      send_syscalls_.fetch_add(1, std::memory_order_relaxed);
+      if (attempted >= 2) {
+        batches_sent_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (n <= 0) {
+        send_failures_.fetch_add(attempted, std::memory_order_relaxed);
+        break;
+      }
+      std::uint64_t sent_bytes = 0;
+      for (std::size_t i = done; i < done + static_cast<std::size_t>(n); ++i) {
+        sent_bytes += headers[i].msg_len;
+      }
+      bytes_sent_.fetch_add(sent_bytes, std::memory_order_relaxed);
+      done += static_cast<std::size_t>(n);
+    }
+  }
+#else
+  (void)batch;
+#endif
 }
 
 void UdpTransport::broadcast(BytesView data) {
@@ -125,51 +252,179 @@ void UdpTransport::broadcast(BytesView data) {
   ssize_t sent = ::sendto(unicast_fd_, data.data(), data.size(), 0,
                           reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   datagrams_sent_.fetch_add(1, std::memory_order_relaxed);
-  if (sent < 0) send_failures_.fetch_add(1, std::memory_order_relaxed);
+  send_syscalls_.fetch_add(1, std::memory_order_relaxed);
+  if (sent < 0) {
+    send_failures_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    bytes_sent_.fetch_add(data.size(), std::memory_order_relaxed);
+  }
 }
 
 void UdpTransport::receive_loop() {
   std::array<pollfd, 2> fds{};
   fds[0] = {unicast_fd_, POLLIN, 0};
   fds[1] = {multicast_fd_, POLLIN, 0};
-  Bytes buffer(65536);
 
   while (!stop_.load()) {
     int n = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
     if (n <= 0) continue;
     for (pollfd& p : fds) {
       if (!(p.revents & POLLIN)) continue;
-      sockaddr_in src{};
-      socklen_t slen = sizeof(src);
-      ssize_t got = ::recvfrom(p.fd, buffer.data(), buffer.size(), 0,
-                               reinterpret_cast<sockaddr*>(&src), &slen);
-      if (got < 0) continue;
-      ServiceId src_id = ServiceId::from_addr_port(ntohl(src.sin_addr.s_addr),
-                                                   ntohs(src.sin_port));
-      // A service's own multicasts loop back; the Transport contract is that
-      // broadcast() does not deliver to self, so filter them here.
-      if (src_id == id_) continue;
-      std::weak_ptr<const ReceiveHandler> weak_handler;
-      {
-        MutexLock lock(handler_mu_);
-        if (!handler_) {
-          dropped_no_handler_.fetch_add(1, std::memory_order_relaxed);
-          continue;
-        }
-        weak_handler = handler_;
-      }
-      datagrams_received_.fetch_add(1, std::memory_order_relaxed);
-      bytes_received_.fetch_add(static_cast<std::uint64_t>(got),
-                                std::memory_order_relaxed);
-      Bytes datagram(buffer.begin(), buffer.begin() + got);
-      executor_.post(
-          [weak_handler, src_id, datagram = std::move(datagram)]() {
-            if (auto h = weak_handler.lock(); h && *h) {
-              (*h)(src_id, datagram);
-            }
-          });
+      drain_fd(p.fd);
     }
   }
+}
+
+void UdpTransport::drain_fd(int fd) {
+#if defined(AMUSE_HAVE_MMSG)
+  if (options_.batch_io && options_.recv_batch > 1) {
+    // Keep harvesting while full batches come back: a full harvest means
+    // the socket queue likely still holds datagrams, and poll() need not
+    // be consulted again until the queue runs dry.
+    while (drain_batched(fd)) {
+    }
+    return;
+  }
+#endif
+  drain_legacy(fd);
+}
+
+bool UdpTransport::drain_batched(int fd) {
+#if defined(AMUSE_HAVE_MMSG)
+  const std::size_t depth = options_.recv_batch;
+  auto& headers = scratch_->headers;
+  auto& iovecs = scratch_->iovecs;
+  auto& sources = scratch_->sources;
+  headers.resize(depth);
+  iovecs.resize(depth);
+  sources.resize(depth);
+
+  std::vector<Bytes> slots;
+  slots.reserve(depth);
+  for (std::size_t i = 0; i < depth; ++i) {
+    slots.push_back(buffers_->acquire());
+    iovecs[i] = {slots[i].data(), slots[i].size()};
+    headers[i] = mmsghdr{};
+    headers[i].msg_hdr.msg_name = &sources[i];
+    headers[i].msg_hdr.msg_namelen = sizeof(sources[i]);
+    headers[i].msg_hdr.msg_iov = &iovecs[i];
+    headers[i].msg_hdr.msg_iovlen = 1;
+  }
+
+  int n = ::recvmmsg(fd, headers.data(), static_cast<unsigned int>(depth),
+                     MSG_DONTWAIT, nullptr);
+  if (n <= 0) {
+    for (Bytes& b : slots) buffers_->release(std::move(b));
+    return false;
+  }
+  recv_syscalls_.fetch_add(1, std::memory_order_relaxed);
+  if (static_cast<std::uint64_t>(n) >
+      max_recv_batch_.load(std::memory_order_relaxed)) {
+    max_recv_batch_.store(static_cast<std::uint64_t>(n),
+                          std::memory_order_relaxed);
+  }
+
+  std::vector<Inbound> items;
+  items.reserve(static_cast<std::size_t>(n));
+  std::uint64_t received_bytes = 0;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+    ServiceId src = ServiceId::from_addr_port(
+        ntohl(sources[i].sin_addr.s_addr), ntohs(sources[i].sin_port));
+    // A service's own multicasts loop back; the Transport contract is that
+    // broadcast() does not deliver to self, so filter them here.
+    if (src == id_) {
+      buffers_->release(std::move(slots[i]));
+      continue;
+    }
+    received_bytes += headers[i].msg_len;
+    items.push_back(Inbound{src, std::move(slots[i]), headers[i].msg_len});
+  }
+  for (std::size_t i = static_cast<std::size_t>(n); i < depth; ++i) {
+    buffers_->release(std::move(slots[i]));
+  }
+  if (!items.empty()) {
+    datagrams_received_.fetch_add(items.size(), std::memory_order_relaxed);
+    bytes_received_.fetch_add(received_bytes, std::memory_order_relaxed);
+    post_inbound(std::move(items));
+  }
+  return static_cast<std::size_t>(n) == depth;
+#else
+  (void)fd;
+  return false;
+#endif
+}
+
+void UdpTransport::drain_legacy(int fd) {
+  Bytes slot = buffers_->acquire();
+  sockaddr_in src{};
+  socklen_t slen = sizeof(src);
+  ssize_t got = ::recvfrom(fd, slot.data(), slot.size(), 0,
+                           reinterpret_cast<sockaddr*>(&src), &slen);
+  if (got < 0) {
+    buffers_->release(std::move(slot));
+    return;
+  }
+  recv_syscalls_.fetch_add(1, std::memory_order_relaxed);
+  ServiceId src_id = ServiceId::from_addr_port(ntohl(src.sin_addr.s_addr),
+                                               ntohs(src.sin_port));
+  if (src_id == id_) {
+    buffers_->release(std::move(slot));
+    return;
+  }
+  datagrams_received_.fetch_add(1, std::memory_order_relaxed);
+  bytes_received_.fetch_add(static_cast<std::uint64_t>(got),
+                            std::memory_order_relaxed);
+  std::vector<Inbound> items;
+  items.push_back(
+      Inbound{src_id, std::move(slot), static_cast<std::size_t>(got)});
+  post_inbound(std::move(items));
+}
+
+void UdpTransport::post_inbound(std::vector<Inbound> items) {
+  if (pool_ == nullptr) {
+    post_to(*executor_, std::move(items));
+    return;
+  }
+  if (pool_->size() == 1) {
+    post_to(pool_->shard(0), std::move(items));
+    return;
+  }
+  // Partition the harvest by the peer's stable shard so every peer's
+  // datagrams stay on one consumer thread, in arrival order.
+  std::vector<std::vector<Inbound>> per_shard(pool_->size());
+  for (Inbound& item : items) {
+    per_shard[pool_->shard_index(item.src)].push_back(std::move(item));
+  }
+  for (std::size_t i = 0; i < per_shard.size(); ++i) {
+    if (per_shard[i].empty()) continue;
+    post_to(pool_->shard(i), std::move(per_shard[i]));
+  }
+}
+
+void UdpTransport::post_to(Executor& executor, std::vector<Inbound> items) {
+  std::weak_ptr<const ReceiveHandler> weak_handler;
+  {
+    MutexLock lock(handler_mu_);
+    if (!handler_) {
+      dropped_no_handler_.fetch_add(items.size(), std::memory_order_relaxed);
+      for (Inbound& item : items) buffers_->release(std::move(item.buffer));
+      return;
+    }
+    weak_handler = handler_;
+  }
+  if (items.size() >= 2) {
+    recv_batches_.fetch_add(1, std::memory_order_relaxed);
+  }
+  executor.post([weak_handler, items = std::move(items),
+                 pool = buffers_]() mutable {
+    auto h = weak_handler.lock();
+    for (Inbound& item : items) {
+      if (h && *h) {
+        (*h)(item.src, BytesView(item.buffer.data(), item.length));
+      }
+      pool->release(std::move(item.buffer));
+    }
+  });
 }
 
 }  // namespace amuse

@@ -1,4 +1,5 @@
-// Real UDP datagram transport (the prototype configuration of §IV).
+// Real UDP datagram transport (the prototype configuration of §IV), rebuilt
+// for kernel-rate traffic (DESIGN.md §12).
 //
 // - The unicast socket is bound with port 0 so "the operating system is free
 //   to choose the port number", and the 48-bit ServiceId is derived from the
@@ -8,15 +9,30 @@
 //   several endpoints in one or many processes on a machine all hear
 //   discovery beacons.
 // - A background thread polls the sockets and posts datagrams onto the
-//   owning Executor, keeping all protocol logic single-threaded. That
-//   thread is annotated AMUSE_RECEIVE_CONTEXT: scripts/check_affinity.py
-//   proves it never calls into executor-owned state except through post().
+//   owning Executor (or, in sharded mode, onto the ExecutorPool shard keyed
+//   by the sender's ServiceId), keeping all protocol logic single-threaded
+//   per owner. That thread is annotated AMUSE_RECEIVE_CONTEXT:
+//   scripts/check_affinity.py proves it never calls into executor-owned
+//   state except through post().
+//
+// Datapath batching: where the platform provides recvmmsg/sendmmsg
+// (cmake/NetFeatures.cmake probes; AMUSE_HAVE_MMSG), the receive thread
+// harvests up to UdpOptions::recv_batch datagrams per syscall into a ring
+// of recycled slot buffers and posts ONE executor task per harvest, and
+// send_batch() flushes a whole burst through one sendmmsg. Per-event fixed
+// costs (syscall, lock round, wakeup) then amortise across the batch —
+// Gryphon's lesson that broker throughput is won or lost in per-message
+// fixed costs, applied to the kernel boundary. UdpOptions::batch_io=false
+// (or a platform without mmsg) keeps the original one-syscall-per-datagram
+// wire behaviour, byte-identical on the wire: batching changes how many
+// datagrams move per syscall, never their bytes or per-peer order.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "common/annotations.hpp"
 #include "net/transport.hpp"
@@ -24,20 +40,74 @@
 
 namespace amuse {
 
+class ExecutorPool;
+
 struct UdpOptions {
   /// The agreed "discovery" port every service listens on for broadcasts.
   std::uint16_t broadcast_port = 45'999;
   /// Loopback multicast group used to emulate the shared medium.
   const char* multicast_group = "239.255.42.1";
+  /// Use recvmmsg/sendmmsg batched syscalls where compiled in
+  /// (AMUSE_HAVE_MMSG). false forces the legacy per-datagram
+  /// recvfrom/sendto path — the bench A/B baseline and the behaviour of
+  /// platforms without the mmsg calls.
+  bool batch_io = true;
+  /// recvmmsg harvest depth: slot buffers acquired per receive syscall.
+  /// Values <= 1 behave like the legacy path.
+  std::size_t recv_batch = 16;
+  /// Requested SO_RCVBUF/SO_SNDBUF for the unicast socket (best-effort; the
+  /// kernel clamps to rmem_max/wmem_max). 0 keeps the OS default. A deep
+  /// receive buffer is what lets the batched path absorb bursts between
+  /// harvests instead of dropping on the socket queue.
+  int socket_buffer_bytes = 1 << 22;
 };
 
 /// Snapshot of the transport's wire counters (see stats()).
 struct UdpTransportStats {
-  std::uint64_t datagrams_sent = 0;      // unicast + broadcast handed to sendto
-  std::uint64_t send_failures = 0;       // sendto() returned an error
+  std::uint64_t datagrams_sent = 0;      // unicast + broadcast handed to the kernel
+  std::uint64_t bytes_sent = 0;          // payload bytes of successful sends
+  std::uint64_t send_failures = 0;       // sendto()/sendmmsg() reported an error
+  std::uint64_t send_syscalls = 0;       // sendto/sendmmsg invocations
+  std::uint64_t batches_sent = 0;        // sendmmsg flushes covering >= 2 datagrams
   std::uint64_t datagrams_received = 0;  // posted to the executor
   std::uint64_t bytes_received = 0;
+  std::uint64_t recv_syscalls = 0;       // recvfrom/recvmmsg calls returning >= 1 datagram
+  std::uint64_t recv_batches = 0;        // executor posts carrying >= 2 datagrams
+  std::uint64_t max_recv_batch = 0;      // largest single recvmmsg harvest
+  std::uint64_t buffers_recycled = 0;    // receive slots served from the freelist
+  std::uint64_t buffers_fresh = 0;       // receive slots newly allocated
   std::uint64_t dropped_no_handler = 0;  // arrived with no handler installed
+};
+
+/// Small freelist of fixed-size receive slot buffers. The receive thread
+/// acquires slots for each recvmmsg harvest; the executor task that
+/// delivered the batch releases them. Shared (via shared_ptr) between the
+/// transport and its in-flight delivery tasks, so a task completing after
+/// the transport died still has somewhere safe to return its buffers.
+class UdpBufferPool {
+ public:
+  UdpBufferPool(std::size_t slot_bytes, std::size_t max_free)
+      : slot_bytes_(slot_bytes), max_free_(max_free) {}
+
+  /// A slot-sized buffer, recycled when the freelist has one.
+  [[nodiscard]] Bytes acquire();
+  /// Returns a slot to the freelist (freed instead once max_free is held).
+  void release(Bytes buffer);
+
+  [[nodiscard]] std::uint64_t recycled() const {
+    return recycled_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t fresh() const {
+    return fresh_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t slot_bytes_;
+  std::size_t max_free_;
+  Mutex mu_;
+  std::vector<Bytes> free_ AMUSE_GUARDED_BY(mu_);
+  std::atomic<std::uint64_t> recycled_{0};
+  std::atomic<std::uint64_t> fresh_{0};
 };
 
 class UdpTransport final : public Transport {
@@ -49,42 +119,88 @@ class UdpTransport final : public Transport {
   static std::unique_ptr<UdpTransport> open(Executor& executor,
                                             Options options = Options());
 
+  /// Sharded mode: datagram batches are posted to `pool.shard_for(src)`, so
+  /// each peer's traffic is owned by exactly one pinned shard and per-peer
+  /// FIFO is preserved. The installed handler runs concurrently across
+  /// shards — it must only touch per-peer state (DESIGN.md §12).
+  static std::unique_ptr<UdpTransport> open(ExecutorPool& pool,
+                                            Options options = Options());
+
   ~UdpTransport() override;
 
   [[nodiscard]] ServiceId local_id() const override { return id_; }
-  void send(ServiceId dst, BytesView data) override;
-  void broadcast(BytesView data) override;
+  AMUSE_EGRESS_CONTEXT void send(ServiceId dst, BytesView data) override;
+  AMUSE_EGRESS_CONTEXT void send_batch(
+      std::span<const Datagram> batch) override;
+  AMUSE_EGRESS_CONTEXT void broadcast(BytesView data) override;
   void set_receive_handler(ReceiveHandler handler) override;
 
   /// Snapshot of the wire counters. The counters are touched by the
   /// receive thread and by any thread that sends, so they are relaxed
   /// atomics: monotonic totals with no ordering contract between them (a
   /// snapshot taken mid-traffic may see a send counted before its
-  /// matching receive, never torn values).
+  /// matching receive, never torn values). The documented per-counter
+  /// meanings (datagrams per syscall, batch high-water marks) hold exactly
+  /// once traffic quiesces.
   [[nodiscard]] UdpTransportStats stats() const {
     UdpTransportStats s;
     s.datagrams_sent = datagrams_sent_.load(std::memory_order_relaxed);
+    s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
     s.send_failures = send_failures_.load(std::memory_order_relaxed);
+    s.send_syscalls = send_syscalls_.load(std::memory_order_relaxed);
+    s.batches_sent = batches_sent_.load(std::memory_order_relaxed);
     s.datagrams_received = datagrams_received_.load(std::memory_order_relaxed);
     s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+    s.recv_syscalls = recv_syscalls_.load(std::memory_order_relaxed);
+    s.recv_batches = recv_batches_.load(std::memory_order_relaxed);
+    s.max_recv_batch = max_recv_batch_.load(std::memory_order_relaxed);
+    s.buffers_recycled = buffers_->recycled();
+    s.buffers_fresh = buffers_->fresh();
     s.dropped_no_handler = dropped_no_handler_.load(std::memory_order_relaxed);
     return s;
   }
 
  private:
-  UdpTransport(Executor& executor, int unicast_fd, int multicast_fd,
-               ServiceId id, const Options& options);
+  UdpTransport(Executor* executor, ExecutorPool* pool, int unicast_fd,
+               int multicast_fd, ServiceId id, const Options& options);
+
+  static std::unique_ptr<UdpTransport> open_impl(Executor* executor,
+                                                 ExecutorPool* pool,
+                                                 Options options);
+
+  /// One received datagram travelling from the receive thread to its
+  /// executor task: the slot buffer is recycled after delivery.
+  struct Inbound {
+    ServiceId src;
+    Bytes buffer;
+    std::size_t length = 0;
+  };
+
   /// Body of the background receive thread — not an executor context.
   AMUSE_RECEIVE_CONTEXT void receive_loop();
+  /// Drains one readable socket: mmsg harvests when enabled, one legacy
+  /// recvfrom otherwise. Runs on the receive thread.
+  void drain_fd(int fd);
+  bool drain_batched(int fd);
+  void drain_legacy(int fd);
+  /// Posts one delivery task per destination executor for a harvest,
+  /// preserving arrival order per peer. Runs on the receive thread.
+  void post_inbound(std::vector<Inbound> items);
+  void post_to(Executor& executor, std::vector<Inbound> items);
+  void send_burst_mmsg(std::span<const Datagram> batch);
 
-  Executor& executor_;
+  Executor* executor_;   // single-executor mode (null in sharded mode)
+  ExecutorPool* pool_;   // sharded mode (null in single-executor mode)
   int unicast_fd_;
   int multicast_fd_;
   ServiceId id_;
   Options options_;
+  std::shared_ptr<UdpBufferPool> buffers_;
+  struct RecvScratch;    // mmsg headers reused across harvests (cpp-only)
+  std::unique_ptr<RecvScratch> scratch_;
   // Current receive handler. set_receive_handler() swaps the shared_ptr
   // under handler_mu_ (callable from any thread); the receive thread takes
-  // a snapshot per datagram and posts a weak reference, so a handler that
+  // a snapshot per harvest and posts a weak reference, so a handler that
   // is replaced — or a transport destroyed — before the posted task runs is
   // never invoked, while a handler mid-invoke stays alive through the
   // task's temporary shared_ptr.
@@ -93,9 +209,15 @@ class UdpTransport final : public Transport {
   // Hot wire counters: incremented on the receive thread and on whatever
   // threads send. Relaxed atomics by contract — totals only, no ordering.
   std::atomic<std::uint64_t> datagrams_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> send_failures_{0};
+  std::atomic<std::uint64_t> send_syscalls_{0};
+  std::atomic<std::uint64_t> batches_sent_{0};
   std::atomic<std::uint64_t> datagrams_received_{0};
   std::atomic<std::uint64_t> bytes_received_{0};
+  std::atomic<std::uint64_t> recv_syscalls_{0};
+  std::atomic<std::uint64_t> recv_batches_{0};
+  std::atomic<std::uint64_t> max_recv_batch_{0};
   std::atomic<std::uint64_t> dropped_no_handler_{0};
   std::atomic<bool> stop_{false};
   std::thread receiver_;

@@ -25,6 +25,14 @@ ForwardingProxy::ForwardingProxy(BusPort& bus, MemberInfo info)
         kLog.debug("member ", member_id().to_string(),
                    " unresponsive; queueing until purge or recovery");
       });
+  // One pump round's DATA frames flush through the bus's batch surface
+  // (and from there through one sendmmsg on a batching transport).
+  channel_->set_send_frames([this](std::vector<Packet>& frames) {
+    std::vector<Bytes> encodings;
+    encodings.reserve(frames.size());
+    for (const Packet& p : frames) encodings.push_back(p.encode());
+    this->bus().send_datagram_batch(member_id(), encodings);
+  });
   channel_->set_on_shed([this](BytesView message) { on_shed(message); });
   channel_->set_on_pressure([this](bool under_pressure) {
     this->bus().member_pressure(member_id(), under_pressure);

@@ -1,6 +1,8 @@
 #include "sim/real_executor.hpp"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 namespace amuse {
 
@@ -45,14 +47,26 @@ void RealExecutor::run_until_wall(TimePoint deadline, bool has_deadline) {
     MutexLock lock(mu_);
     stop_ = false;
   }
+  std::vector<Task> batch;
   for (;;) {
-    Task task;
+    batch.clear();
     {
       MutexLock lock(mu_);
       for (;;) {
         if (stop_) return;
         if (has_deadline && now() >= deadline) return;
-        if (!queue_.empty() && queue_.begin()->first.when <= now()) break;
+        // Drain the whole run of due tasks under this one lock acquisition
+        // (the wakeup-economics fix: a burst of posts costs one drain, not
+        // one lock round per task). A drained task is past the point of
+        // cancellation, exactly like a popped task was before.
+        TimePoint due = now();
+        while (!queue_.empty() && queue_.begin()->first.when <= due) {
+          auto it = queue_.begin();
+          batch.push_back(std::move(it->second.second));
+          by_id_.erase(it->second.first);
+          queue_.erase(it);
+        }
+        if (!batch.empty()) break;
         auto wall_deadline = std::chrono::steady_clock::now() +
                              std::chrono::milliseconds(50);
         if (!queue_.empty()) {
@@ -65,13 +79,18 @@ void RealExecutor::run_until_wall(TimePoint deadline, bool has_deadline) {
         }
         cv_.wait_until(lock, wall_deadline);
       }
-      auto it = queue_.begin();
-      task = std::move(it->second.second);
-      by_id_.erase(it->second.first);
-      queue_.erase(it);
+      ++stats_.wakeups;
+      stats_.tasks_run += batch.size();
+      stats_.max_drain =
+          std::max<std::uint64_t>(stats_.max_drain, batch.size());
     }
-    task();
+    for (Task& task : batch) task();
   }
+}
+
+RealExecutorStats RealExecutor::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
 }
 
 void RealExecutor::stop() {

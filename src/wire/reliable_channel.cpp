@@ -242,7 +242,31 @@ ReliableChannel::FramePlan ReliableChannel::plan_frame(
   return plan;
 }
 
+bool ReliableChannel::begin_collect() {
+  if (!send_frames_ || collecting_) return false;
+  collecting_ = true;
+  return true;
+}
+
+void ReliableChannel::end_collect(bool opened) {
+  if (!opened) return;
+  collecting_ = false;
+  flush_egress();
+}
+
+void ReliableChannel::flush_egress() {
+  if (egress_.empty()) return;
+  if (egress_.size() == 1 || !send_frames_) {
+    for (const Packet& p : egress_) send_packet_(p);
+  } else {
+    ++stats_.frame_bursts;
+    send_frames_(egress_);
+  }
+  egress_.clear();
+}
+
 void ReliableChannel::pump(bool flush) {
+  bool opened = begin_collect();
   while (!queue_.empty() && window_.size() < config_.window) {
     FramePlan plan = plan_frame(queue_, 0);
     // Nagle-style hold: a partial batch waits for more data while earlier
@@ -268,6 +292,7 @@ void ReliableChannel::pump(bool flush) {
       }
     }
   }
+  end_collect(opened);
   if (!window_.empty() && !failed_) arm_timer();
 }
 
@@ -299,16 +324,22 @@ void ReliableChannel::transmit_range(std::size_t from, std::size_t count) {
   }
   record_wire(p.payload_wire_size());
   clear_ack_debt();  // the frame carries our cumulative ack
+  if (collecting_) {
+    egress_.push_back(std::move(p));
+    return;
+  }
   send_packet_(p);
 }
 
 void ReliableChannel::transmit_window(bool count_as_retransmission) {
+  bool opened = begin_collect();
   for (std::size_t i = 0; i < window_.size();) {
     std::size_t count = plan_frame(window_, i).count;
     if (count_as_retransmission) stats_.retransmissions += count;
     transmit_range(i, count);
     i += count;
   }
+  end_collect(opened);
 }
 
 void ReliableChannel::send_ack() {

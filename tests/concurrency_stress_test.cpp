@@ -13,12 +13,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/log.hpp"
 #include "net/udp_transport.hpp"
+#include "sim/executor_pool.hpp"
 #include "sim/real_executor.hpp"
 
 namespace amuse {
@@ -305,6 +307,61 @@ TEST(UdpStress, DestructionRacesInFlightDatagrams) {
     ex.run_for(milliseconds(100));
   }
   SUCCEED();
+}
+
+TEST(UdpStress, SendBatchHammeredFromManyThreads) {
+  // send_batch is AMUSE_EGRESS_CONTEXT: callable from any thread with no
+  // executor affinity. Hammer it concurrently (alongside plain send) into
+  // a sharded receiver — the counters and freelist are the shared state
+  // tsan gets to bite on.
+  ExecutorPool pool({2, /*pin_threads=*/false});
+  std::unique_ptr<UdpTransport> rx;
+  UdpOptions opts;
+  opts.broadcast_port = 46914;
+  try {
+    rx = UdpTransport::open(pool, opts);
+  } catch (const std::system_error&) {
+    GTEST_SKIP() << "UDP sockets unavailable in this sandbox";
+  }
+  RealExecutor tx_ex;
+  auto tx = try_open(tx_ex, 46914);
+  if (!tx) GTEST_SKIP() << "UDP sockets unavailable in this sandbox";
+
+  std::atomic<int> received{0};
+  rx->set_receive_handler(
+      [&received](ServiceId, BytesView) { received.fetch_add(1); });
+
+  constexpr int kThreads = 4;
+  constexpr int kBurstsPerThread = 50;
+  constexpr int kBurstSize = 8;
+  std::vector<std::thread> senders;
+  senders.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    senders.emplace_back([&, t] {
+      Bytes payload = to_bytes("burst-" + std::to_string(t));
+      for (int i = 0; i < kBurstsPerThread; ++i) {
+        std::vector<Transport::Datagram> burst(
+            kBurstSize, Transport::Datagram{rx->local_id(),
+                                            BytesView(payload)});
+        tx->send_batch(burst);
+        tx->send(rx->local_id(), payload);  // interleave the single path
+      }
+    });
+  }
+  for (auto& th : senders) th.join();
+
+  constexpr int kTotal = kThreads * kBurstsPerThread * (kBurstSize + 1);
+  for (int spins = 0; spins < 100 && received.load() < kTotal; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  // Loopback is near-lossless; require a healthy fraction and consistent
+  // counters rather than exact delivery.
+  EXPECT_GT(received.load(), kTotal / 2);
+  UdpTransportStats txs = tx->stats();
+  EXPECT_EQ(txs.datagrams_sent, static_cast<std::uint64_t>(kTotal));
+  EXPECT_LE(txs.send_syscalls, txs.datagrams_sent);
+  rx.reset();
+  pool.stop();
 }
 
 TEST(UdpStress, BroadcastStormAcrossEndpoints) {
