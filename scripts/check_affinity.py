@@ -67,7 +67,7 @@ KEYWORDS = {
 
 IDENT_CALL = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
 CLASS_HEAD = re.compile(r"\b(?:class|struct)\s+(?:\w+\s+)*?([A-Za-z_]\w*)\s*"
-                        r"(?::[^;{]*)?\{")
+                        r"(?:\bfinal\s*)?(?::[^;{]*)?\{")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -649,6 +649,25 @@ def self_test() -> int:
               "AMUSE_AFFINITY methods found on the federation surface "
               "(smc/gateway, smc/federation); gateway forwarding would be "
               "unchecked")
+        failed = True
+    # The HA surface (DESIGN.md §13) is executor-owned too: the standby's
+    # replication/lease/promotion entry points mutate the replica mirror and
+    # build the promoted cell, and the active side's step_down tears the cell
+    # down — a receive-thread path into any of them would corrupt failover
+    # state exactly when it matters.
+    standby_names = {f.name for f in annotated
+                     if os.path.join("smc", "standby") in f.path}
+    for required in ("on_repl", "check_lease", "promote"):
+        if required not in standby_names:
+            print("check_affinity --self-test: FAIL: "
+                  f"StandbyCore::{required} is not AMUSE_AFFINITY-annotated "
+                  "(the HA replication/promotion path would be outside the "
+                  "checked graph)")
+            failed = True
+    if not any(f.qualified == "EventBus::step_down" for f in annotated):
+        print("check_affinity --self-test: FAIL: EventBus::step_down is not "
+              "AMUSE_AFFINITY-annotated (epoch fencing's deposed-core purge "
+              "would be outside the checked graph)")
         failed = True
     # The real-wire datapath (DESIGN.md §12) must keep its egress surface
     # in the walk: UdpTransport::send/send_batch are callable from any

@@ -34,6 +34,12 @@ compiler nor clang-tidy enforce:
       outside common/annotations.hpp — use amuse::Mutex / MutexLock /
       CondVar so clang's -Wthread-safety capability analysis can see every
       lock (DESIGN.md §10)
+  I10 replication traffic is control-class (DESIGN.md §13): any channel
+      send whose payload is built from BusMessage::repl_update(...) or
+      repl_resync_request() must pass MsgClass::kControl. The repl log is
+      the state failover recovers from — a data-class repl send could be
+      shed under the §9 budgets, silently widening the staleness window
+      the standby believes it has
 
 `--self-test` rebuilds a scratch tree seeded with one violation per
 invariant and fails unless every invariant fires — proof the checker
@@ -183,6 +189,37 @@ def check_channel_send_accounting(path: Path) -> None:
             )
 
 
+# I10: replication messages ride the never-shed control class. Any send()
+# whose argument list builds its payload from the repl message factories
+# must also name MsgClass::kControl in that same call.
+SEND_CALL = re.compile(r"\bsend\s*\(")
+REPL_PAYLOAD = re.compile(r"\brepl_(?:update|resync_request)\s*\(")
+
+
+def check_repl_control_class(path: Path) -> None:
+    stripped = [strip_comments(line) for line in path.read_text().splitlines()]
+    text = "\n".join(stripped)
+    for m in SEND_CALL.finditer(text):
+        depth = 0
+        end = m.end() - 1  # at the opening '('
+        while end < len(text):
+            if text[end] == "(":
+                depth += 1
+            elif text[end] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            end += 1
+        call = text[m.start() : end + 1]
+        if REPL_PAYLOAD.search(call) and "MsgClass::kControl" not in call:
+            report(
+                path,
+                text.count("\n", 0, m.start()) + 1,
+                "I10: replication message sent without MsgClass::kControl "
+                "(repl traffic must never be shed — DESIGN.md §13)",
+            )
+
+
 def check_cmake_lists_all_sources() -> None:
     cmake = (SRC / "CMakeLists.txt").read_text()
     listed = set(re.findall(r"([\w/]+\.cpp)", cmake))
@@ -202,6 +239,7 @@ def run_checks() -> list[str]:
     for f in headers + sources:
         check_banned_patterns(f)
         check_channel_send_accounting(f)
+        check_repl_control_class(f)
     torture_files = sorted(TORTURE.rglob("*.hpp")) + sorted(TORTURE.rglob("*.cpp"))
     for f in torture_files:
         check_torture_determinism(f)
@@ -220,6 +258,8 @@ SELFTEST_FILES = {
     "tests/torture/clocky.cpp": ("I7", "auto t = std::chrono::steady_clock::now();\n"),
     "src/dropper.cpp": ("I8", "void d() {\n  (void)channel_->send(payload);\n}\n"),
     "src/locky.cpp": ("I9", "#include <mutex>\nstd::mutex mu;\n"),
+    # Consumes the return value so I8 stays quiet; I10 alone must fire.
+    "src/repl_plain.cpp": ("I10", "bool r() {\n  return channel_->send(BusMessage::repl_update(u).encode());\n}\n"),
 }
 
 

@@ -112,6 +112,13 @@ void BusClient::set_unclaimed_handler(Handler handler) {
   unclaimed_ = std::move(handler);
 }
 
+void BusClient::request_repl_resync() {
+  AMUSE_ASSERT_ON_EXECUTOR(executor_, "BusClient::request_repl_resync");
+  ++stats_.repl_resyncs;
+  (void)channel_->send(BusMessage::repl_resync_request().encode(),
+                       MsgClass::kControl);
+}
+
 void BusClient::on_message(BytesView message) {
   BusMessage m;
   try {
@@ -123,6 +130,12 @@ void BusClient::on_message(BytesView message) {
   switch (m.type) {
     case BusMsgType::kEvent: {
       ++stats_.events_received;
+      if (delivery_filter_ && !delivery_filter_(*m.event)) {
+        // A copy this member has already seen (HA re-delivery after a
+        // failover): exactly-once survives the promotion.
+        ++stats_.deliveries_filtered;
+        break;
+      }
       bool claimed = false;
       for (std::uint64_t id : m.matched) {
         auto it = handlers_.find(id);
@@ -136,6 +149,10 @@ void BusClient::on_message(BytesView message) {
     }
     case BusMsgType::kQuenchUpdate:
       quench_.update(m.quench_filters);
+      // Remember the canonical identity of what we hold: a re-join after a
+      // core failover presents it so an unchanged table is not re-pushed.
+      quench_digest_ = FilterSet(m.quench_filters).digest();
+      quench_received_ = true;
       break;
     case BusMsgType::kInterestUpdate: {
       if (!m.interest || m.interest->request_resync) {
@@ -160,6 +177,15 @@ void BusClient::on_message(BytesView message) {
       }
       break;
     }
+    case BusMsgType::kReplUpdate:
+    case BusMsgType::kReplSnapshot:
+      if (!m.repl || m.repl->request_resync || !on_repl_) {
+        kLog.warn("unexpected repl message from bus");
+        break;
+      }
+      ++stats_.repl_updates;
+      on_repl_(*m.repl);
+      break;
     case BusMsgType::kFlowControl:
       ++stats_.flow_signals;
       if (pressured_ != m.pressure) {

@@ -85,6 +85,32 @@ class BusClient {
     return mirror_;
   }
 
+  /// Invoked for every kReplUpdate / kReplSnapshot from the bus (standby
+  /// members only; never fires for plain members — the bus only streams
+  /// replication to standby-role peers). The receiver owns the ReplMirror
+  /// and decides when to request_repl_resync().
+  using ReplFn = std::function<void(const ReplUpdate&)>;
+  void set_on_repl(ReplFn fn) { on_repl_ = std::move(fn); }
+  /// Standby → bus: the repl mirror lost sync, ask for a full snapshot.
+  /// Control class, like the stream itself.
+  AMUSE_AFFINITY(member_executor) void request_repl_resync();
+
+  /// Pre-dispatch delivery filter: runs once per arriving kEvent, before
+  /// any handler; return false to drop the event (counted, not silent).
+  /// SmcMember installs the HA (epoch, seq) re-delivery dedup here.
+  using DeliveryFilter = std::function<bool(const Event&)>;
+  void set_delivery_filter(DeliveryFilter filter) {
+    delivery_filter_ = std::move(filter);
+  }
+
+  /// Canonical digest of the last quench table the bus pushed (all-zero
+  /// until one arrives). A re-homing member hands this to the discovery
+  /// agent so an unchanged table is not pushed again (DESIGN.md §13).
+  [[nodiscard]] const Digest256& quench_digest() const {
+    return quench_digest_;
+  }
+  [[nodiscard]] bool quench_received() const { return quench_received_; }
+
   /// Feeds one raw datagram (used when install_receive_handler is false).
   AMUSE_AFFINITY(member_executor)
   void handle_datagram(ServiceId src, BytesView data);
@@ -101,6 +127,10 @@ class BusClient {
     std::uint64_t handler_invocations = 0;
     std::uint64_t interest_updates = 0;   // cleanly applied pushes
     std::uint64_t interest_resyncs = 0;   // resync requests sent
+    std::uint64_t repl_updates = 0;       // repl stream messages received
+    std::uint64_t repl_resyncs = 0;       // repl resync requests sent
+    std::uint64_t deliveries_filtered = 0;  // dropped by the delivery
+                                            // filter (HA re-delivery dups)
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const ReliableChannelStats& channel_stats() const {
@@ -125,8 +155,12 @@ class BusClient {
   Handler unclaimed_;
   PressureFn on_pressure_;
   InterestFn on_interest_;
+  ReplFn on_repl_;
+  DeliveryFilter delivery_filter_;
   bool pressured_ = false;
   QuenchTable quench_;
+  Digest256 quench_digest_{};
+  bool quench_received_ = false;
   InterestMirror mirror_;
   Stats stats_;
   Executor& executor_;

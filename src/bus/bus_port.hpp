@@ -12,6 +12,7 @@
 #include "common/annotations.hpp"
 #include "common/bytes.hpp"
 #include "common/service_id.hpp"
+#include "common/sha256.hpp"
 #include "pubsub/event.hpp"
 #include "pubsub/filter.hpp"
 #include "sim/executor.hpp"
@@ -28,12 +29,23 @@ struct MemberInfo {
   std::string device_type;
   /// Drives authorisation policies, e.g. "sensor", "nurse", "guest".
   std::string role;
+  /// FilterSet digest of the quench table the member still holds from a
+  /// previous incarnation (all-zero when it has none). Carried as a
+  /// trailing JOIN_RESP field so a promoted core can skip the quench push
+  /// for members whose table is already current (no quench storm on
+  /// failover).
+  Digest256 quench_digest{};
 };
 
 /// Members admitted with this role are federation routing peers: the bus
 /// pushes them per-link interest tables and counts them as inter-cell
 /// links for suppression accounting.
 inline constexpr std::string_view kGatewayRole = "gateway";
+
+/// Members admitted with this role are warm standbys: the bus streams them
+/// the replication log (kReplSnapshot on admission, kReplUpdate after every
+/// mutation) instead of treating them as subscribers.
+inline constexpr std::string_view kStandbyRole = "standby";
 
 class BusPort {
  public:
@@ -93,6 +105,11 @@ class BusPort {
   /// proxy fakes in tests need not care.
   AMUSE_AFFINITY(core_executor)
   virtual void member_interest_resync(ServiceId member) { (void)member; }
+  /// A standby member's replication mirror lost sync (version gap or digest
+  /// mismatch) and requests a full kReplSnapshot. Default no-op so proxy
+  /// fakes in tests need not care.
+  AMUSE_AFFINITY(core_executor)
+  virtual void member_repl_resync(ServiceId member) { (void)member; }
 
   [[nodiscard]] virtual Executor& executor() = 0;
   [[nodiscard]] virtual ServiceId bus_id() const = 0;

@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "hostmodel/profiles.hpp"
+#include "pubsub/codec.hpp"
 #include "pubsub/brute_matcher.hpp"
 #include "pubsub/fastforward_matcher.hpp"
 #include "pubsub/siena_matcher.hpp"
@@ -51,6 +52,45 @@ EventBus::EventBus(Executor& executor, std::shared_ptr<Transport> transport,
     // the bus enforces the limit after each fan-out and quench push.
     config_.channel.shared_budget = budget_;
   }
+  repl_ = ReplLog(
+      ReplLog::Limits{config_.ha_spool_events, config_.ha_spool_bytes});
+  if (config_.restore) {
+    // Standby promotion (DESIGN.md §13): resume the dead core's durable
+    // state under our own (higher) epoch.
+    const ReplState& replica = *config_.restore;
+    // Session floors across promotion: every channel session this core
+    // hands out must exceed anything the dead core ever issued, or a
+    // rejoined member could adopt a stale in-flight frame as its fresh
+    // stream. The slack covers sessions reserved after the last replicated
+    // counter update (admissions racing the crash).
+    config_.session = std::max(config_.session, replica.session_base);
+    proxy_incarnations_ = replica.proxy_incarnations + 64;
+    fed_seq_ = replica.fed_seq;
+    route_seq_ = replica.route_seq;
+    stats_.promotions = 1;
+    ha_ = true;
+    ReplState seeded = replica;
+    seeded.epoch = config_.epoch;
+    seeded.session_base = config_.session;
+    seeded.proxy_incarnations = proxy_incarnations_;
+    repl_.restore(std::move(seeded));
+    for (const auto& [raw, member] : replica.members) {
+      // Pre-seed the registry with every member's pre-crash subscriptions
+      // so (a) the quench table is byte-identical to the one re-homing
+      // members stashed (no quench storm on a no-change promotion) and
+      // (b) events routed before a member re-homes still match it into
+      // the spool. The snapshot is also the re-delivery filter consumed
+      // when that member rejoins.
+      if (member.role == kGatewayRole) federation_ = true;
+      ha_rehome_.emplace(raw, member);
+      for (const auto& [local_id, filter] : member.subs) {
+        registry_.subscribe(ServiceId(raw), local_id, filter);
+      }
+    }
+  } else if (config_.ha) {
+    ha_ = true;
+    repl_.set_epoch(config_.epoch);
+  }
   transport_->set_receive_handler([this](ServiceId src, BytesView data) {
     auto it = proxies_.find(src);
     if (it == proxies_.end()) return;  // not (yet) a member: drop
@@ -67,10 +107,25 @@ void EventBus::add_member(const MemberInfo& info) {
   // The proxy constructor may immediately register subscriptions on the
   // device's behalf, so the info record must exist before creation.
   auto it = proxies_.emplace(info.id, factory_.create(*this, info)).first;
-  // Seed the newcomer with the current quench table: global pushes are
-  // elided when the effective filter set is unchanged, so admission cannot
-  // rely on a later table change to deliver the first copy.
-  push_quench_table(*it->second);
+  // Seed the newcomer with the current quench table — unless the member
+  // told us (trailing JOIN_RESP digest) it still holds exactly this table
+  // from its previous incarnation. The skip is what keeps a failover from
+  // turning into a quench storm: on a no-change promotion every re-homing
+  // member presents the pre-crash digest, the promoted core's registry was
+  // pre-seeded to the same canonical set, and nobody gets a redundant push.
+  if (config_.quench && info.quench_digest != Digest256{}) {
+    table_.rebuild(registry_.filters_by_member());
+    Digest256 current = table_.all().digest();
+    if (digest_equal(current, info.quench_digest)) {
+      quench_pushed_ = true;
+      quench_digest_ = current;
+      ++stats_.quench_skipped;
+    } else {
+      push_quench_table(*it->second);
+    }
+  } else {
+    push_quench_table(*it->second);
+  }
   if (info.role == kGatewayRole) {
     // A routing peer: from here on every routed event carries an origin
     // stamp, and this link gets the cell's split-horizon interest table.
@@ -80,7 +135,45 @@ void EventBus::add_member(const MemberInfo& info) {
     gateway_members_.insert(info.id);
     push_interest_table(*it->second);
   }
+  if (info.role == kStandbyRole) {
+    // A warm standby: switch on HA replication (sticky) and seed the new
+    // mirror with a full snapshot — like the interest table, admission
+    // must never leave a standby running on stale state.
+    enable_ha();
+    standby_members_.insert(info.id);
+    push_repl_snapshot(*it->second);
+    schedule_lease_tick();
+  } else if (ha_) {
+    repl_.member_admitted(info.id, info.device_type, info.role);
+  }
   if (observer_.on_member_admitted) observer_.on_member_admitted(info);
+  // A member of the dead core re-homing after promotion: re-offer the
+  // spooled events its pre-crash subscriptions missed, before any new
+  // fan-out can enqueue on the fresh channel (per-sender FIFO across the
+  // promotion). One-shot per member; the member-side (epoch, seq) dedup
+  // drops anything it already saw.
+  if (auto rit = ha_rehome_.find(info.id.raw()); rit != ha_rehome_.end()) {
+    ReplMember snapshot = std::move(rit->second);
+    ha_rehome_.erase(rit);
+    // On a promotion the constructor pre-seeded the registry with the
+    // member's replicated subscriptions before any observer could attach:
+    // replay whatever the registry actually holds so the observer's view
+    // starts complete instead of trailing the member's own re-SUBSCRIBEs
+    // (which deliveries on the restored set do not wait for). Read the
+    // registry, not the snapshot — after a plain purge + re-join the
+    // registry is empty (the snapshot only drives the spool re-offer) and
+    // the observer must not be told otherwise.
+    if (observer_.on_subscribe) {
+      if (auto subs = registry_.subscriptions_by_member();
+          subs.contains(info.id)) {
+        for (const auto& [local_id, filter] : subs.at(info.id)) {
+          observer_.on_subscribe(info.id, local_id, filter);
+        }
+      }
+    }
+    redeliver_spool(*it->second, snapshot);
+  }
+  repl_flush();
   kLog.debug("member ", info.id.to_string(), " admitted as ",
              info.device_type);
 }
@@ -89,6 +182,25 @@ void EventBus::purge_member(ServiceId id) {
   AMUSE_ASSERT_ON_EXECUTOR(executor_, "EventBus::purge_member");
   auto it = proxies_.find(id);
   if (it == proxies_.end()) return;
+  if (ha_ && !deposed_ && !standby_members_.contains(id)) {
+    // Re-arm the spool re-offer debt. A purge can destroy a re-delivery
+    // that never reached the member — admission is bus-side, so a member
+    // whose JoinAccept died on a lossy link is admitted, offered the
+    // spool, and purged again without ever seeing a byte of it. The next
+    // admission re-offers; the member-side (epoch, seq) dedup makes a
+    // second offer to a member that did receive everything a no-op.
+    if (const MemberInfo* info = member_info(id);
+        info != nullptr && info->role != kGatewayRole) {
+      ReplMember snapshot;
+      snapshot.device_type = info->device_type;
+      snapshot.role = info->role;
+      if (auto subs = registry_.subscriptions_by_member();
+          subs.contains(id)) {
+        snapshot.subs = subs.at(id);
+      }
+      ha_rehome_.insert_or_assign(id.raw(), std::move(snapshot));
+    }
+  }
   it->second->on_purge();  // destroy outbound data awaiting delivery
   proxies_.erase(it);
   member_info_.erase(id);
@@ -99,9 +211,14 @@ void EventBus::purge_member(ServiceId id) {
   // publishers under flow control forever.
   pressured_members_.erase(id);
   gateway_members_.erase(id);
+  standby_members_.erase(id);
   table_.drop_link(id);
   update_flow_control();
   interests_changed();
+  if (ha_) {
+    repl_.member_purged(id);
+    repl_flush();
+  }
   if (observer_.on_member_purged) observer_.on_member_purged(id);
   kLog.debug("member ", id.to_string(), " purged");
 }
@@ -188,6 +305,51 @@ void EventBus::enable_federation() {
   federation_ = true;
 }
 
+void EventBus::enable_ha() {
+  AMUSE_ASSERT_ON_EXECUTOR(executor_, "EventBus::enable_ha");
+  if (ha_) return;
+  ha_ = true;
+  // Seed the replication log with the live state: standbys admitted from
+  // here on snapshot from it. Standby members themselves are not
+  // replicated — a promoted standby is the new core, not a member of it.
+  ReplState seed;
+  seed.epoch = config_.epoch;
+  seed.session_base = config_.session;
+  seed.proxy_incarnations = proxy_incarnations_;
+  seed.fed_seq = fed_seq_;
+  seed.route_seq = route_seq_;
+  for (const auto& [id, info] : member_info_) {
+    if (info.role == kStandbyRole) continue;
+    ReplMember m;
+    m.device_type = info.device_type;
+    m.role = info.role;
+    seed.members.emplace(id.raw(), std::move(m));
+  }
+  for (const auto& [member, subs] : registry_.subscriptions_by_member()) {
+    auto it = seed.members.find(member.raw());
+    if (it == seed.members.end()) continue;  // bus-local handlers
+    it->second.subs = subs;
+  }
+  repl_.restore(std::move(seed));
+}
+
+void EventBus::step_down() {
+  AMUSE_ASSERT_ON_EXECUTOR(executor_, "EventBus::step_down");
+  if (deposed_) return;
+  deposed_ = true;
+  ++lease_timer_gen_;  // invalidate any scheduled lease tick
+  kLog.warn("core ", bus_id().to_string(), " deposed at epoch ",
+            std::to_string(config_.epoch), "; stepping down");
+  // Whatever is still spooled here the promoted core must cover from its
+  // own replica; from this side it is abandoned — account every entry.
+  for (const ReplSpoolEntry& entry : repl_.state().spool) {
+    account_staleness(decode_event(entry.event));
+  }
+  // Purge everyone so they re-home to the promoted core.
+  while (!proxies_.empty()) purge_member(proxies_.begin()->first);
+  ha_rehome_.clear();
+}
+
 void EventBus::set_authoriser(Authoriser authoriser) {
   authoriser_ = std::move(authoriser);
 }
@@ -237,6 +399,10 @@ void EventBus::member_subscribe(ServiceId member, std::uint64_t local_id,
   if (observer_.on_subscribe) observer_.on_subscribe(member, local_id, filter);
   registry_.subscribe(member, local_id, filter);
   interests_changed();
+  if (ha_) {
+    repl_.sub_added(member, local_id, filter);
+    repl_flush();
+  }
 }
 
 void EventBus::member_unsubscribe(ServiceId member, std::uint64_t local_id) {
@@ -244,6 +410,10 @@ void EventBus::member_unsubscribe(ServiceId member, std::uint64_t local_id) {
   if (observer_.on_unsubscribe) observer_.on_unsubscribe(member, local_id);
   registry_.unsubscribe(member, local_id);
   interests_changed();
+  if (ha_) {
+    repl_.sub_removed(member, local_id);
+    repl_flush();
+  }
 }
 
 void EventBus::send_datagram(ServiceId dst, BytesView frame) {
@@ -327,6 +497,13 @@ void EventBus::enforce_shared_budget() {
 }
 
 void EventBus::route(EventPtr event) {
+  if (deposed_) {
+    // A stepped-down core must not route: the promoted core owns the cell
+    // now and our stream can no longer reach the replica. Accounted, never
+    // silent — the event leaves the staleness budget here.
+    account_staleness(*event);
+    return;
+  }
   if (federation_) {
     // Origin-stamped routing (DESIGN.md §11): every event is stamped with
     // an immutable (cell, seq) pair exactly once, at its origin cell. A
@@ -351,6 +528,16 @@ void EventBus::route(EventPtr event) {
       event = std::move(stamped);
     }
   }
+  if (ha_ && event->get_int(kHaEpochAttr, 0) == 0) {
+    // HA origin stamp (DESIGN.md §13): an immutable (epoch, seq) pair
+    // members dedup re-deliveries on. The epoch is part of the key — a
+    // split-brain pair of cores continue the same sequence counter
+    // independently, so a bare seq would collide across the brains.
+    auto stamped = std::make_shared<Event>(*event);
+    stamped->set(kHaEpochAttr, static_cast<std::int64_t>(config_.epoch));
+    stamped->set(kHaSeqAttr, static_cast<std::int64_t>(++route_seq_));
+    event = std::move(stamped);
+  }
   ++stats_.published;
   if (observer_.on_publish) observer_.on_publish(*event);
 
@@ -368,6 +555,32 @@ void EventBus::route(EventPtr event) {
   // reuses these bytes instead of re-serialising the event per member.
   auto enc = std::make_shared<EncodedEvent>(std::move(event));
   enc->set_counters(&stats_.encodes, &stats_.encode_reuses);
+
+  if (ha_) {
+    // Spool the routed event for post-failover re-delivery (only when a
+    // remote member matched — re-delivery re-matches against replicated
+    // member subscriptions, so an event nobody matched can never need it).
+    bool remote = false;
+    for (const auto& [member, locals] : hit) {
+      if (member != bus_id()) {
+        remote = true;
+        break;
+      }
+    }
+    if (remote) {
+      auto epoch =
+          static_cast<std::uint64_t>(enc->event().get_int(kHaEpochAttr, 0));
+      auto seq =
+          static_cast<std::uint64_t>(enc->event().get_int(kHaSeqAttr, 0));
+      for (const ReplSpoolEntry& evicted :
+           repl_.spool_append(epoch, seq, *enc->shared_bytes())) {
+        // The budget gave up on this event: failover can no longer
+        // re-deliver it. Accounted before the record disappears.
+        account_staleness(decode_event(evicted.event));
+      }
+      repl_flush();
+    }
+  }
 
   if (config_.host) {
     // Charge the matching + translation + serialisation work to the
@@ -494,6 +707,95 @@ void EventBus::member_interest_resync(ServiceId member) {
   ++stats_.interest_resyncs;
   kLog.debug("interest resync requested by ", member.to_string());
   push_interest_table(*pit->second);
+}
+
+void EventBus::member_repl_resync(ServiceId member) {
+  AMUSE_ASSERT_ON_EXECUTOR(executor_, "EventBus::member_repl_resync");
+  if (!standby_members_.contains(member)) return;
+  auto pit = proxies_.find(member);
+  if (pit == proxies_.end()) return;
+  ++stats_.repl_resyncs;
+  kLog.debug("repl resync requested by ", member.to_string());
+  push_repl_snapshot(*pit->second);
+}
+
+void EventBus::repl_flush() {
+  if (!ha_ || deposed_) return;
+  repl_.counters_changed(config_.session, proxy_incarnations_, fed_seq_,
+                         route_seq_);
+  if (!repl_.dirty()) return;
+  ReplUpdate update = repl_.take_update();
+  // With no standby connected the ops are simply drained: the state is
+  // authoritative and a later standby starts from a snapshot anyway.
+  if (standby_members_.empty()) return;
+  ++stats_.repl_updates;
+  for (ServiceId id : standby_members_) {
+    auto pit = proxies_.find(id);
+    if (pit != proxies_.end()) pit->second->send_repl_update(update);
+  }
+  enforce_shared_budget();
+}
+
+void EventBus::schedule_lease_tick() {
+  std::uint64_t gen = ++lease_timer_gen_;
+  executor_.schedule_after(config_.repl_lease_interval,
+                           [this, gen, alive = std::weak_ptr<bool>(alive_)] {
+                             if (alive.expired()) return;
+                             if (gen != lease_timer_gen_) return;
+                             lease_tick();
+                           });
+}
+
+void EventBus::lease_tick() {
+  if (!ha_ || deposed_ || standby_members_.empty()) return;
+  repl_.counters_changed(config_.session, proxy_incarnations_, fed_seq_,
+                         route_seq_);
+  // Pending mutations ride the tick; otherwise a bare lease renewal keeps
+  // the standby's failure detector fed.
+  ReplUpdate update = repl_.take_update();
+  ++stats_.repl_updates;
+  for (ServiceId id : standby_members_) {
+    auto pit = proxies_.find(id);
+    if (pit != proxies_.end()) pit->second->send_repl_update(update);
+  }
+  enforce_shared_budget();
+  schedule_lease_tick();
+}
+
+void EventBus::push_repl_snapshot(Proxy& proxy) {
+  // Drain pending ops first so the snapshot is the head of the stream —
+  // re-sending already-folded ops on top of it would double-apply the
+  // non-idempotent ones (spool appends) and force a pointless resync.
+  repl_flush();
+  ++stats_.repl_updates;
+  proxy.send_repl_update(repl_.snapshot());
+  enforce_shared_budget();
+}
+
+void EventBus::redeliver_spool(Proxy& proxy, const ReplMember& snapshot) {
+  if (snapshot.subs.empty()) return;
+  for (const ReplSpoolEntry& entry : repl_.state().spool) {
+    Event event = decode_event(entry.event);
+    std::vector<std::uint64_t> locals;
+    for (const auto& [local_id, filter] : snapshot.subs) {
+      if (filter.matches(event)) locals.push_back(local_id);
+    }
+    if (locals.empty()) continue;
+    ++stats_.staleness_redelivered;
+    if (observer_.on_redeliver) {
+      observer_.on_redeliver(proxy.member_id(), event);
+    }
+    EncodedEvent enc(freeze(std::move(event)));
+    enc.set_counters(&stats_.encodes, &stats_.encode_reuses);
+    proxy.deliver_event(enc, locals);
+  }
+  enforce_shared_budget();
+}
+
+void EventBus::account_staleness(const Event& event) {
+  ++stats_.staleness_shed;
+  if (observer_.on_staleness) observer_.on_staleness(event);
+  kLog.debug("staleness budget gave up on ", event.type());
 }
 
 std::string EventBus::topic_of(const Filter& filter) {

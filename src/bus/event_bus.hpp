@@ -25,6 +25,7 @@
 #include "bus/bus_observer.hpp"
 #include "bus/bus_port.hpp"
 #include "bus/interest_table.hpp"
+#include "bus/replication.hpp"
 #include "bus/subscription_registry.hpp"
 #include "common/sha256.hpp"
 #include "hostmodel/cost_model.hpp"
@@ -67,6 +68,28 @@ struct EventBusConfig {
   SimHost* host = nullptr;
   /// Bus incarnation tag for reliable-channel frames.
   std::uint32_t session = 1;
+
+  // ---- HA warm-standby replication (DESIGN.md §13).
+
+  /// Streams the replication log to standby-role members and stamps every
+  /// routed event with an (epoch, seq) HA origin pair members dedup
+  /// re-deliveries on. Implied (sticky) by admitting a standby member.
+  bool ha = false;
+  /// Promotion epoch of this core: 1 for a cold-started active core, the
+  /// replica's epoch + 1 for a promoted standby. Fences split-brain: a
+  /// deposed core's lower epoch loses everywhere it is compared.
+  std::uint64_t epoch = 1;
+  /// Bounded-staleness budget: how much recently routed traffic the spool
+  /// retains for post-failover re-delivery. Eviction past either bound is
+  /// a staleness-shed, accounted through BusObserver::on_staleness.
+  std::size_t ha_spool_events = 512;
+  std::size_t ha_spool_bytes = 256 * 1024;
+  /// Lease renewal cadence while a standby is connected; the standby's
+  /// failure detector runs on these (plus ordinary repl traffic).
+  Duration repl_lease_interval = std::chrono::milliseconds(400);
+  /// Replica to restore from (standby promotion): seeds the session-floor
+  /// counters, the members' subscriptions, and the re-delivery spool.
+  std::shared_ptr<const ReplState> restore;
 };
 
 class EventBus final : public BusPort {
@@ -127,6 +150,25 @@ class EventBus final : public BusPort {
   [[nodiscard]] bool federation_enabled() const { return federation_; }
   [[nodiscard]] const InterestTable& interest_table() const { return table_; }
 
+  // ---- HA warm standby (DESIGN.md §13).
+
+  /// Turns on the replication log + HA (epoch, seq) stamping. Implied by
+  /// config.ha, config.restore, or admitting a standby-role member.
+  /// Sticky: standby churn must not leave a window of unstamped events.
+  AMUSE_AFFINITY(core_executor) void enable_ha();
+  [[nodiscard]] bool ha_enabled() const { return ha_; }
+  [[nodiscard]] std::uint64_t epoch() const { return config_.epoch; }
+  /// True after step_down(): this core lost the cell to a higher epoch.
+  [[nodiscard]] bool deposed() const { return deposed_; }
+  /// The replication log's canonical state (tests / promotion plumbing).
+  [[nodiscard]] const ReplState& repl_state() const { return repl_.state(); }
+  /// Split-brain fencing: a revived core that discovers a higher-epoch
+  /// rival abdicates — it stops routing (further publishes are accounted
+  /// as staleness-shed, never silently dropped), accounts every spooled
+  /// event the promoted core must now cover from its own replica, and
+  /// purges all members so they re-home.
+  AMUSE_AFFINITY(core_executor) void step_down();
+
   void set_authoriser(Authoriser authoriser);
 
   /// Installs (or clears, with {}) the instrumentation taps used by the
@@ -155,6 +197,12 @@ class EventBus final : public BusPort {
                                               // crossed zero links
     std::uint64_t fed_duplicates_dropped = 0;  // origin-dedup hits (loops +
                                                // multi-path duplicates)
+    std::uint64_t repl_updates = 0;        // repl stream messages sent
+    std::uint64_t repl_resyncs = 0;        // full snapshots served on request
+    std::uint64_t promotions = 0;          // 1 when this core restored a replica
+    std::uint64_t staleness_redelivered = 0;  // spooled events re-sent on re-home
+    std::uint64_t staleness_shed = 0;      // events the budget gave up on,
+                                           // accounted via on_staleness
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const SubscriptionRegistry& registry() const {
@@ -192,6 +240,8 @@ class EventBus final : public BusPort {
   void member_pressure(ServiceId member, bool under_pressure) override;
   AMUSE_AFFINITY(core_executor)
   void member_interest_resync(ServiceId member) override;
+  AMUSE_AFFINITY(core_executor)
+  void member_repl_resync(ServiceId member) override;
   [[nodiscard]] Executor& executor() override { return executor_; }
   [[nodiscard]] ServiceId bus_id() const override {
     return transport_->local_id();
@@ -248,6 +298,21 @@ class EventBus final : public BusPort {
   /// pressured-member set, looping until stable (the control bytes of the
   /// broadcast itself can move other channels across their watermarks).
   void update_flow_control();
+  /// Streams pending replication ops to every standby after a mutation.
+  AMUSE_AFFINITY(core_executor) void repl_flush();
+  /// Periodic bare-lease renewal (or the pending ops, if any) while HA is
+  /// on — the heartbeat the standby's failure detector runs on.
+  AMUSE_AFFINITY(core_executor) void lease_tick();
+  void schedule_lease_tick();
+  /// Full snapshot to one standby (admission / resync request).
+  AMUSE_AFFINITY(core_executor) void push_repl_snapshot(Proxy& proxy);
+  /// Re-delivers spooled events matching the member's pre-crash
+  /// subscriptions, synchronously at re-home admission (before any new
+  /// fan-out can enqueue on the fresh channel, preserving per-sender FIFO).
+  AMUSE_AFFINITY(core_executor)
+  void redeliver_spool(Proxy& proxy, const ReplMember& snapshot);
+  /// One staleness-shed: accounted through on_staleness, never silent.
+  AMUSE_AFFINITY(core_executor) void account_staleness(const Event& event);
   [[nodiscard]] static std::string topic_of(const Filter& filter);
 
   Executor& executor_;
@@ -279,6 +344,18 @@ class EventBus final : public BusPort {
   std::set<ServiceId> gateway_members_;  // ordered: deterministic pushes
   bool federation_ = false;              // sticky once enabled
   std::uint64_t fed_seq_ = 0;            // origin sequence for own events
+  // ---- HA warm-standby replication state (DESIGN.md §13).
+  ReplLog repl_;
+  std::set<ServiceId> standby_members_;  // ordered: deterministic pushes
+  bool ha_ = false;                      // sticky once enabled
+  bool deposed_ = false;                 // stepped down to a higher epoch
+  std::uint64_t route_seq_ = 0;          // HA stamp sequence
+  std::uint64_t lease_timer_gen_ = 0;    // invalidates stale lease timers
+  // Pre-crash membership from the restored replica: subscription snapshots
+  // for spool re-delivery, consumed one-shot as each member re-homes.
+  std::unordered_map<std::uint64_t, ReplMember> ha_rehome_;
+  // Keeps `this` captures in lease timers from outliving the bus.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace amuse

@@ -13,6 +13,8 @@ const char* to_string(BusMsgType t) {
     case BusMsgType::kQuenchUpdate: return "QUENCH";
     case BusMsgType::kFlowControl: return "FLOW";
     case BusMsgType::kInterestUpdate: return "INTEREST";
+    case BusMsgType::kReplUpdate: return "REPL";
+    case BusMsgType::kReplSnapshot: return "REPL-SNAPSHOT";
   }
   return "?";
 }
@@ -56,6 +58,19 @@ Bytes BusMessage::encode() const {
       for (const Filter& f : interest->removed) f.encode(w);
       break;
     }
+    case BusMsgType::kReplUpdate:
+    case BusMsgType::kReplSnapshot: {
+      std::uint8_t flags = 0;
+      if (repl->full) flags |= 0x01;
+      if (repl->request_resync) flags |= 0x02;
+      if (repl->lease) flags |= 0x04;
+      w.u8(flags);
+      w.u64(repl->version);
+      w.raw(repl->digest);
+      w.u64(repl->epoch);
+      w.blob32(repl->ops);
+      break;
+    }
   }
   return std::move(w).take();
 }
@@ -64,7 +79,7 @@ BusMessage BusMessage::decode(BytesView data) {
   Reader r(data);
   BusMessage m;
   auto raw = r.u8();
-  if (raw < 1 || raw > 7) {
+  if (raw < 1 || raw > 9) {
     throw DecodeError("bad bus message type " + std::to_string(raw));
   }
   m.type = static_cast<BusMsgType>(raw);
@@ -124,6 +139,27 @@ BusMessage BusMessage::decode(BytesView data) {
         u.removed.push_back(Filter::decode(r));
       }
       m.interest = std::move(u);
+      break;
+    }
+    case BusMsgType::kReplUpdate:
+    case BusMsgType::kReplSnapshot: {
+      std::uint8_t flags = r.u8();
+      if (flags > 7) {
+        throw DecodeError("bad repl-update flags " + std::to_string(flags));
+      }
+      ReplUpdate u;
+      u.full = (flags & 0x01) != 0;
+      u.request_resync = (flags & 0x02) != 0;
+      u.lease = (flags & 0x04) != 0;
+      u.version = r.u64();
+      BytesView digest = r.raw(u.digest.size());
+      std::copy(digest.begin(), digest.end(), u.digest.begin());
+      u.epoch = r.u64();
+      u.ops = r.blob32();
+      if (m.type == BusMsgType::kReplSnapshot && !u.full) {
+        throw DecodeError("repl snapshot without full flag");
+      }
+      m.repl = std::move(u);
       break;
     }
   }
@@ -203,6 +239,21 @@ BusMessage BusMessage::interest_resync_request() {
   m.type = BusMsgType::kInterestUpdate;
   m.interest.emplace();
   m.interest->request_resync = true;
+  return m;
+}
+
+BusMessage BusMessage::repl_update(ReplUpdate update) {
+  BusMessage m;
+  m.type = update.full ? BusMsgType::kReplSnapshot : BusMsgType::kReplUpdate;
+  m.repl = std::move(update);
+  return m;
+}
+
+BusMessage BusMessage::repl_resync_request() {
+  BusMessage m;
+  m.type = BusMsgType::kReplUpdate;
+  m.repl.emplace();
+  m.repl->request_resync = true;
   return m;
 }
 

@@ -26,6 +26,19 @@
 //                            so old peers never see the new type. Rides
 //                            the control class — interest tables are
 //                            routing state and must never be shed.
+// kReplUpdate   both ways   bus → warm standby: a versioned incremental
+//                            diff (or a bare lease renewal) of the core's
+//                            durable replication state, digest-checked
+//                            exactly like kInterestUpdate; standby → bus:
+//                            a resync request after a version gap or
+//                            digest mismatch. Only sent to standby-role
+//                            members, so old peers never see the new
+//                            type. Always control class — replicated core
+//                            state must never be shed (DESIGN.md §13).
+// kReplSnapshot bus → standby a full replication-state replacement
+//                            (admission or resync), the warm standby's
+//                            "full table" counterpart of an incremental
+//                            kReplUpdate. Control class, same gating.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +58,8 @@ enum class BusMsgType : std::uint8_t {
   kQuenchUpdate = 5,
   kFlowControl = 6,
   kInterestUpdate = 7,
+  kReplUpdate = 8,
+  kReplSnapshot = 9,
 };
 
 [[nodiscard]] const char* to_string(BusMsgType t);
@@ -67,6 +82,33 @@ struct InterestUpdate {
   std::vector<Filter> removed;
 };
 
+/// The payload of a kReplUpdate / kReplSnapshot message (DESIGN.md §13).
+/// Bus → standby it carries either a full state replacement (`full`, on
+/// admission or resync — sent as kReplSnapshot), an incremental op log that
+/// must apply on top of exactly `version - 1`, or a bare lease renewal
+/// (`lease`, no ops, version unchanged); `digest` is always the SHA-256
+/// identity of the complete replication state *after* the update, so the
+/// standby can detect divergence and fall back to a resync. `epoch` is the
+/// promotion epoch of the sending core: a standby refuses updates from a
+/// core whose epoch it has already seen superseded (split-brain fencing).
+/// Standby → bus only `request_resync` is meaningful.
+struct ReplUpdate {
+  std::uint64_t version = 0;
+  /// ReplState::digest() of the full state after applying this update.
+  Digest256 digest{};
+  /// Promotion epoch of the sending core.
+  std::uint64_t epoch = 0;
+  /// True when `ops` holds a complete encoded ReplState (kReplSnapshot).
+  bool full = false;
+  /// True for a bare lease renewal: no ops, version must match the mirror.
+  bool lease = false;
+  /// Standby → bus: the mirror lost sync, push a full snapshot.
+  bool request_resync = false;
+  /// Encoded ReplState (full) or encoded op log (incremental); see
+  /// bus/replication.hpp for the codec.
+  Bytes ops;
+};
+
 struct BusMessage {
   BusMsgType type = BusMsgType::kPublish;
   /// kSubscribe / kUnsubscribe: the member's local subscription id.
@@ -84,6 +126,8 @@ struct BusMessage {
   bool pressure = false;
   /// kInterestUpdate.
   std::optional<InterestUpdate> interest;
+  /// kReplUpdate / kReplSnapshot.
+  std::optional<ReplUpdate> repl;
 
   [[nodiscard]] Bytes encode() const;
   /// Throws DecodeError on malformed input.
@@ -108,6 +152,10 @@ struct BusMessage {
   [[nodiscard]] static BusMessage interest_update(InterestUpdate update);
   /// Member → bus: the interest mirror lost sync, request a full table.
   [[nodiscard]] static BusMessage interest_resync_request();
+  /// Bus → standby: kReplSnapshot when update.full, else kReplUpdate.
+  [[nodiscard]] static BusMessage repl_update(ReplUpdate update);
+  /// Standby → bus: the repl mirror lost sync, request a full snapshot.
+  [[nodiscard]] static BusMessage repl_resync_request();
 };
 
 }  // namespace amuse

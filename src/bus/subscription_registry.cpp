@@ -72,6 +72,18 @@ SubscriptionRegistry::filters_by_member() const {
   return out;
 }
 
+std::map<ServiceId, std::map<std::uint64_t, Filter>>
+SubscriptionRegistry::subscriptions_by_member() const {
+  std::map<ServiceId, std::map<std::uint64_t, Filter>> out;
+  for (const auto& [member, locals] : by_member_) {
+    std::map<std::uint64_t, Filter>& subs = out[member];
+    for (const auto& [local, sub] : locals) {
+      subs.emplace(local, by_sub_.at(sub).filter);
+    }
+  }
+  return out;
+}
+
 std::size_t SubscriptionRegistry::member_subscriptions(
     ServiceId member) const {
   auto it = by_member_.find(member);

@@ -43,6 +43,12 @@ class SubscriptionRegistry {
   [[nodiscard]] std::map<ServiceId, std::vector<Filter>> filters_by_member()
       const;
 
+  /// Every subscription as (member, local_id, filter) — the input to the
+  /// replication log's canonical state (DESIGN.md §13). Deterministic
+  /// order: by member id, then local id.
+  [[nodiscard]] std::map<ServiceId, std::map<std::uint64_t, Filter>>
+  subscriptions_by_member() const;
+
   [[nodiscard]] std::size_t size() const { return by_sub_.size(); }
   [[nodiscard]] std::size_t member_subscriptions(ServiceId member) const;
   [[nodiscard]] const Matcher& matcher() const { return *matcher_; }

@@ -1,5 +1,7 @@
 #include "discovery/discovery_agent.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "discovery/discovery_service.hpp"
 
@@ -77,6 +79,11 @@ void DiscoveryAgent::handle_datagram(ServiceId src, BytesView data) {
         w.str(config_.device_type);
         w.str(config_.role);
         w.blob16(BytesView(mac.data(), mac.size()));
+        // Trailing, back-compat: digest of the quench table this member
+        // already holds (all zero = none) so an unchanged core skips the
+        // re-push. Old services simply ignore the extra bytes.
+        Digest256 held = quench_digest_ ? quench_digest_() : Digest256{};
+        w.raw(BytesView(held.data(), held.size()));
         out.payload = std::move(w).take();
         transport_->send(discovery_id_, out.encode());
         state_ = State::kWaitAccept;
@@ -93,6 +100,9 @@ void DiscoveryAgent::handle_datagram(ServiceId src, BytesView data) {
         // the cell has no reservation wired): the floor for the member's
         // receiver, shutting out stale frames from earlier incarnations.
         bus_channel_session_ = r.remaining() >= 4 ? r.u32() : 0;
+        // Trailing, back-compat: the core's promotion epoch. Raises the
+        // fence so a deposed predecessor's beacons are ignored from now on.
+        max_epoch_ = std::max(max_epoch_, r.remaining() >= 8 ? r.u64() : 0);
         state_ = State::kJoined;
         last_heard_ = executor_.now();
         session_ = rng_.next_u32() | 1U;  // nonzero
@@ -132,10 +142,45 @@ void DiscoveryAgent::on_beacon(const Packet& p) {
   Reader r(p.payload);
   std::string cell = r.str();
   ServiceId advertised_bus(r.u48());
+  // Trailing, back-compat: promotion epoch (0 = legacy beacon, unfenced).
+  std::uint64_t epoch = r.remaining() >= 8 ? r.u64() : 0;
   if (cell != config_.cell_name) return;  // a different SMC's beacon
   ++stats_.beacons_heard;
-  last_heard_ = executor_.now();
 
+  if (config_.fence_epochs && epoch != 0 && epoch < max_epoch_) {
+    // A deposed core still beaconing (split brain): never follow the cell
+    // backwards — its state predates the promotion.
+    ++stats_.stale_beacons_ignored;
+    return;
+  }
+
+  if (state_ == State::kJoined) {
+    if (p.src == discovery_id_) {
+      // Only the core we are joined to counts as cell liveness; a rival's
+      // beacons must not mask the death of ours.
+      last_heard_ = executor_.now();
+    } else if (config_.fence_epochs && epoch > max_epoch_) {
+      // A higher-epoch core beacons for our cell: ours was replaced by a
+      // promoted standby. Re-home now instead of waiting out the loss
+      // timer on a dead incarnation.
+      max_epoch_ = epoch;
+      ++stats_.rehomes;
+      kLog.info(id().to_string(), " re-homing to promoted core (epoch ",
+                std::to_string(epoch), ")");
+      executor_.cancel(heartbeat_timer_);
+      heartbeat_timer_ = kNoTimer;
+      state_ = State::kSearching;
+      if (on_left_) on_left_();
+      discovery_id_ = p.src;
+      bus_id_ = advertised_bus;
+      last_heard_ = executor_.now();
+      send_join_request();
+    }
+    return;
+  }
+
+  max_epoch_ = std::max(max_epoch_, epoch);
+  last_heard_ = executor_.now();
   if (state_ == State::kSearching) {
     discovery_id_ = p.src;
     bus_id_ = advertised_bus;

@@ -33,6 +33,13 @@ struct DiscoveryAgentConfig {
   std::uint64_t seed = 0xa9e27;
   /// When false the owner feeds handle_datagram() itself (endpoint muxing).
   bool install_receive_handler = true;
+  /// Honour promotion epochs in beacons (DESIGN.md §13): never follow a
+  /// beacon whose epoch is below the highest seen (a deposed core still
+  /// beaconing after a split brain), and re-home immediately when a
+  /// higher-epoch core replaces the one we are joined to. Off = legacy
+  /// behaviour (epochs ignored) — the torture suite's sensitivity proof
+  /// reverts exactly this flag.
+  bool fence_epochs = true;
 };
 
 class DiscoveryAgent {
@@ -55,6 +62,13 @@ class DiscoveryAgent {
 
   void set_on_joined(JoinedFn fn) { on_joined_ = std::move(fn); }
   void set_on_left(LeftFn fn) { on_left_ = std::move(fn); }
+  /// Canonical digest of the quench table the member already holds (all
+  /// zero = none); appended to the JOIN_RESP so an unchanged core skips the
+  /// re-push on re-home (DESIGN.md §13).
+  using QuenchDigestFn = std::function<Digest256()>;
+  void set_quench_digest_provider(QuenchDigestFn fn) {
+    quench_digest_ = std::move(fn);
+  }
 
   AMUSE_AFFINITY(member_executor)
   void handle_datagram(ServiceId src, BytesView data);
@@ -69,6 +83,9 @@ class DiscoveryAgent {
   [[nodiscard]] std::uint32_t bus_channel_session() const {
     return bus_channel_session_;
   }
+  /// Highest promotion epoch heard so far (0 until an epoch-stamped beacon
+  /// or JoinAccept arrives).
+  [[nodiscard]] std::uint64_t max_epoch() const { return max_epoch_; }
   [[nodiscard]] ServiceId id() const { return transport_->local_id(); }
 
   struct Stats {
@@ -78,6 +95,8 @@ class DiscoveryAgent {
     std::uint64_t rejections = 0;
     std::uint64_t cell_losses = 0;
     std::uint64_t heartbeats_sent = 0;
+    std::uint64_t stale_beacons_ignored = 0;  // fenced (epoch below max)
+    std::uint64_t rehomes = 0;  // left a live join for a higher-epoch core
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -99,9 +118,11 @@ class DiscoveryAgent {
   Duration heartbeat_interval_ = seconds(1);
   std::uint32_t session_ = 0;  // fresh per join
   std::uint32_t bus_channel_session_ = 0;  // reserved proxy session
+  std::uint64_t max_epoch_ = 0;  // highest promotion epoch heard
   TimePoint last_heard_{};
   JoinedFn on_joined_;
   LeftFn on_left_;
+  QuenchDigestFn quench_digest_;
   TimerId heartbeat_timer_ = kNoTimer;
   TimerId handshake_timer_ = kNoTimer;
   TimerId loss_timer_ = kNoTimer;

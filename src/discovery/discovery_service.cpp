@@ -74,6 +74,9 @@ void DiscoveryService::send_beacon() {
   Writer w;
   w.str(config_.cell_name);
   w.u48(bus_id_.raw());
+  // Trailing, back-compat: promotion epoch. Fencing agents never follow
+  // the cell backwards across a promotion; legacy agents ignore it.
+  w.u64(config_.epoch);
   p.payload = std::move(w).take();
   transport_->broadcast(p.encode());
   ++stats_.beacons_sent;
@@ -133,6 +136,13 @@ void DiscoveryService::on_datagram(ServiceId src, BytesView data) {
         std::string device_type = r.str();
         std::string role = r.str();
         Bytes mac = r.blob16();
+        // Trailing, back-compat: digest of the quench table the member
+        // already holds (all zero / absent = none).
+        Digest256 quench_digest{};
+        if (r.remaining() >= quench_digest.size()) {
+          BytesView held = r.raw(quench_digest.size());
+          std::copy(held.begin(), held.end(), quench_digest.begin());
+        }
         Digest256 want = admission_mac(config_.pre_shared_key,
                                        pit->second.nonce, src, device_type);
         Digest256 got{};
@@ -154,7 +164,7 @@ void DiscoveryService::on_datagram(ServiceId src, BytesView data) {
           break;
         }
         pending_.erase(pit);
-        admit(src, device_type, role);
+        admit(src, device_type, role, quench_digest);
         break;
       }
       case PacketType::kHeartbeat:
@@ -185,6 +195,25 @@ void DiscoveryService::on_datagram(ServiceId src, BytesView data) {
         }
         break;
       }
+      case PacketType::kBeacon: {
+        // A rival core beaconing our cell's name with a higher epoch: we
+        // were deposed while partitioned (a standby promoted past us).
+        // Step down exactly once — stop beaconing and let the composition
+        // fence the bus (DESIGN.md §13).
+        if (!config_.step_down_on_rival || !running_ || src == id()) break;
+        Reader r(packet->payload);
+        std::string cell = r.str();
+        (void)r.u48();  // rival's bus id
+        std::uint64_t epoch = r.remaining() >= 8 ? r.u64() : 0;
+        if (cell != config_.cell_name || epoch <= config_.epoch) break;
+        ++stats_.rival_step_downs;
+        deposed_ = true;
+        kLog.warn("core deposed by rival ", src.to_string(), " at epoch ",
+                  std::to_string(epoch), "; stepping down");
+        stop();
+        if (on_deposed_) on_deposed_();
+        break;
+      }
       default:
         break;  // beacons from other cells, reliable traffic, etc.
     }
@@ -195,8 +224,9 @@ void DiscoveryService::on_datagram(ServiceId src, BytesView data) {
 }
 
 void DiscoveryService::admit(ServiceId device, const std::string& device_type,
-                             const std::string& role) {
-  MemberInfo info{device, device_type, role};
+                             const std::string& role,
+                             const Digest256& quench_digest) {
+  MemberInfo info{device, device_type, role, quench_digest};
   bool rejoin = membership_.contains(device);
   membership_.admit(info, executor_.now());
   ++stats_.joins_accepted;
@@ -213,6 +243,9 @@ void DiscoveryService::admit(ServiceId device, const std::string& device_type,
   // receiver uses it as a floor, rejecting stale frames from any earlier
   // proxy incarnation that race the rejoin. 0 = no reservation wired.
   w.u32(session_provider_ ? session_provider_(device) : 0);
+  // Trailing, back-compat: promotion epoch — raises the member's fence so
+  // a deposed predecessor's beacons are ignored after this admission.
+  w.u64(config_.epoch);
   out.payload = std::move(w).take();
   transport_->send(device, out.encode());
 

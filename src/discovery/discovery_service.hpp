@@ -69,6 +69,15 @@ struct DiscoveryConfig {
   /// Challenge lifetime for half-open joins.
   Duration challenge_ttl = seconds(5);
   std::uint64_t seed = 0x5eed;
+  /// Promotion epoch stamped into beacons and JoinAccepts (trailing,
+  /// back-compat fields). 0 = legacy cell, no HA fencing. A promoted
+  /// standby runs at its predecessor's epoch + 1.
+  std::uint64_t epoch = 0;
+  /// Step down (stop beaconing, fire on_deposed) when a rival core beacons
+  /// this cell's name with a higher epoch — the split-brain resolution of
+  /// DESIGN.md §13. Off = legacy behaviour; the torture suite's
+  /// sensitivity proof reverts exactly this flag.
+  bool step_down_on_rival = false;
 };
 
 /// Builds the admission MAC: HMAC-SHA256(psk, nonce ‖ id(48-bit BE) ‖ type).
@@ -114,6 +123,14 @@ class DiscoveryService {
   void set_observer(DiscoveryObserver observer) {
     observer_ = std::move(observer);
   }
+  /// Fired once when a rival core with a higher epoch deposes this one
+  /// (step_down_on_rival only). The SMC composition wires it to
+  /// EventBus::step_down().
+  void set_on_deposed(std::function<void()> fn) {
+    on_deposed_ = std::move(fn);
+  }
+  /// True once a rival's higher epoch has deposed this core.
+  [[nodiscard]] bool deposed() const { return deposed_; }
 
   /// Administrative removal (e.g. a policy decision), same path as timeout.
   AMUSE_AFFINITY(core_executor)
@@ -134,6 +151,7 @@ class DiscoveryService {
     std::uint64_t purges = 0;
     std::uint64_t leaves = 0;
     std::uint64_t evictions_notified = 0;
+    std::uint64_t rival_step_downs = 0;  // deposed by a higher-epoch rival
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -148,7 +166,7 @@ class DiscoveryService {
   AMUSE_AFFINITY(core_executor) void sweep();
   AMUSE_AFFINITY(core_executor)
   void admit(ServiceId device, const std::string& device_type,
-             const std::string& role);
+             const std::string& role, const Digest256& quench_digest);
   AMUSE_AFFINITY(core_executor)
   void do_purge(const MemberInfo& info, const std::string& reason);
 
@@ -166,9 +184,11 @@ class DiscoveryService {
   DiscoveryObserver observer_;
   PublishFn publish_;
   SessionFn session_provider_;
+  std::function<void()> on_deposed_;
   TimerId beacon_timer_ = kNoTimer;
   TimerId sweep_timer_ = kNoTimer;
   bool running_ = false;
+  bool deposed_ = false;
   Stats stats_;
 };
 

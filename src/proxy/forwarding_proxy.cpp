@@ -83,6 +83,14 @@ void ForwardingProxy::send_interest_update(const InterestUpdate& update) {
                        MsgClass::kControl);
 }
 
+void ForwardingProxy::send_repl_update(const ReplUpdate& update) {
+  // Control class like the interest table: replicated core state is what
+  // failover recovers from — shedding it would silently widen the
+  // staleness window past the declared budget (DESIGN.md §13).
+  (void)channel_->send(BusMessage::repl_update(update).encode(),
+                       MsgClass::kControl);
+}
+
 void ForwardingProxy::on_shed(BytesView message) {
   // Only data-class messages are ever shed, and the only data-class
   // traffic on a proxy channel is kEvent deliveries.
@@ -134,9 +142,19 @@ void ForwardingProxy::on_message(BytesView message) {
                   member_id().to_string());
       }
       break;
+    case BusMsgType::kReplUpdate:
+      // The only standby → bus repl message is a resync request.
+      if (m.repl && m.repl->request_resync) {
+        bus().member_repl_resync(member_id());
+      } else {
+        kLog.warn("unexpected repl push from member ",
+                  member_id().to_string());
+      }
+      break;
     case BusMsgType::kEvent:
     case BusMsgType::kQuenchUpdate:
     case BusMsgType::kFlowControl:
+    case BusMsgType::kReplSnapshot:
       // Bus-to-member messages are nonsense coming from a member.
       kLog.warn("unexpected ", to_string(m.type), " from member ",
                 member_id().to_string());

@@ -30,6 +30,8 @@ class ForwardingProxy final : public Proxy {
   void send_flow_control(bool under_pressure) override;
   AMUSE_AFFINITY(core_executor)
   void send_interest_update(const InterestUpdate& update) override;
+  AMUSE_AFFINITY(core_executor)
+  void send_repl_update(const ReplUpdate& update) override;
   [[nodiscard]] std::size_t pending() const override;
   [[nodiscard]] std::size_t retained_bytes() const override {
     return channel_->retained_bytes();

@@ -18,4 +18,6 @@ void Proxy::send_interest_update(const InterestUpdate& update) {
   (void)update;
 }
 
+void Proxy::send_repl_update(const ReplUpdate& update) { (void)update; }
+
 }  // namespace amuse

@@ -60,6 +60,12 @@ class Proxy {
   AMUSE_AFFINITY(core_executor)
   virtual void send_interest_update(const InterestUpdate& update);
 
+  /// Replication stream for warm standbys (standby members only; always
+  /// control class, DESIGN.md §13). Default: device is not a standby;
+  /// ignore.
+  AMUSE_AFFINITY(core_executor)
+  virtual void send_repl_update(const ReplUpdate& update);
+
   /// Payload bytes this proxy retains for the member (queued + in flight).
   /// Default 0: proxies without a budgeted queue are never shed victims.
   [[nodiscard]] virtual std::size_t retained_bytes() const { return 0; }

@@ -15,8 +15,18 @@ SelfManagedCell::SelfManagedCell(Executor& executor,
   DiscoveryConfig dc = config_.discovery;
   dc.cell_name = config_.name;
   dc.pre_shared_key = config_.pre_shared_key;
+  if (bus_->ha_enabled()) {
+    // HA cell: discovery speaks the bus's promotion epoch (beacon and
+    // JoinAccept fencing stamps) and yields to a higher-epoch rival.
+    dc.epoch = bus_->epoch();
+    dc.step_down_on_rival = true;
+  }
   discovery_ = std::make_unique<DiscoveryService>(
       executor, std::move(discovery_endpoint), bus_->bus_id(), dc);
+  // Split-brain resolution: a rival core with a higher epoch deposes this
+  // one — the bus fences itself (sheds-and-accounts instead of routing)
+  // and drops its proxies so no stale incarnation delivers again.
+  discovery_->set_on_deposed([this] { bus_->step_down(); });
 
   // Membership drives the bus ("the discovery service informs the SMC of
   // the arrival or departure of devices via New Member and Purge Member

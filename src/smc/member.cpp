@@ -14,6 +14,9 @@ SmcMember::SmcMember(Executor& executor, std::shared_ptr<Transport> transport,
     on_cell_joined(bus, session);
   });
   agent_->set_on_left([this] { on_cell_left(); });
+  // Presented in the JOIN_RESP so a core whose quench table matches what we
+  // already hold (a promoted standby, typically) skips the re-push.
+  agent_->set_quench_digest_provider([this] { return quench_stash_; });
 
   transport_->set_receive_handler([this](ServiceId src, BytesView data) {
     // Mux: reliable-channel frames go to the bus client, the discovery
@@ -99,6 +102,18 @@ void SmcMember::on_cell_joined(ServiceId bus, std::uint32_t session) {
   cc.session = session;
   cc.install_receive_handler = false;
   client_ = std::make_unique<BusClient>(executor_, transport_, bus, cc);
+  // Exactly-once across core failover: a promoted core re-delivers its
+  // replicated spool to every re-homing member; anything whose (epoch, seq)
+  // origin stamp we already saw under the previous incarnation is dropped
+  // here, before handler dispatch.
+  client_->set_delivery_filter([this](const Event& event) {
+    auto epoch = static_cast<std::uint64_t>(event.get_int(kHaEpochAttr, 0));
+    if (epoch == 0) return true;  // not HA-stamped
+    auto seq = static_cast<std::uint64_t>(event.get_int(kHaSeqAttr, 0));
+    if (ha_dedup_.admit(epoch, seq)) return true;
+    ++stats_.ha_duplicates_dropped;
+    return false;
+  });
   client_->set_on_pressure([this](bool under_pressure) {
     if (!under_pressure) flush_offline();
     if (on_pressure_) on_pressure_(under_pressure);
@@ -126,6 +141,12 @@ void SmcMember::flush_offline() {
 }
 
 void SmcMember::on_cell_left() {
+  // Remember the identity of the quench table we hold: the next JOIN_RESP
+  // presents it so an unchanged core (or a warm standby promoted with the
+  // same replicated state) does not push the table again.
+  if (client_ && client_->quench_received()) {
+    quench_stash_ = client_->quench_digest();
+  }
   client_.reset();
   live_ids_.clear();
   if (on_left_) on_left_();

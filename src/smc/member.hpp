@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "bus/bus_client.hpp"
+#include "bus/replication.hpp"
 #include "common/annotations.hpp"
 #include "discovery/discovery_agent.hpp"
 
@@ -87,6 +88,8 @@ class SmcMember {
     std::uint64_t buffer_dropped = 0;
     std::uint64_t flushed = 0;
     std::uint64_t pressure_deferrals = 0;  // publishes buffered under pressure
+    std::uint64_t ha_duplicates_dropped = 0;  // HA (epoch, seq) dedup hits —
+                                              // re-deliveries already seen
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -114,6 +117,13 @@ class SmcMember {
   std::function<void()> on_left_;
   std::function<void(bool)> on_pressure_;
   BusClient::InterestFn on_interest_;
+  // HA re-delivery dedup on the (epoch, seq) origin stamp. Deliberately
+  // *outside* the per-join client: exactly-once across a failover depends
+  // on remembering pre-crash deliveries through the re-home.
+  OriginDedup ha_dedup_;
+  // Canonical digest of the quench table held at the last leave; presented
+  // in the next JOIN_RESP so an unchanged table is not re-pushed.
+  Digest256 quench_stash_{};
   Stats stats_;
 };
 

@@ -1,0 +1,150 @@
+#include "smc/standby.hpp"
+
+#include "common/log.hpp"
+#include "wire/packet.hpp"
+
+namespace amuse {
+namespace {
+const Logger kLog("smc.standby");
+}
+
+StandbyCore::StandbyCore(Executor& executor,
+                         std::shared_ptr<Transport> endpoint,
+                         std::shared_ptr<Transport> promoted_bus_endpoint,
+                         std::shared_ptr<Transport> promoted_discovery_endpoint,
+                         StandbyCoreConfig config)
+    : executor_(executor),
+      endpoint_(std::move(endpoint)),
+      promoted_bus_endpoint_(std::move(promoted_bus_endpoint)),
+      promoted_discovery_endpoint_(std::move(promoted_discovery_endpoint)),
+      config_(std::move(config)) {
+  DiscoveryAgentConfig ac = config_.agent;
+  ac.role = std::string(kStandbyRole);
+  ac.install_receive_handler = false;  // we own the endpoint and mux
+  agent_ = std::make_unique<DiscoveryAgent>(executor_, endpoint_, ac);
+  agent_->set_on_joined([this](ServiceId bus, std::uint32_t session) {
+    on_joined(bus, session);
+  });
+  agent_->set_on_left([this] { on_left(); });
+
+  endpoint_->set_receive_handler([this](ServiceId src, BytesView data) {
+    // Same mux as SmcMember: reliable-channel frames to the bus client,
+    // discovery traffic to the agent.
+    std::optional<Packet> p = Packet::decode(data);
+    if (!p) return;
+    if (p->type == PacketType::kData || p->type == PacketType::kAck) {
+      if (client_) client_->handle_datagram(src, data);
+    } else {
+      agent_->handle_datagram(src, data);
+    }
+  });
+}
+
+StandbyCore::~StandbyCore() {
+  executor_.cancel(lease_timer_);
+  endpoint_->set_receive_handler(nullptr);
+}
+
+void StandbyCore::start() {
+  if (running_) return;
+  running_ = true;
+  agent_->start();
+}
+
+void StandbyCore::stop() {
+  running_ = false;
+  executor_.cancel(lease_timer_);
+  lease_timer_ = kNoTimer;
+}
+
+void StandbyCore::on_joined(ServiceId bus, std::uint32_t session) {
+  BusClientConfig cc;
+  cc.channel = config_.channel;
+  cc.channel.min_peer_session = agent_->bus_channel_session();
+  cc.session = session;
+  cc.install_receive_handler = false;
+  client_ = std::make_unique<BusClient>(executor_, endpoint_, bus, cc);
+  client_->set_on_repl([this](const ReplUpdate& u) { on_repl(u); });
+  // The admission snapshot is on its way; give the core a full lease to
+  // deliver it.
+  lease_deadline_ = executor_.now() + config_.lease_timeout;
+  executor_.cancel(lease_timer_);
+  arm_lease_check();
+  kLog.info(id().to_string(), " standing by for cell via bus ",
+            bus.to_string());
+}
+
+void StandbyCore::on_left() {
+  // Keep the lease running: silence from a dead core is exactly what the
+  // deadline measures. (If a live core purged us, its beacons are still
+  // flowing and the agent re-joins before the lease runs out.)
+  client_.reset();
+}
+
+void StandbyCore::on_repl(const ReplUpdate& update) {
+  switch (mirror_.apply(update)) {
+    case ReplMirror::Apply::kApplied:
+      ++stats_.updates_applied;
+      lease_deadline_ = executor_.now() + config_.lease_timeout;
+      break;
+    case ReplMirror::Apply::kResyncNeeded:
+      // The core is alive — it just got ahead of us. Renew the lease and
+      // ask for a snapshot; never promote from a suspect replica.
+      ++stats_.resyncs;
+      lease_deadline_ = executor_.now() + config_.lease_timeout;
+      if (client_) client_->request_repl_resync();
+      break;
+    case ReplMirror::Apply::kStaleEpoch:
+      // A deposed core still streaming after a split brain: neither
+      // liveness evidence nor state.
+      ++stats_.stale_epoch_ignored;
+      break;
+  }
+}
+
+void StandbyCore::arm_lease_check() {
+  lease_timer_ = executor_.schedule_after(config_.lease_check_interval,
+                                          [this] {
+                                            lease_timer_ = kNoTimer;
+                                            check_lease();
+                                          });
+}
+
+void StandbyCore::check_lease() {
+  if (!running_ || promoted()) return;
+  if (executor_.now() >= lease_deadline_) {
+    if (mirror_.synced()) {
+      promote();
+      return;
+    }
+    // Dead core but no replica to promote from: nothing safe to do except
+    // keep waiting (and count it — this is a deployment error, the lease
+    // outran the first snapshot).
+    ++stats_.lease_expiries_unsynced;
+    lease_deadline_ = executor_.now() + config_.lease_timeout;
+  }
+  arm_lease_check();
+}
+
+void StandbyCore::promote() {
+  ++stats_.promotions;
+  ReplState replica = mirror_.take_state();
+  std::uint64_t epoch = replica.epoch + 1;
+  kLog.info(id().to_string(), " promoting to active core at epoch ",
+            std::to_string(epoch));
+  // Quietly stop following the dead cell; the promoted core owns the name
+  // now and the agent must not re-join a revived predecessor.
+  agent_->leave();
+  SmcCellConfig cc = config_.cell;
+  cc.name = config_.agent.cell_name;
+  cc.pre_shared_key = config_.agent.pre_shared_key;
+  cc.bus.ha = true;
+  cc.bus.epoch = epoch;
+  cc.bus.restore = std::make_shared<const ReplState>(std::move(replica));
+  cell_ = std::make_unique<SelfManagedCell>(
+      executor_, promoted_bus_endpoint_, promoted_discovery_endpoint_, cc);
+  if (on_promoted_) on_promoted_(*cell_);
+  cell_->start();
+}
+
+}  // namespace amuse

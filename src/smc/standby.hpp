@@ -1,0 +1,115 @@
+// StandbyCore: the warm-standby half of the HA core pair (DESIGN.md §13).
+//
+// Joins the active cell as an ordinary member with the standby role; the
+// bus recognises the role and streams its replication log (membership,
+// subscriptions, counters, spool) over the control class instead of
+// treating it as a subscriber. The standby holds a ReplMirror and a lease:
+// every repl message — incremental, snapshot, or bare lease renewal —
+// pushes the deadline out. When the deadline passes with the mirror in
+// sync, the active core is presumed dead and the standby promotes: it
+// builds a full SelfManagedCell from the replica at epoch + 1 on its own
+// pre-provisioned endpoints and starts beaconing. Members re-home via
+// discovery (the higher epoch fences the dead incarnation) and the
+// promoted bus re-delivers its spool, deduped member-side on the
+// (epoch, seq) origin stamp.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "bus/bus_client.hpp"
+#include "bus/replication.hpp"
+#include "common/annotations.hpp"
+#include "discovery/discovery_agent.hpp"
+#include "smc/cell.hpp"
+
+namespace amuse {
+
+struct StandbyCoreConfig {
+  /// Cell name, pre-shared key, timeouts. The role is forced to
+  /// kStandbyRole and the receive handler is owned by the StandbyCore.
+  DiscoveryAgentConfig agent;
+  ReliableChannelConfig channel;
+  /// No repl traffic for this long → the active core is presumed dead.
+  /// Must comfortably exceed the bus's repl_lease_interval (so one lost
+  /// datagram is not a failover) and stay below the members'
+  /// cell_lost_after (so the promoted core beacons before members give
+  /// up searching).
+  Duration lease_timeout = milliseconds(1500);
+  /// Cadence of the lease expiry check.
+  Duration lease_check_interval = milliseconds(200);
+  /// Template for the promoted cell (bus limits, quench, authorisation,
+  /// ...). name, pre_shared_key, bus.ha/epoch/restore are overridden at
+  /// promotion time from the replica.
+  SmcCellConfig cell;
+};
+
+class StandbyCore {
+ public:
+  /// Fired after the promoted cell is constructed but BEFORE it starts,
+  /// so observers (tests, torture oracles) attach before the first member
+  /// re-homes.
+  using PromotedFn = std::function<void(SelfManagedCell&)>;
+
+  /// `endpoint` speaks to the active cell (discovery + repl stream); the
+  /// promoted endpoints lie dormant until promotion creates the new core
+  /// on them.
+  StandbyCore(Executor& executor, std::shared_ptr<Transport> endpoint,
+              std::shared_ptr<Transport> promoted_bus_endpoint,
+              std::shared_ptr<Transport> promoted_discovery_endpoint,
+              StandbyCoreConfig config);
+  ~StandbyCore();
+
+  StandbyCore(const StandbyCore&) = delete;
+  StandbyCore& operator=(const StandbyCore&) = delete;
+
+  /// Begins searching for the active cell.
+  AMUSE_AFFINITY(core_executor) void start();
+  /// Stops the lease; an already promoted cell keeps running.
+  AMUSE_AFFINITY(core_executor) void stop();
+
+  void set_on_promoted(PromotedFn fn) { on_promoted_ = std::move(fn); }
+
+  [[nodiscard]] bool promoted() const { return cell_ != nullptr; }
+  /// The promoted cell (null until promotion).
+  [[nodiscard]] SelfManagedCell* cell() { return cell_.get(); }
+  [[nodiscard]] bool synced() const { return mirror_.synced(); }
+  [[nodiscard]] const ReplMirror& mirror() const { return mirror_; }
+  [[nodiscard]] DiscoveryAgent& agent() { return *agent_; }
+  [[nodiscard]] ServiceId id() const { return endpoint_->local_id(); }
+
+  struct Stats {
+    std::uint64_t updates_applied = 0;
+    std::uint64_t resyncs = 0;             // resync requests sent
+    std::uint64_t stale_epoch_ignored = 0; // deposed-core stream dropped
+    std::uint64_t promotions = 0;
+    std::uint64_t lease_expiries_unsynced = 0;  // dead core, no replica
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  AMUSE_AFFINITY(core_executor)
+  void on_joined(ServiceId bus, std::uint32_t session);
+  AMUSE_AFFINITY(core_executor) void on_left();
+  AMUSE_AFFINITY(core_executor) void on_repl(const ReplUpdate& update);
+  AMUSE_AFFINITY(core_executor) void check_lease();
+  AMUSE_AFFINITY(core_executor) void promote();
+  void arm_lease_check();
+
+  Executor& executor_;
+  std::shared_ptr<Transport> endpoint_;
+  std::shared_ptr<Transport> promoted_bus_endpoint_;
+  std::shared_ptr<Transport> promoted_discovery_endpoint_;
+  StandbyCoreConfig config_;
+  std::unique_ptr<DiscoveryAgent> agent_;
+  std::unique_ptr<BusClient> client_;
+  ReplMirror mirror_;
+  std::unique_ptr<SelfManagedCell> cell_;
+  PromotedFn on_promoted_;
+  TimePoint lease_deadline_{};
+  TimerId lease_timer_ = kNoTimer;
+  bool running_ = false;
+  Stats stats_;
+};
+
+}  // namespace amuse

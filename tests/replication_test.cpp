@@ -1,0 +1,279 @@
+// ReplState / ReplLog / ReplMirror unit tests, plus the kReplUpdate /
+// kReplSnapshot wire codec — the warm-standby replication stream the HA
+// core rides on (DESIGN.md §13). Mirrors the InterestMirror suite: version
+// gap → resync, digest mismatch → refuse-and-resync, increment before any
+// full snapshot → rejected, snapshots idempotent on a warm standby.
+#include "bus/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bus/messages.hpp"
+#include "pubsub/codec.hpp"
+
+namespace amuse {
+namespace {
+
+Filter fa() { return Filter::for_type("a"); }
+Filter fb() { return Filter::for_type_prefix("b."); }
+
+Bytes event_bytes(const char* type, std::uint64_t epoch, std::uint64_t seq) {
+  Event e(type);
+  e.set(kHaEpochAttr, static_cast<std::int64_t>(epoch));
+  e.set(kHaSeqAttr, static_cast<std::int64_t>(seq));
+  return encode_event(e);
+}
+
+// A log with one member and one subscription, pending ops drained — the
+// state a live bus is in between mutations (the bus always drains before
+// snapshotting; see EventBus::push_repl_snapshot).
+ReplLog seeded_log() {
+  ReplLog log;
+  log.set_epoch(1);
+  log.member_admitted(ServiceId(5), "sensor", "service");
+  log.sub_added(ServiceId(5), 1, fa());
+  (void)log.take_update();
+  return log;
+}
+
+// ---- Wire codec.
+
+TEST(ReplUpdateCodec, IncrementalRoundTrip) {
+  ReplUpdate u;
+  u.version = 9;
+  u.epoch = 3;
+  u.ops = {0x01, 0x02, 0x03};
+  u.digest = Sha256::hash(BytesView(u.ops));
+
+  BusMessage back = BusMessage::decode(BusMessage::repl_update(u).encode());
+  EXPECT_EQ(back.type, BusMsgType::kReplUpdate);
+  ASSERT_TRUE(back.repl.has_value());
+  EXPECT_EQ(back.repl->version, 9u);
+  EXPECT_EQ(back.repl->epoch, 3u);
+  EXPECT_FALSE(back.repl->full);
+  EXPECT_FALSE(back.repl->lease);
+  EXPECT_FALSE(back.repl->request_resync);
+  EXPECT_EQ(back.repl->ops, u.ops);
+  EXPECT_TRUE(digest_equal(back.repl->digest, u.digest));
+}
+
+TEST(ReplUpdateCodec, SnapshotRoundTrip) {
+  ReplLog log = seeded_log();
+  ReplUpdate snap = log.snapshot();
+  BusMessage back = BusMessage::decode(BusMessage::repl_update(snap).encode());
+  EXPECT_EQ(back.type, BusMsgType::kReplSnapshot);
+  ASSERT_TRUE(back.repl.has_value());
+  EXPECT_TRUE(back.repl->full);
+  EXPECT_EQ(back.repl->ops, snap.ops);
+}
+
+TEST(ReplUpdateCodec, LeaseRoundTrip) {
+  ReplLog log = seeded_log();
+  ReplUpdate lease = log.take_update();  // nothing pending → bare lease
+  EXPECT_TRUE(lease.lease);
+  BusMessage back = BusMessage::decode(BusMessage::repl_update(lease).encode());
+  ASSERT_TRUE(back.repl.has_value());
+  EXPECT_TRUE(back.repl->lease);
+  EXPECT_TRUE(back.repl->ops.empty());
+}
+
+TEST(ReplUpdateCodec, ResyncRequestRoundTrip) {
+  BusMessage back =
+      BusMessage::decode(BusMessage::repl_resync_request().encode());
+  EXPECT_EQ(back.type, BusMsgType::kReplUpdate);
+  ASSERT_TRUE(back.repl.has_value());
+  EXPECT_TRUE(back.repl->request_resync);
+}
+
+TEST(ReplUpdateCodec, RejectsUnknownFlags) {
+  Bytes frame = BusMessage::repl_resync_request().encode();
+  // Byte 0 is the message type; byte 1 the flag octet.
+  frame[1] = 0x80;
+  EXPECT_THROW((void)BusMessage::decode(frame), DecodeError);
+}
+
+TEST(ReplUpdateCodec, RejectsSnapshotTypeWithoutFullFlag) {
+  ReplLog log = seeded_log();
+  Bytes frame = BusMessage::repl_update(log.snapshot()).encode();
+  frame[1] &= static_cast<std::uint8_t>(~0x01);  // clear the `full` flag
+  EXPECT_THROW((void)BusMessage::decode(frame), DecodeError);
+}
+
+// ---- ReplState: canonical encoding.
+
+TEST(ReplState, EncodeDecodeRoundTrip) {
+  ReplLog log = seeded_log();
+  log.member_admitted(ServiceId(6), "console", "nurse");
+  log.sub_added(ServiceId(6), 4, fb());
+  log.counters_changed(100, 7, 42, 13);
+  auto evicted = log.spool_append(1, 13, event_bytes("a", 1, 13));
+  EXPECT_TRUE(evicted.empty());
+
+  ReplState back = ReplState::decode(log.state().encode());
+  EXPECT_EQ(back.epoch, 1u);
+  EXPECT_EQ(back.session_base, 100u);
+  EXPECT_EQ(back.proxy_incarnations, 7u);
+  EXPECT_EQ(back.fed_seq, 42u);
+  EXPECT_EQ(back.route_seq, 13u);
+  EXPECT_EQ(back.members.size(), 2u);
+  EXPECT_EQ(back.members.at(5).subs.size(), 1u);
+  EXPECT_EQ(back.members.at(6).role, "nurse");
+  ASSERT_EQ(back.spool.size(), 1u);
+  EXPECT_EQ(back.spool.front().seq, 13u);
+  EXPECT_TRUE(digest_equal(back.digest(), log.state().digest()));
+}
+
+TEST(ReplState, SpoolEvictionIsBoundedAndReturned) {
+  ReplLog::Limits limits;
+  limits.max_spool_events = 3;
+  ReplLog log(limits);
+  log.set_epoch(1);
+  for (std::uint64_t s = 1; s <= 5; ++s) {
+    auto evicted = log.spool_append(1, s, event_bytes("a", 1, s));
+    if (s <= 3) {
+      EXPECT_TRUE(evicted.empty());
+    } else {
+      // Every entry that falls off the budget is handed back so the bus
+      // can account it as a staleness-shed before the record disappears.
+      ASSERT_EQ(evicted.size(), 1u);
+      EXPECT_EQ(evicted.front().seq, s - 3);
+    }
+  }
+  EXPECT_EQ(log.state().spool.size(), 3u);
+  EXPECT_EQ(log.state().spool.front().seq, 3u);
+}
+
+// ---- ReplLog → ReplMirror: the streaming contract.
+
+TEST(ReplMirror, SnapshotThenIncrementsApply) {
+  ReplLog log = seeded_log();
+  ReplMirror m;
+  EXPECT_EQ(m.apply(log.snapshot()), ReplMirror::Apply::kApplied);
+  EXPECT_TRUE(m.synced());
+  EXPECT_EQ(m.state().members.size(), 1u);
+
+  log.sub_added(ServiceId(5), 2, fb());
+  EXPECT_EQ(m.apply(log.take_update()), ReplMirror::Apply::kApplied);
+  EXPECT_EQ(m.state().members.at(5).subs.size(), 2u);
+  EXPECT_EQ(m.version(), log.version());
+
+  log.member_purged(ServiceId(5));
+  EXPECT_EQ(m.apply(log.take_update()), ReplMirror::Apply::kApplied);
+  EXPECT_TRUE(m.state().members.empty());
+  EXPECT_TRUE(digest_equal(m.state().digest(), log.state().digest()));
+}
+
+TEST(ReplMirror, IncrementBeforeFullSnapshotNeedsResync) {
+  ReplLog log = seeded_log();
+  log.sub_added(ServiceId(5), 2, fb());
+  ReplMirror m;
+  EXPECT_EQ(m.apply(log.take_update()), ReplMirror::Apply::kResyncNeeded);
+  EXPECT_FALSE(m.synced());
+}
+
+TEST(ReplMirror, VersionGapNeedsResync) {
+  ReplLog log = seeded_log();
+  ReplMirror m;
+  ASSERT_EQ(m.apply(log.snapshot()), ReplMirror::Apply::kApplied);
+
+  log.sub_added(ServiceId(5), 2, fb());
+  (void)log.take_update();  // lost in transit
+  log.sub_removed(ServiceId(5), 1);
+  EXPECT_EQ(m.apply(log.take_update()), ReplMirror::Apply::kResyncNeeded);
+  EXPECT_FALSE(m.synced());
+
+  // Recovery: the bus answers the resync request with a snapshot.
+  EXPECT_EQ(m.apply(log.snapshot()), ReplMirror::Apply::kApplied);
+  EXPECT_TRUE(m.synced());
+  EXPECT_TRUE(digest_equal(m.state().digest(), log.state().digest()));
+}
+
+TEST(ReplMirror, DigestMismatchNeedsResync) {
+  ReplLog log = seeded_log();
+  ReplMirror m;
+  ASSERT_EQ(m.apply(log.snapshot()), ReplMirror::Apply::kApplied);
+
+  log.sub_added(ServiceId(5), 2, fb());
+  ReplUpdate u = log.take_update();
+  u.digest = Digest256{};  // corrupted in transit / buggy sender
+  EXPECT_EQ(m.apply(u), ReplMirror::Apply::kResyncNeeded);
+  // Never route a promotion off a suspect replica.
+  EXPECT_FALSE(m.synced());
+}
+
+TEST(ReplMirror, SnapshotIdempotentOnWarmStandby) {
+  ReplLog log = seeded_log();
+  ReplMirror m;
+  ReplUpdate snap = log.snapshot();
+  ASSERT_EQ(m.apply(snap), ReplMirror::Apply::kApplied);
+  Digest256 before = m.state().digest();
+  // The same snapshot again (admission retransmit, resync race): adopted
+  // wholesale, state unchanged.
+  EXPECT_EQ(m.apply(snap), ReplMirror::Apply::kApplied);
+  EXPECT_TRUE(m.synced());
+  EXPECT_TRUE(digest_equal(m.state().digest(), before));
+}
+
+TEST(ReplMirror, LeaseRenewalAppliesOnlyAtMatchingVersion) {
+  ReplLog log = seeded_log();
+  ReplMirror m;
+  ASSERT_EQ(m.apply(log.snapshot()), ReplMirror::Apply::kApplied);
+
+  ReplUpdate bare = log.take_update();
+  ASSERT_TRUE(bare.lease);
+  EXPECT_EQ(m.apply(bare), ReplMirror::Apply::kApplied);
+
+  // A lease for a version we do not hold proves we missed an update.
+  bare.version += 1;
+  EXPECT_EQ(m.apply(bare), ReplMirror::Apply::kResyncNeeded);
+}
+
+TEST(ReplMirror, StaleEpochIsIgnoredNotResynced) {
+  ReplLog old_core = seeded_log();
+  ReplLog new_core;
+  new_core.set_epoch(2);
+  new_core.member_admitted(ServiceId(7), "sensor", "service");
+
+  ReplMirror m;
+  ASSERT_EQ(m.apply(new_core.snapshot()), ReplMirror::Apply::kApplied);
+  EXPECT_EQ(m.epoch(), 2u);
+
+  // The deposed core keeps streaming after the split brain: its state
+  // must neither apply nor trigger a resync *from it*.
+  EXPECT_EQ(m.apply(old_core.snapshot()), ReplMirror::Apply::kStaleEpoch);
+  old_core.sub_added(ServiceId(5), 2, fb());
+  EXPECT_EQ(m.apply(old_core.take_update()), ReplMirror::Apply::kStaleEpoch);
+  EXPECT_TRUE(m.synced());
+  EXPECT_EQ(m.state().members.count(7), 1u);
+  EXPECT_EQ(m.state().members.count(5), 0u);
+}
+
+TEST(ReplMirror, TakeStateConsumesTheReplica) {
+  ReplLog log = seeded_log();
+  ReplMirror m;
+  ASSERT_EQ(m.apply(log.snapshot()), ReplMirror::Apply::kApplied);
+  ReplState replica = m.take_state();
+  EXPECT_EQ(replica.members.size(), 1u);
+  EXPECT_EQ(replica.epoch, 1u);
+}
+
+TEST(ReplLog, RestoreSeedsPromotedCore) {
+  ReplLog log = seeded_log();
+  log.counters_changed(50, 3, 9, 21);
+  ReplState replica = ReplState::decode(log.state().encode());
+
+  // The promoted core restores the replica at its own (higher) epoch.
+  replica.epoch = 2;
+  ReplLog promoted;
+  promoted.restore(replica);
+  EXPECT_EQ(promoted.state().epoch, 2u);
+  EXPECT_EQ(promoted.state().members.size(), 1u);
+  EXPECT_EQ(promoted.state().route_seq, 21u);
+
+  // A standby admitted to the promoted core starts from its snapshot.
+  ReplMirror m;
+  EXPECT_EQ(m.apply(promoted.snapshot()), ReplMirror::Apply::kApplied);
+  EXPECT_TRUE(digest_equal(m.state().digest(), promoted.state().digest()));
+}
+
+}  // namespace
+}  // namespace amuse

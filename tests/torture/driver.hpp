@@ -35,6 +35,15 @@ enum class TortureOp : std::uint8_t {
   kBurst,          // member publishes a events
   kSubAdd,         // member adds an ephemeral subscription (v >= a)
   kSubDrop,        // member drops its oldest ephemeral subscription
+  // HA ops (generated only by the failover harness, tests/torture/
+  // failover.hpp — the single-core schedule above never emits them):
+  kCoreCrash,      // active core host down; the standby's lease expires
+  kCoreRevive,     // old core host back up (fenced: it must step down)
+  kSplitBrain,     // core ⟷ standby link cut while both stay up; the
+                   // standby promotes with the old core still serving.
+                   // Healed by kHealPartition, which here restores the
+                   // core ⟷ standby link (the old core then hears the
+                   // rival epoch and deposes itself)
 };
 
 [[nodiscard]] const char* to_string(TortureOp op);

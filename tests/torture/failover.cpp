@@ -1,4 +1,4 @@
-#include "torture/driver.hpp"
+#include "torture/failover.hpp"
 
 #include <algorithm>
 #include <iomanip>
@@ -11,13 +11,14 @@
 #include "sim/sim_executor.hpp"
 #include "smc/cell.hpp"
 #include "smc/member.hpp"
+#include "smc/standby.hpp"
 #include "torture/oracle.hpp"
 
 namespace amuse::torture {
 namespace {
 
-const Bytes kPsk = to_bytes("torture-key");
-constexpr const char* kCellName = "torture-cell";
+const Bytes kPsk = to_bytes("failover-torture-key");
+constexpr const char* kCellName = "failover-cell";
 
 std::string fmt_time(TimePoint t) {
   std::ostringstream os;
@@ -28,42 +29,11 @@ std::string fmt_time(TimePoint t) {
 
 }  // namespace
 
-const char* to_string(TortureOp op) {
-  switch (op) {
-    case TortureOp::kCrash: return "crash";
-    case TortureOp::kRecover: return "recover";
-    case TortureOp::kLeave: return "leave";
-    case TortureOp::kRestart: return "restart";
-    case TortureOp::kLinkFault: return "link-fault";
-    case TortureOp::kMtuSqueeze: return "mtu-squeeze";
-    case TortureOp::kLinkHeal: return "link-heal";
-    case TortureOp::kStall: return "stall";
-    case TortureOp::kPartition: return "partition";
-    case TortureOp::kHealPartition: return "heal-partition";
-    case TortureOp::kBurst: return "burst";
-    case TortureOp::kSubAdd: return "sub-add";
-    case TortureOp::kSubDrop: return "sub-drop";
-    case TortureOp::kCoreCrash: return "core-crash";
-    case TortureOp::kCoreRevive: return "core-revive";
-    case TortureOp::kSplitBrain: return "split-brain";
-  }
-  return "?";
-}
-
-std::string TortureStep::to_string() const {
-  std::ostringstream os;
-  os << "@" << std::fixed << std::setprecision(3) << to_seconds(at) << "s "
-     << torture::to_string(op);
-  if (member >= 0) os << " member=" << member;
-  if (a != 0) os << " a=" << a;
-  if (b != 0) os << " b=" << b;
-  return os.str();
-}
-
-Schedule generate_schedule(std::uint64_t seed, const TortureConfig& config) {
+Schedule generate_failover_schedule(std::uint64_t seed,
+                                    const FailoverConfig& config) {
   Schedule sched;
   sched.seed = seed;
-  Rng rng(seed, /*stream=*/0x7024);
+  Rng rng(seed, /*stream=*/0xFA11);
 
   const double horizon_s = to_seconds(config.horizon);
   auto at = [&](double lo_s, double hi_s) {
@@ -74,59 +44,57 @@ Schedule generate_schedule(std::uint64_t seed, const TortureConfig& config) {
     sched.steps.push_back(TortureStep{t, op, member, a, b});
   };
 
+  // Exactly one core incident per schedule, mid-horizon, so the promotion
+  // is never masked by a second failover and quiescence is reachable. The
+  // gap to the heal comfortably exceeds the standby's 1.5 s lease, so the
+  // promotion is guaranteed to be underway when the old incarnation comes
+  // back (and must then be fenced out).
+  Duration t0 = at(horizon_s * 0.35, horizon_s * 0.5);
+  if (rng.chance(0.4)) {
+    push(t0, TortureOp::kSplitBrain, -1);
+    push(t0 + at(3.0, 5.0), TortureOp::kHealPartition, -1);
+  } else {
+    push(t0, TortureOp::kCoreCrash, -1);
+    push(t0 + at(4.0, 7.0), TortureOp::kCoreRevive, -1);
+  }
+
+  // Member-level incidents: the base torture mix minus subscription churn
+  // (the failover rules reason about durable subscriptions surviving the
+  // re-home) and minus group partitions (the split-brain op owns the
+  // partition surface here).
   for (int i = 0; i < config.incidents; ++i) {
     int member = static_cast<int>(
         rng.bounded(static_cast<std::uint32_t>(config.members)));
     double roll = rng.uniform();
-    if (roll < 0.30) {
-      // Publish burst: 1–8 events from one member, any time.
+    if (roll < 0.40) {
       push(at(0.2, horizon_s - 1.0), TortureOp::kBurst, member,
            1 + static_cast<int>(rng.bounded(8)));
-    } else if (roll < 0.45) {
-      // Crash + recover; duration straddles the purge timeout sometimes.
+    } else if (roll < 0.55) {
       Duration t = at(0.2, horizon_s - 8.0);
       push(t, TortureOp::kCrash, member);
       push(t + at(0.5, 7.0), TortureOp::kRecover, member);
-    } else if (roll < 0.55) {
+    } else if (roll < 0.65) {
       Duration t = at(0.2, horizon_s - 6.0);
       push(t, TortureOp::kLeave, member);
       push(t + at(0.5, 4.0), TortureOp::kRestart, member);
-    } else if (roll < 0.70) {
-      // Loss (sometimes bursty Gilbert–Elliott) on the member⟷core link.
+    } else if (roll < 0.80) {
       Duration t = at(0.2, horizon_s - 7.0);
       bool bursty = rng.chance(0.4);
       push(t, TortureOp::kLinkFault, member,
            20 + static_cast<int>(rng.bounded(51)), bursty ? 1 : 0);
       push(t + at(1.0, 6.0), TortureOp::kLinkHeal, member);
-    } else if (roll < 0.78) {
+    } else if (roll < 0.88) {
       Duration t = at(0.2, horizon_s - 7.0);
       push(t, TortureOp::kMtuSqueeze, member,
            150 + static_cast<int>(rng.bounded(551)));
       push(t + at(1.0, 6.0), TortureOp::kLinkHeal, member);
-    } else if (roll < 0.86) {
-      // Slow consumer: blackhole deliveries to one member while another
-      // floods, so the budgets and shed accounting actually engage.
+    } else {
       Duration t = at(0.2, horizon_s - 7.0);
       push(t, TortureOp::kStall, member);
       push(t + at(0.1, 1.0), TortureOp::kBurst,
            (member + 1) % config.members,
            8 + static_cast<int>(rng.bounded(13)));
       push(t + at(1.5, 6.0), TortureOp::kLinkHeal, member);
-    } else if (roll < 0.92) {
-      // Partition: bit i of `b` sends member i to the far side.
-      int mask = 0;
-      for (int m = 0; m < config.members; ++m) {
-        if (rng.chance(0.5)) mask |= 1 << m;
-      }
-      if (mask == 0) mask = 1;
-      Duration t = at(0.2, horizon_s - 6.0);
-      push(t, TortureOp::kPartition, -1, 0, mask);
-      push(t + at(1.0, 5.0), TortureOp::kHealPartition, -1);
-    } else if (roll < 0.95) {
-      push(at(0.2, horizon_s - 1.0), TortureOp::kSubAdd, member,
-           10 + static_cast<int>(rng.bounded(81)));
-    } else {
-      push(at(0.2, horizon_s - 1.0), TortureOp::kSubDrop, member);
     }
   }
   std::stable_sort(sched.steps.begin(), sched.steps.end(),
@@ -136,34 +104,32 @@ Schedule generate_schedule(std::uint64_t seed, const TortureConfig& config) {
   return sched;
 }
 
-TortureResult run_torture(const Schedule& schedule,
-                          const TortureConfig& config) {
+TortureResult run_failover_torture(const Schedule& schedule,
+                                   const FailoverConfig& config) {
   TortureResult result;
 
   SimExecutor ex;
   SimNetwork net(ex, schedule.seed ^ 0x9e3779b97f4a7c15ull);
-  // The paper's USB-IP link, but with the latency jitter widened to
-  // wireless-like tens of ms: wide jitter opens reordering/race windows
-  // (e.g. a stale frame from a purged proxy landing after the member's
-  // fresh channel exists) that sub-ms jitter can never hit.
   LinkModel base = profiles::usb_ip_link();
   base.latency_spread = milliseconds(30);
   net.set_default_link(base);
   SimHost& core = net.add_host("core", profiles::ideal_host());
+  SimHost& standby_host = net.add_host("standby", profiles::ideal_host());
 
+  // Same tight budgets as the base torture (DESIGN.md §9), plus a small HA
+  // spool so the bounded-staleness budget actually evicts under bursts —
+  // every eviction must surface as a staleness record, never silent loss.
   SmcCellConfig cc;
   cc.name = kCellName;
   cc.pre_shared_key = kPsk;
   cc.bus.engine = config.engine;
+  cc.bus.ha = true;
+  cc.bus.epoch = 1;
+  cc.bus.ha_spool_events = 64;
+  cc.bus.ha_spool_bytes = 16 * 1024;
   cc.bus.channel.max_fragment_payload = 512;
-  // Dense retransmissions: more protocol events per simulated second means
-  // more chances to interleave badly with purges and rejoins.
   cc.bus.channel.rto_initial = milliseconds(120);
   cc.bus.channel.rto_min = milliseconds(80);
-  // Tight delivery budgets (DESIGN.md §9) so stalls and bursts actually
-  // overflow them: events encode to ~100 bytes, so ~20 retained events per
-  // member. Sheds are legal under the refined guarantee (c) because every
-  // one is accounted via the observer's shed tap.
   cc.bus.channel.max_queue_bytes = 2048;
   cc.bus.channel.flow_high_water = 1536;
   cc.bus.channel.flow_low_water = 512;
@@ -176,17 +142,31 @@ TortureResult run_torture(const Schedule& schedule,
   auto cell = std::make_unique<SelfManagedCell>(
       ex, net.create_endpoint(core), net.create_endpoint(core), cc);
 
+  StandbyCoreConfig sc;
+  sc.agent.cell_name = kCellName;
+  sc.agent.pre_shared_key = kPsk;
+  sc.channel.rto_initial = milliseconds(120);
+  sc.channel.rto_min = milliseconds(80);
+  sc.cell = cc;  // the promoted core inherits the same budgets
+  auto standby = std::make_unique<StandbyCore>(
+      ex, net.create_endpoint(standby_host), net.create_endpoint(standby_host),
+      net.create_endpoint(standby_host), sc);
+
   DeliveryOracle oracle;
+  oracle.enable_ha_rules();
   oracle.attach(cell->bus(), [&ex] { return ex.now(); });
+  standby->set_on_promoted([&](SelfManagedCell& promoted) {
+    result.log.push_back(fmt_time(ex.now()) + " === promoted to epoch " +
+                         std::to_string(promoted.bus().epoch()) + " ===");
+    oracle.attach_promoted(promoted.bus());
+  });
   cell->start();
+  standby->start();
 
   const int n = config.members;
   std::vector<SimHost*> hosts;
   std::vector<std::unique_ptr<SmcMember>> members;
   std::vector<std::int64_t> pub_n(static_cast<std::size_t>(n), 0);
-  std::vector<std::vector<std::uint64_t>> ephemeral(
-      static_cast<std::size_t>(n));
-  std::uint64_t next_eph_tag = 100;
 
   auto recorder = [&oracle](SmcMember* m, std::size_t idx,
                             std::uint64_t tag) {
@@ -202,16 +182,21 @@ TortureResult run_torture(const Schedule& schedule,
     SmcMemberConfig mc;
     mc.agent.cell_name = kCellName;
     mc.agent.pre_shared_key = kPsk;
-    mc.agent.device_type = "torture.m" + std::to_string(i);
-    mc.agent.cell_lost_after = seconds(2);
+    mc.agent.device_type = "failover.m" + std::to_string(i);
+    // Re-homing is fence-driven (the promoted epoch on the rival beacon),
+    // so the loss timer is parked far out of the way: with the fence
+    // reverted, nothing else rescues a stranded member within the run.
+    // Recovery from a crash that straddled the purge goes through the
+    // eviction notice (the core rejects the stale heartbeat), not the
+    // loss timer, so this stays safe for member faults.
+    mc.agent.cell_lost_after = seconds(60);
+    mc.agent.fence_epochs = config.fence_epochs;
     mc.channel.max_fragment_payload = 512;
     mc.channel.rto_initial = milliseconds(120);
     mc.channel.rto_min = milliseconds(80);
     auto member = std::make_unique<SmcMember>(ex, net.create_endpoint(h), mc);
     SmcMember* m = member.get();
     std::size_t idx = static_cast<std::size_t>(i);
-    // Two durable recorder subscriptions per member: a broad one and a
-    // sharded one, so the two matching engines get non-trivial filter sets.
     (void)m->subscribe(Filter::for_type("torture"), recorder(m, idx, 0));
     (void)m->subscribe(
         Filter::for_type("torture").where("shard", Op::kEq, Value(i % 3)),
@@ -225,6 +210,16 @@ TortureResult run_torture(const Schedule& schedule,
 
   auto log_step = [&](const TortureStep& s) {
     result.log.push_back(fmt_time(ex.now()) + " " + s.to_string());
+  };
+
+  LinkModel cut = base;
+  cut.loss = 1.0;
+  // Member link faults hit the path to BOTH cores: a member must not get a
+  // pristine link to the promoted core just because its fault was struck
+  // against the old one.
+  auto set_member_link = [&](std::size_t m, const LinkModel& lm) {
+    net.update_link(core, *hosts[m], lm);
+    net.update_link(standby_host, *hosts[m], lm);
   };
 
   auto apply = [&](const TortureStep& s) {
@@ -246,35 +241,25 @@ TortureResult run_torture(const Schedule& schedule,
         } else {
           lm.loss = static_cast<double>(s.a) / 100.0;
         }
-        net.update_link(core, *hosts[m], lm);
+        set_member_link(m, lm);
         break;
       }
       case TortureOp::kMtuSqueeze: {
         LinkModel lm = base;
         lm.mtu = static_cast<std::size_t>(s.a);
-        net.update_link(core, *hosts[m], lm);
+        set_member_link(m, lm);
         break;
       }
       case TortureOp::kLinkHeal:
-        net.update_link(core, *hosts[m], base);
+        set_member_link(m, base);
         break;
       case TortureOp::kStall: {
-        // One-way blackhole core→member: the member's heartbeats still
-        // reach the core (no purge), but nothing the proxy sends arrives —
-        // the classic slow consumer. kLinkHeal restores both directions.
         LinkModel lm = base;
         lm.loss = 1.0;
         net.update_link_oneway(core, *hosts[m], lm);
+        net.update_link_oneway(standby_host, *hosts[m], lm);
         break;
       }
-      case TortureOp::kPartition:
-        net.set_partition_group(core, 1);
-        for (int i = 0; i < n; ++i) {
-          net.set_partition_group(*hosts[static_cast<std::size_t>(i)],
-                                  (s.b >> i) & 1 ? 2 : 1);
-        }
-        break;
-      case TortureOp::kHealPartition: net.clear_partitions(); break;
       case TortureOp::kBurst:
         for (int k = 0; k < s.a; ++k) {
           Event e("torture");
@@ -284,30 +269,38 @@ TortureResult run_torture(const Schedule& schedule,
           (void)members[m]->publish(std::move(e));
         }
         break;
-      case TortureOp::kSubAdd: {
-        std::uint64_t tag = next_eph_tag++;
-        std::uint64_t id = members[m]->subscribe(
-            Filter::for_type("torture").where("v", Op::kGe, Value(s.a)),
-            recorder(members[m].get(), m, tag));
-        ephemeral[m].push_back(id);
-        break;
-      }
-      case TortureOp::kSubDrop:
-        if (!ephemeral[m].empty()) {
-          members[m]->unsubscribe(ephemeral[m].front());
-          ephemeral[m].erase(ephemeral[m].begin());
-        }
-        break;
       case TortureOp::kCoreCrash:
-      case TortureOp::kCoreRevive:
-      case TortureOp::kSplitBrain:
-        // HA ops exist only in failover schedules (tests/torture/
-        // failover.cpp); this single-core harness never generates them.
+        core.set_up(false);
+        oracle.core_incident(ex.now());
+        oracle.repl_severed();
         break;
+      case TortureOp::kCoreRevive:
+        // The old incarnation comes back at the dead epoch: it must fence
+        // itself out (step down on the rival's beacon), not resume.
+        core.set_up(true);
+        break;
+      case TortureOp::kSplitBrain:
+        // Both cores stay up; only the replication/lease path is cut. The
+        // standby promotes while the old core still serves whoever has
+        // not fenced over yet — everything it routes from here must end
+        // up delivered or staleness-accounted (step-down drains the
+        // spool), so no oracle window is needed. Admissions the old core
+        // accepts from here on can no longer reach the replica, though —
+        // repl_severed() exempts exactly those members from F3.
+        net.update_link(core, standby_host, cut);
+        oracle.repl_severed();
+        break;
+      case TortureOp::kHealPartition:
+        net.update_link(core, standby_host, base);
+        break;
+      case TortureOp::kPartition:
+      case TortureOp::kSubAdd:
+      case TortureOp::kSubDrop:
+        break;  // never generated for failover schedules
     }
   };
 
-  // Let the cell form before the schedule starts.
+  // Let the cell form (members join, standby syncs its first snapshot).
   ex.run_for(seconds(2));
   TimePoint start = ex.now();
   for (const TortureStep& step : schedule.steps) {
@@ -315,25 +308,33 @@ TortureResult run_torture(const Schedule& schedule,
   }
   ex.run_for(config.horizon);
 
-  // Heal everything, then drain to quiescence.
+  // Heal everything, then drain to quiescence against the CURRENT core.
   result.log.push_back(fmt_time(ex.now()) + " === heal all ===");
-  net.clear_partitions();
+  core.set_up(true);
+  net.update_link(core, standby_host, base);
   for (int i = 0; i < n; ++i) {
     auto m = static_cast<std::size_t>(i);
     hosts[m]->set_up(true);
-    net.update_link(core, *hosts[m], base);
+    set_member_link(m, base);
     members[m]->start();  // no-op unless a leave was left un-restarted
   }
 
+  auto current_bus = [&]() -> EventBus& {
+    return standby->promoted() ? standby->cell()->bus() : cell->bus();
+  };
+
   auto quiet = [&] {
-    if (cell->bus().members().size() != static_cast<std::size_t>(n)) {
-      return false;
-    }
-    if (cell->bus().max_proxy_backlog() != 0) return false;
+    EventBus& bus = current_bus();
+    if (bus.members().size() != static_cast<std::size_t>(n)) return false;
+    if (bus.max_proxy_backlog() != 0) return false;
     for (auto& m : members) {
       if (!m->joined() || m->client()->backlog() != 0) return false;
-      // Publishes deferred under flow-control pressure must have flushed.
       if (m->offline_pending() != 0) return false;
+      // Joined is not enough after a failover: the promoted bus restores
+      // the full membership from the replica, so its member count looks
+      // right even while a member is still homed to the dead incarnation.
+      // Liveness means every member agrees on WHICH core it talks to.
+      if (m->agent().bus_id() != bus.bus_id()) return false;
     }
     return true;
   };
@@ -345,8 +346,6 @@ TortureResult run_torture(const Schedule& schedule,
     ex.run_for(milliseconds(500));
     stable = quiet() ? stable + 1 : 0;
     if (stable >= 4 && !barrage_done) {
-      // One clean-network round: every member publishes once more, so
-      // invariant (c) is exercised against the final membership too.
       barrage_done = true;
       stable = 0;
       result.log.push_back(fmt_time(ex.now()) + " === final barrage ===");
@@ -364,15 +363,31 @@ TortureResult run_torture(const Schedule& schedule,
   result.publishes = oracle.publishes();
   result.deliveries = oracle.deliveries();
   result.sheds = oracle.sheds();
+  if (!standby->promoted()) {
+    // Every schedule kills the repl stream for longer than the lease: a
+    // run without a promotion means the failover machinery never engaged.
+    result.invariant = "no-promotion";
+    result.violation =
+        "the core incident never expired the standby's lease (applied="
+        + std::to_string(standby->stats().updates_applied) + " resyncs=" +
+        std::to_string(standby->stats().resyncs) + ")";
+    return result;
+  }
   if (stable < 4 || !barrage_done) {
     std::ostringstream os;
     os << "network healed but the system did not quiesce within "
-       << to_seconds(config.quiesce_cap) << "s: members="
-       << cell->bus().members().size() << "/" << n
-       << " proxy_backlog=" << cell->bus().max_proxy_backlog();
+       << to_seconds(config.quiesce_cap)
+       << "s on the promoted core: members=" << current_bus().members().size()
+       << "/" << n << " proxy_backlog=" << current_bus().max_proxy_backlog();
     for (int i = 0; i < n; ++i) {
       auto& m = members[static_cast<std::size_t>(i)];
-      os << " m" << i << (m->joined() ? ":joined" : ":not-joined");
+      if (!m->joined()) {
+        os << " m" << i << ":not-joined";
+      } else if (m->agent().bus_id() != current_bus().bus_id()) {
+        os << " m" << i << ":stranded-on-old-core";
+      } else {
+        os << " m" << i << ":joined";
+      }
     }
     result.invariant = "failed-to-quiesce";
     result.violation = os.str();
@@ -387,27 +402,6 @@ TortureResult run_torture(const Schedule& schedule,
   }
   result.ok = true;
   return result;
-}
-
-std::string format_trace(const Schedule& schedule,
-                         const TortureConfig& config,
-                         const TortureResult& result) {
-  std::ostringstream os;
-  os << "torture trace\n"
-     << "seed: " << schedule.seed << "\n"
-     << "engine: " << amuse::to_string(config.engine) << "\n"
-     << "members: " << config.members << "\n"
-     << "horizon: " << to_seconds(config.horizon) << "s\n"
-     << "publishes: " << result.publishes
-     << " deliveries: " << result.deliveries << "\n"
-     << "violation: [" << result.invariant << "] " << result.violation
-     << "\n\nschedule (" << schedule.steps.size() << " steps):\n";
-  for (const TortureStep& s : schedule.steps) {
-    os << "  " << s.to_string() << "\n";
-  }
-  os << "\nrun log:\n";
-  for (const std::string& line : result.log) os << "  " << line << "\n";
-  return os.str();
 }
 
 }  // namespace amuse::torture

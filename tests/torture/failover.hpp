@@ -1,0 +1,53 @@
+// HA failover torture: seeded fault schedules against an active core + warm
+// standby pair (DESIGN.md §13), checked by the DeliveryOracle's failover
+// rules F1–F5 on top of the base guarantees (a)–(e).
+//
+// Every schedule contains EXACTLY ONE core incident — a core crash (host
+// down, paired with a later revival of the fenced old incarnation) or a
+// split brain (core ⟷ standby link cut while both stay up, paired with a
+// heal) — embedded in the usual storm of member crashes, leaves, link
+// faults, MTU squeezes, slow-consumer stalls and publish bursts. The lease
+// expires, the standby promotes at epoch + 1, members re-home on the fenced
+// beacon, and the promoted core re-delivers its replicated spool; the
+// oracle then demands exactly-once and per-sender FIFO across the
+// promotion, and that every missing delivery is covered by a shed record, a
+// staleness-budget record, or the repl-lag window of the crash itself.
+//
+// Subscription churn is deliberately excluded: the failover rules reason
+// about a member's durable subscriptions surviving the re-home, and the
+// base torture already covers churn against a single core.
+//
+// `fence_epochs` is the sensitivity-proof switch (ctest: the revert test in
+// torture_test.cpp): with the members' epoch fencing reverted, a promotion
+// strands every joined member on the dead incarnation and the harness must
+// fail — members never re-home, so the barrage can't satisfy the oracle
+// (or quiescence) on the promoted bus.
+#pragma once
+
+#include "torture/driver.hpp"
+
+namespace amuse::torture {
+
+struct FailoverConfig {
+  BusEngine engine = BusEngine::kCBased;
+  int members = 4;
+  int incidents = 8;               // member-level incidents (one core
+                                   // incident is always added on top)
+  Duration horizon = seconds(20);  // fault-phase length
+  Duration quiesce_cap = seconds(120);
+  /// Members' beacon epoch fencing (DiscoveryAgentConfig::fence_epochs).
+  /// Reverted (false) only by the oracle-sensitivity proof.
+  bool fence_epochs = true;
+};
+
+/// Expands a seed into a failover schedule: one core incident (crash or
+/// split brain, seed-chosen) mid-horizon plus `incidents` member faults.
+[[nodiscard]] Schedule generate_failover_schedule(std::uint64_t seed,
+                                                  const FailoverConfig& config);
+
+/// Replays a schedule against a fresh active+standby SMC pair and runs the
+/// oracle with the HA rules enabled. Deterministic in (schedule, config).
+[[nodiscard]] TortureResult run_failover_torture(const Schedule& schedule,
+                                                 const FailoverConfig& config);
+
+}  // namespace amuse::torture

@@ -17,9 +17,11 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hpp"
 #include "net/sim_network.hpp"
 #include "sim/sim_executor.hpp"
 #include "torture/driver.hpp"
+#include "torture/failover.hpp"
 #include "torture/multicell.hpp"
 #include "torture/shrink.hpp"
 
@@ -324,6 +326,168 @@ TEST(MulticellTorture, GatewayCrashRejoin) {
     EXPECT_TRUE(result.ok) << "[" << result.invariant << "] "
                            << result.violation;
     EXPECT_GT(result.cross_cell, 0u);
+  }
+}
+
+// ---- HA failover torture (ctest: torture.failover, labels
+// "torture;failover"): seeded schedules with exactly one core incident —
+// crash+revive or split-brain+heal — against an active + warm-standby pair,
+// plus the usual member fault storm, checked by the oracle's failover rules
+// F1–F5 (tests/torture/oracle.hpp). The CI seed matrix reruns this with
+// TORTURE_SEEDS=50 on both engines.
+
+std::string dump_failover_trace(const Schedule& schedule,
+                                const torture::FailoverConfig& config,
+                                const TortureResult& result) {
+  const char* dir = std::getenv("TORTURE_TRACE_DIR");
+  std::string path = std::string(dir != nullptr ? dir : ".") +
+                     "/failover_trace_seed" + std::to_string(schedule.seed) +
+                     "_" + to_string(config.engine) + ".txt";
+  // format_trace only reads the fields FailoverConfig shares with
+  // TortureConfig (engine, members, horizon), so the trace file stays on
+  // the one serialiser.
+  TortureConfig shadow;
+  shadow.engine = config.engine;
+  shadow.members = config.members;
+  shadow.horizon = config.horizon;
+  std::ofstream out(path);
+  out << torture::format_trace(schedule, shadow, result);
+  return path;
+}
+
+void run_failover_seed(std::uint64_t seed, BusEngine engine) {
+  if (std::getenv("TORTURE_LOG") != nullptr) {
+    set_log_level(LogLevel::kDebug);  // per-event bus/discovery narration
+  }
+  torture::FailoverConfig config;
+  config.engine = engine;
+  Schedule schedule = torture::generate_failover_schedule(seed, config);
+  TortureResult result = torture::run_failover_torture(schedule, config);
+  if (std::getenv("TORTURE_VERBOSE") != nullptr) {
+    std::fprintf(stderr,
+                 "[failover] seed %llu engine %s: steps=%zu publishes=%llu "
+                 "deliveries=%llu sheds=%llu %s\n",
+                 static_cast<unsigned long long>(seed), to_string(engine),
+                 schedule.steps.size(),
+                 static_cast<unsigned long long>(result.publishes),
+                 static_cast<unsigned long long>(result.deliveries),
+                 static_cast<unsigned long long>(result.sheds),
+                 result.ok ? "ok" : result.invariant.c_str());
+  }
+  if (result.ok) {
+    EXPECT_GT(result.publishes, 0u) << "schedule published nothing";
+    return;
+  }
+  // No shrinker here: removing the core incident changes which oracle
+  // rules even apply, so a shrunk schedule rarely preserves the failure.
+  std::string trace = dump_failover_trace(schedule, config, result);
+  FAIL() << "failover-guarantee violation [" << result.invariant << "] "
+         << result.violation << "\n  seed " << seed << ", engine "
+         << to_string(engine) << "\n  trace written to " << trace
+         << "\n  reproduce with: TORTURE_SEED=" << seed
+         << " ctest -R torture.failover --output-on-failure";
+}
+
+TEST(TortureFailover, Smoke) {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  int count = 5;
+#else
+  int count = 10;
+#endif
+  std::vector<std::uint64_t> seeds;
+  if (const char* one = std::getenv("TORTURE_SEED")) {
+    seeds.push_back(std::strtoull(one, nullptr, 0));
+  } else {
+    if (const char* many = std::getenv("TORTURE_SEEDS")) {
+      count = std::max(1, std::atoi(many));
+    }
+    for (int i = 0; i < count; ++i) {
+      seeds.push_back(0xFA170 + static_cast<std::uint64_t>(i));
+    }
+  }
+  for (std::uint64_t seed : seeds) {
+    for (BusEngine engine : {BusEngine::kCBased, BusEngine::kSienaBased}) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " engine " +
+                   std::string(to_string(engine)));
+      run_failover_seed(seed, engine);
+      if (HasFatalFailure()) return;  // trace dumped; stop at first failure
+    }
+  }
+}
+
+// Every failover schedule: exactly one core incident, always healed, and
+// none of the ops the failover oracle excludes by design.
+TEST(TortureFailover, ScheduleShapeAndDeterminism) {
+  using torture::TortureOp;
+  torture::FailoverConfig config;
+  for (std::uint64_t seed = 0xFA170; seed < 0xFA170 + 12; ++seed) {
+    Schedule a = torture::generate_failover_schedule(seed, config);
+    Schedule b = torture::generate_failover_schedule(seed, config);
+    ASSERT_EQ(a.steps.size(), b.steps.size());
+    int core_incidents = 0;
+    int core_heals = 0;
+    for (std::size_t i = 0; i < a.steps.size(); ++i) {
+      EXPECT_EQ(a.steps[i].to_string(), b.steps[i].to_string());
+      TortureOp op = a.steps[i].op;
+      if (op == TortureOp::kCoreCrash || op == TortureOp::kSplitBrain) {
+        ++core_incidents;
+      }
+      if (op == TortureOp::kCoreRevive || op == TortureOp::kHealPartition) {
+        ++core_heals;
+      }
+      EXPECT_NE(op, TortureOp::kPartition);
+      EXPECT_NE(op, TortureOp::kSubAdd);
+      EXPECT_NE(op, TortureOp::kSubDrop);
+    }
+    EXPECT_EQ(core_incidents, 1) << "seed " << seed;
+    EXPECT_EQ(core_heals, 1) << "seed " << seed;
+  }
+}
+
+// The sensitivity proof for the epoch-fencing fix: the same schedule, run
+// twice — with the members' beacon fencing on it must pass; with the fence
+// reverted it must fail. The bite needs a *split-brain* schedule: after a
+// plain crash the dead core's sweep (its process outlives the host outage)
+// purges everyone, so the revived core evicts the stale heartbeats and
+// unfenced members recover through a fresh search — legitimate, fence-free
+// recovery. In a split brain the old core keeps serving its members until
+// the heal deposes it; only the fence pulls them onto the promoted epoch,
+// so reverting it strands them on a silent core until the (deliberately
+// distant, 60 s) loss timer — far past this test's quiesce cap. A torture
+// suite that passed both ways would be checking nothing; this pins that
+// the harness actually bites on the bug the fence fixes.
+TEST(TortureFailover, FencingRevertIsCaught) {
+  using torture::TortureOp;
+  torture::FailoverConfig config;
+  // Below the members' 60 s cell-lost timer, comfortably above the few
+  // seconds a fenced re-home needs.
+  config.quiesce_cap = seconds(30);
+  // First seed in the probe range whose schedule rolls a split brain —
+  // deterministic, and robust to generator drift.
+  Schedule schedule;
+  bool has_split = false;
+  for (std::uint64_t seed = 0xFA180; seed < 0xFA1A0 && !has_split; ++seed) {
+    schedule = torture::generate_failover_schedule(seed, config);
+    for (const auto& s : schedule.steps) {
+      has_split = has_split || s.op == TortureOp::kSplitBrain;
+    }
+  }
+  ASSERT_TRUE(has_split)
+      << "no split-brain schedule in the probe range; widen it";
+
+  config.fence_epochs = true;
+  TortureResult fenced = torture::run_failover_torture(schedule, config);
+  EXPECT_TRUE(fenced.ok) << "[" << fenced.invariant << "] "
+                         << fenced.violation;
+
+  config.fence_epochs = false;
+  TortureResult reverted = torture::run_failover_torture(schedule, config);
+  EXPECT_FALSE(reverted.ok)
+      << "epoch-fencing revert sailed through the failover torture — the "
+         "suite has lost its sensitivity to the bug it exists to catch";
+  if (std::getenv("TORTURE_VERBOSE") != nullptr && !reverted.ok) {
+    std::fprintf(stderr, "[failover] revert caught as [%s] %s\n",
+                 reverted.invariant.c_str(), reverted.violation.c_str());
   }
 }
 
