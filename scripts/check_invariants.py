@@ -40,6 +40,12 @@ compiler nor clang-tidy enforce:
       the state failover recovers from — a data-class repl send could be
       shed under the §9 budgets, silently widening the staleness window
       the standby believes it has
+  I11 durable-state mutations go through the ReplStore choke points
+      (DESIGN.md §13.6): the body of every ReplLog mutator must call
+      commit_op(...) or persist_snapshot(...). A mutator that changes
+      replicated state without journalling it leaves the write-ahead
+      store one mutation behind forever — a kill-and-restart would
+      recover a replica that silently lacks it
 
 `--self-test` rebuilds a scratch tree seeded with one violation per
 invariant and fails unless every invariant fires — proof the checker
@@ -220,6 +226,77 @@ def check_repl_control_class(path: Path) -> None:
             )
 
 
+# I11: every ReplLog mutator journals through the ReplStore choke points.
+# The mutator set is pinned by name — adding a mutator without extending
+# this list is caught in review, while adding one that skips the store is
+# caught here. Accessors / drains (take_update, snapshot, dirty, ...) are
+# deliberately absent: they must NOT touch the store.
+REPLLOG_MUTATORS = {
+    "restore",
+    "set_store",
+    "set_epoch",
+    "member_admitted",
+    "member_purged",
+    "standby_admitted",
+    "standby_purged",
+    "sub_added",
+    "sub_removed",
+    "spool_append",
+    "counters_changed",
+}
+REPLLOG_DEF = re.compile(r"\bReplLog::(\w+)\s*\(")
+REPLLOG_CHOKE = re.compile(r"\b(?:commit_op|persist_snapshot)\s*\(")
+
+
+def check_repllog_store_choke_points(path: Path) -> None:
+    stripped = [strip_comments(line) for line in path.read_text().splitlines()]
+    text = "\n".join(stripped)
+    for m in REPLLOG_DEF.finditer(text):
+        name = m.group(1)
+        if name not in REPLLOG_MUTATORS:
+            continue
+        # Walk past the parameter list, then to the body's opening brace
+        # (a ';' first means this is a declaration/call, not a definition).
+        depth = 0
+        pos = m.end() - 1  # at the opening '('
+        while pos < len(text):
+            if text[pos] == "(":
+                depth += 1
+            elif text[pos] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            pos += 1
+        body_start = -1
+        for pos in range(pos + 1, len(text)):
+            if text[pos] == "{":
+                body_start = pos
+                break
+            if text[pos] == ";":
+                break
+        if body_start < 0:
+            continue
+        depth = 0
+        end = body_start
+        while end < len(text):
+            if text[end] == "{":
+                depth += 1
+            elif text[end] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            end += 1
+        body = text[body_start : end + 1]
+        if not REPLLOG_CHOKE.search(body):
+            report(
+                path,
+                text.count("\n", 0, m.start()) + 1,
+                f"I11: ReplLog::{name} mutates replicated state without "
+                "commit_op(...) or persist_snapshot(...) — the ReplStore "
+                "journal would silently miss it (DESIGN.md §13.6)",
+            )
+
+
 def check_cmake_lists_all_sources() -> None:
     cmake = (SRC / "CMakeLists.txt").read_text()
     listed = set(re.findall(r"([\w/]+\.cpp)", cmake))
@@ -240,6 +317,7 @@ def run_checks() -> list[str]:
         check_banned_patterns(f)
         check_channel_send_accounting(f)
         check_repl_control_class(f)
+        check_repllog_store_choke_points(f)
     torture_files = sorted(TORTURE.rglob("*.hpp")) + sorted(TORTURE.rglob("*.cpp"))
     for f in torture_files:
         check_torture_determinism(f)
@@ -260,6 +338,8 @@ SELFTEST_FILES = {
     "src/locky.cpp": ("I9", "#include <mutex>\nstd::mutex mu;\n"),
     # Consumes the return value so I8 stays quiet; I10 alone must fire.
     "src/repl_plain.cpp": ("I10", "bool r() {\n  return channel_->send(BusMessage::repl_update(u).encode());\n}\n"),
+    # A ReplLog mutator that skips the ReplStore choke points.
+    "src/repl_mutator.cpp": ("I11", "void ReplLog::standby_admitted(ServiceId id) {\n  state_.standbys.insert(id.raw());\n}\n"),
 }
 
 

@@ -54,6 +54,9 @@ EventBus::EventBus(Executor& executor, std::shared_ptr<Transport> transport,
   }
   repl_ = ReplLog(
       ReplLog::Limits{config_.ha_spool_events, config_.ha_spool_bytes});
+  // Attach the write-ahead persistence hook before any state is seeded so
+  // the restore/cold-start snapshot below is the journal's baseline record.
+  if (config_.repl_store) repl_.set_store(config_.repl_store);
   if (config_.restore) {
     // Standby promotion (DESIGN.md §13): resume the dead core's durable
     // state under our own (higher) epoch.
@@ -73,6 +76,11 @@ EventBus::EventBus(Executor& executor, std::shared_ptr<Transport> transport,
     seeded.epoch = config_.epoch;
     seeded.session_base = config_.session;
     seeded.proxy_incarnations = proxy_incarnations_;
+    // The replicated standby roster names the *previous* core's standbys —
+    // including whichever of them just became this core. Start empty:
+    // survivors re-home and re-register, and a stale entry would inflate
+    // every future quorum denominator with a voter that no longer exists.
+    seeded.standbys.clear();
     repl_.restore(std::move(seeded));
     for (const auto& [raw, member] : replica.members) {
       // Pre-seed the registry with every member's pre-crash subscriptions
@@ -141,6 +149,9 @@ void EventBus::add_member(const MemberInfo& info) {
     // must never leave a standby running on stale state.
     enable_ha();
     standby_members_.insert(info.id);
+    // Roster before snapshot: the admission snapshot must already name the
+    // newcomer so every mirror (its own included) knows the full quorum.
+    repl_.standby_admitted(info.id);
     push_repl_snapshot(*it->second);
     schedule_lease_tick();
   } else if (ha_) {
@@ -217,6 +228,7 @@ void EventBus::purge_member(ServiceId id) {
   interests_changed();
   if (ha_) {
     repl_.member_purged(id);
+    repl_.standby_purged(id);  // shrink the quorum denominator with it
     repl_flush();
   }
   if (observer_.on_member_purged) observer_.on_member_purged(id);
@@ -330,6 +342,7 @@ void EventBus::enable_ha() {
     if (it == seed.members.end()) continue;  // bus-local handlers
     it->second.subs = subs;
   }
+  for (ServiceId sid : standby_members_) seed.standbys.insert(sid.raw());
   repl_.restore(std::move(seed));
 }
 

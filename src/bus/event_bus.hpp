@@ -90,6 +90,11 @@ struct EventBusConfig {
   /// Replica to restore from (standby promotion): seeds the session-floor
   /// counters, the members' subscriptions, and the re-delivery spool.
   std::shared_ptr<const ReplState> restore;
+  /// Write-ahead persistence hook (DESIGN.md §13.6): every ReplLog mutation
+  /// is journalled through it, so a full-cell kill-and-restart recovers the
+  /// membership, durable subscriptions and the re-delivery spool via
+  /// ReplStore::recover() + `restore`. Null = in-memory only.
+  std::shared_ptr<ReplStore> repl_store;
 };
 
 class EventBus final : public BusPort {

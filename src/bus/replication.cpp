@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "bus/repl_store.hpp"
 #include "pubsub/codec.hpp"
 
 namespace amuse {
@@ -15,6 +16,8 @@ constexpr std::uint8_t kOpSubRemove = 4;
 constexpr std::uint8_t kOpSpoolAppend = 5;
 constexpr std::uint8_t kOpSpoolEvict = 6;
 constexpr std::uint8_t kOpCounters = 7;
+constexpr std::uint8_t kOpStandbyAdmit = 8;
+constexpr std::uint8_t kOpStandbyPurge = 9;
 
 }  // namespace
 
@@ -36,6 +39,8 @@ Bytes ReplState::encode() const {
       filter.encode(w);
     }
   }
+  w.u16(static_cast<std::uint16_t>(standbys.size()));
+  for (std::uint64_t raw : standbys) w.u48(raw);
   w.u32(static_cast<std::uint32_t>(spool.size()));
   for (const ReplSpoolEntry& e : spool) {
     w.u64(e.epoch);
@@ -66,6 +71,8 @@ ReplState ReplState::decode(BytesView data) {
     }
     s.members.emplace(raw, std::move(m));
   }
+  std::uint16_t n_standbys = r.u16();
+  for (std::uint16_t i = 0; i < n_standbys; ++i) s.standbys.insert(r.u48());
   std::uint32_t n_spool = r.u32();
   for (std::uint32_t i = 0; i < n_spool; ++i) {
     ReplSpoolEntry e;
@@ -147,6 +154,16 @@ void ReplState::apply_ops(BytesView ops) {
         route_seq = r.u64();
         break;
       }
+      case kOpStandbyAdmit: {
+        standbys.insert(r.u48());
+        break;
+      }
+      case kOpStandbyPurge: {
+        if (standbys.erase(r.u48()) == 0) {
+          throw DecodeError("repl op purges unknown standby");
+        }
+        break;
+      }
       default:
         throw DecodeError("bad repl opcode " + std::to_string(op));
     }
@@ -160,14 +177,33 @@ void ReplLog::restore(ReplState state) {
   pending_ops_ = 0;
   spool_bytes_ = 0;
   for (const ReplSpoolEntry& e : state_.spool) spool_bytes_ += e.event.size();
+  persist_snapshot();
 }
 
-void ReplLog::op_header(std::uint8_t opcode) {
-  ops_.u8(opcode);
+void ReplLog::set_store(std::shared_ptr<ReplStore> store) {
+  store_ = std::move(store);
+  persist_snapshot();
+}
+
+void ReplLog::commit_op(std::size_t mark) {
   ++pending_ops_;
+  if (!store_) return;
+  const Bytes& buf = ops_.bytes();
+  BytesView op(buf.data() + mark, buf.size() - mark);
+  store_->append_ops(op);
+  wal_op_bytes_ += op.size();
+  if (wal_op_bytes_ >= limits_.wal_compact_bytes) persist_snapshot();
 }
 
-void ReplLog::set_epoch(std::uint64_t epoch) { state_.epoch = epoch; }
+void ReplLog::persist_snapshot() {
+  wal_op_bytes_ = 0;
+  if (store_) store_->snapshot(state_.encode());
+}
+
+void ReplLog::set_epoch(std::uint64_t epoch) {
+  state_.epoch = epoch;
+  persist_snapshot();
+}
 
 void ReplLog::member_admitted(ServiceId id, const std::string& device_type,
                               const std::string& role) {
@@ -175,16 +211,36 @@ void ReplLog::member_admitted(ServiceId id, const std::string& device_type,
   m.device_type = device_type;
   m.role = role;
   state_.members[id.raw()] = std::move(m);
-  op_header(kOpMemberAdmit);
+  std::size_t mark = ops_.size();
+  ops_.u8(kOpMemberAdmit);
   ops_.u48(id.raw());
   ops_.str(device_type);
   ops_.str(role);
+  commit_op(mark);
 }
 
 void ReplLog::member_purged(ServiceId id) {
   if (state_.members.erase(id.raw()) == 0) return;
-  op_header(kOpMemberPurge);
+  std::size_t mark = ops_.size();
+  ops_.u8(kOpMemberPurge);
   ops_.u48(id.raw());
+  commit_op(mark);
+}
+
+void ReplLog::standby_admitted(ServiceId id) {
+  if (!state_.standbys.insert(id.raw()).second) return;
+  std::size_t mark = ops_.size();
+  ops_.u8(kOpStandbyAdmit);
+  ops_.u48(id.raw());
+  commit_op(mark);
+}
+
+void ReplLog::standby_purged(ServiceId id) {
+  if (state_.standbys.erase(id.raw()) == 0) return;
+  std::size_t mark = ops_.size();
+  ops_.u8(kOpStandbyPurge);
+  ops_.u48(id.raw());
+  commit_op(mark);
 }
 
 void ReplLog::sub_added(ServiceId member, std::uint64_t local_id,
@@ -192,30 +248,36 @@ void ReplLog::sub_added(ServiceId member, std::uint64_t local_id,
   auto it = state_.members.find(member.raw());
   if (it == state_.members.end()) return;
   it->second.subs[local_id] = f;
-  op_header(kOpSubAdd);
+  std::size_t mark = ops_.size();
+  ops_.u8(kOpSubAdd);
   ops_.u48(member.raw());
   ops_.u64(local_id);
   f.encode(ops_);
+  commit_op(mark);
 }
 
 void ReplLog::sub_removed(ServiceId member, std::uint64_t local_id) {
   auto it = state_.members.find(member.raw());
   if (it == state_.members.end()) return;
   if (it->second.subs.erase(local_id) == 0) return;
-  op_header(kOpSubRemove);
+  std::size_t mark = ops_.size();
+  ops_.u8(kOpSubRemove);
   ops_.u48(member.raw());
   ops_.u64(local_id);
+  commit_op(mark);
 }
 
 std::vector<ReplSpoolEntry> ReplLog::spool_append(std::uint64_t epoch,
                                                   std::uint64_t seq,
                                                   Bytes event) {
-  op_header(kOpSpoolAppend);
+  std::size_t mark = ops_.size();
+  ops_.u8(kOpSpoolAppend);
   ops_.u64(epoch);
   ops_.u64(seq);
   ops_.blob32(event);
   spool_bytes_ += event.size();
   state_.spool.push_back(ReplSpoolEntry{epoch, seq, std::move(event)});
+  commit_op(mark);
 
   std::vector<ReplSpoolEntry> evicted;
   while (state_.spool.size() > limits_.max_spool_events ||
@@ -225,8 +287,10 @@ std::vector<ReplSpoolEntry> ReplLog::spool_append(std::uint64_t epoch,
     state_.spool.pop_front();
   }
   if (!evicted.empty()) {
-    op_header(kOpSpoolEvict);
+    mark = ops_.size();
+    ops_.u8(kOpSpoolEvict);
     ops_.u32(static_cast<std::uint32_t>(evicted.size()));
+    commit_op(mark);
   }
   return evicted;
 }
@@ -243,11 +307,13 @@ void ReplLog::counters_changed(std::uint32_t session_base,
   state_.proxy_incarnations = proxy_incarnations;
   state_.fed_seq = fed_seq;
   state_.route_seq = route_seq;
-  op_header(kOpCounters);
+  std::size_t mark = ops_.size();
+  ops_.u8(kOpCounters);
   ops_.u32(session_base);
   ops_.u32(proxy_incarnations);
   ops_.u64(fed_seq);
   ops_.u64(route_seq);
+  commit_op(mark);
 }
 
 ReplUpdate ReplLog::take_update() {

@@ -26,7 +26,9 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -35,8 +37,11 @@
 #include "common/sha256.hpp"
 #include "pubsub/event.hpp"
 #include "pubsub/filter.hpp"
+#include "sim/time.hpp"
 
 namespace amuse {
+
+class ReplStore;
 
 /// HA origin header: an immutable (promotion epoch, route sequence) pair
 /// stamped exactly once, by the routing core, on every event while HA
@@ -75,6 +80,10 @@ struct ReplState {
   std::uint64_t fed_seq = 0;
   std::uint64_t route_seq = 0;
   std::map<std::uint64_t, ReplMember> members;  ///< keyed by ServiceId::raw.
+  /// Standby roster (ServiceId::raw of every admitted standby, self
+  /// included). Replicated so each standby knows its arbitration peers:
+  /// promotion quorum is a majority of this set.
+  std::set<std::uint64_t> standbys;
   std::deque<ReplSpoolEntry> spool;
 
   [[nodiscard]] Bytes encode() const;
@@ -96,6 +105,10 @@ class ReplLog {
   struct Limits {
     std::size_t max_spool_events = 512;
     std::size_t max_spool_bytes = 256 * 1024;
+    /// WAL compaction threshold: once this many op bytes have been appended
+    /// to the attached ReplStore since the last snapshot record, the log
+    /// persists a fresh snapshot and the store truncates its journal.
+    std::size_t wal_compact_bytes = 128 * 1024;
   };
 
   ReplLog() = default;
@@ -106,10 +119,19 @@ class ReplLog {
   /// start from a snapshot anyway.
   void restore(ReplState state);
 
+  /// Attaches the write-ahead persistence hook. Every mutation from here on
+  /// is journalled through the store (DESIGN.md §13.6); attaching persists a
+  /// baseline snapshot immediately.
+  void set_store(std::shared_ptr<ReplStore> store);
+
   void set_epoch(std::uint64_t epoch);
   void member_admitted(ServiceId id, const std::string& device_type,
                        const std::string& role);
   void member_purged(ServiceId id);
+  /// Roster of standby-role members, replicated so every standby learns its
+  /// arbitration peers (quorum denominator).
+  void standby_admitted(ServiceId id);
+  void standby_purged(ServiceId id);
   void sub_added(ServiceId member, std::uint64_t local_id, const Filter& f);
   void sub_removed(ServiceId member, std::uint64_t local_id);
   /// Appends a routed event to the spool and evicts past the limits.
@@ -136,7 +158,12 @@ class ReplLog {
   [[nodiscard]] ReplUpdate snapshot() const;
 
  private:
-  void op_header(std::uint8_t opcode);
+  /// The ReplStore choke point (invariant I11): every mutator finishes by
+  /// committing the op bytes it appended (commit_op) or by persisting a
+  /// fresh snapshot (persist_snapshot). No replicated state changes outside
+  /// these two calls.
+  void commit_op(std::size_t mark);
+  void persist_snapshot();
 
   Limits limits_;
   ReplState state_;
@@ -144,6 +171,38 @@ class ReplLog {
   Writer ops_;
   std::size_t pending_ops_ = 0;
   std::size_t spool_bytes_ = 0;
+  std::shared_ptr<ReplStore> store_;
+  std::size_t wal_op_bytes_ = 0;
+};
+
+/// Rate limiter for standby-side full-resync requests: on a lossy link every
+/// version gap would otherwise turn into a snapshot storm. `allow()` grants
+/// at most one request per `min_interval` and counts the rest (surfaced as
+/// `repl_resyncs_suppressed`). The active core's lease stream keeps arriving
+/// regardless, so a suppressed request is retried on the next update.
+class ResyncThrottle {
+ public:
+  ResyncThrottle() = default;
+  explicit ResyncThrottle(Duration min_interval)
+      : min_interval_(min_interval) {}
+
+  [[nodiscard]] bool allow(TimePoint now) {
+    if (armed_ && now < last_ + min_interval_) {
+      ++suppressed_;
+      return false;
+    }
+    armed_ = true;
+    last_ = now;
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t suppressed() const { return suppressed_; }
+
+ private:
+  Duration min_interval_{};
+  TimePoint last_{};
+  bool armed_ = false;
+  std::uint64_t suppressed_ = 0;
 };
 
 /// Standby side: applies the stream, refuses anything out of order.

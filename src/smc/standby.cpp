@@ -1,5 +1,7 @@
 #include "smc/standby.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "wire/packet.hpp"
 
@@ -17,7 +19,9 @@ StandbyCore::StandbyCore(Executor& executor,
       endpoint_(std::move(endpoint)),
       promoted_bus_endpoint_(std::move(promoted_bus_endpoint)),
       promoted_discovery_endpoint_(std::move(promoted_discovery_endpoint)),
-      config_(std::move(config)) {
+      config_(std::move(config)),
+      resync_throttle_(config_.resync_min_interval),
+      jitter_(endpoint_->local_id().raw(), 0x57A4DB) {
   DiscoveryAgentConfig ac = config_.agent;
   ac.role = std::string(kStandbyRole);
   ac.install_receive_handler = false;  // we own the endpoint and mux
@@ -28,12 +32,21 @@ StandbyCore::StandbyCore(Executor& executor,
   agent_->set_on_left([this] { on_left(); });
 
   endpoint_->set_receive_handler([this](ServiceId src, BytesView data) {
-    // Same mux as SmcMember: reliable-channel frames to the bus client,
-    // discovery traffic to the agent.
+    // Same mux as SmcMember — reliable-channel frames to the bus client,
+    // arbitration frames to the claim/vote handlers, discovery to the
+    // agent.
     std::optional<Packet> p = Packet::decode(data);
     if (!p) return;
     if (p->type == PacketType::kData || p->type == PacketType::kAck) {
       if (client_) client_->handle_datagram(src, data);
+    } else if (p->type == PacketType::kPromotionClaim) {
+      if (auto claim = PromotionClaim::decode(p->payload)) {
+        on_claim(p->src, *claim);
+      }
+    } else if (p->type == PacketType::kPromotionVote) {
+      if (auto vote = PromotionVote::decode(p->payload)) {
+        on_vote(p->src, *vote);
+      }
     } else {
       agent_->handle_datagram(src, data);
     }
@@ -65,6 +78,13 @@ void StandbyCore::on_joined(ServiceId bus, std::uint32_t session) {
   cc.install_receive_handler = false;
   client_ = std::make_unique<BusClient>(executor_, endpoint_, bus, cc);
   client_->set_on_repl([this](const ReplUpdate& u) { on_repl(u); });
+  // A fresh core owns us now (first admission, or a re-home to a promoted
+  // winner after losing arbitration): any open claim round or stale vote
+  // belongs to the previous incarnation.
+  reset_arbitration();
+  yield_until_ = {};
+  voted_epoch_ = 0;
+  voted_for_ = 0;
   // The admission snapshot is on its way; give the core a full lease to
   // deliver it.
   lease_deadline_ = executor_.now() + config_.lease_timeout;
@@ -89,10 +109,17 @@ void StandbyCore::on_repl(const ReplUpdate& update) {
       break;
     case ReplMirror::Apply::kResyncNeeded:
       // The core is alive — it just got ahead of us. Renew the lease and
-      // ask for a snapshot; never promote from a suspect replica.
-      ++stats_.resyncs;
+      // ask for a snapshot; never promote from a suspect replica. The
+      // throttle keeps a lossy link from turning every gap into a snapshot
+      // storm: at most one request per resync_min_interval, the rest wait
+      // for the next update (the core's lease stream guarantees one).
       lease_deadline_ = executor_.now() + config_.lease_timeout;
-      if (client_) client_->request_repl_resync();
+      if (resync_throttle_.allow(executor_.now())) {
+        ++stats_.resyncs;
+        if (client_) client_->request_repl_resync();
+      } else {
+        ++stats_.resyncs_suppressed;
+      }
       break;
     case ReplMirror::Apply::kStaleEpoch:
       // A deposed core still streaming after a split brain: neither
@@ -103,33 +130,163 @@ void StandbyCore::on_repl(const ReplUpdate& update) {
 }
 
 void StandbyCore::arm_lease_check() {
-  lease_timer_ = executor_.schedule_after(config_.lease_check_interval,
-                                          [this] {
-                                            lease_timer_ = kNoTimer;
-                                            check_lease();
-                                          });
+  // ±25% jitter, seeded per-standby: rival claim rounds must not stay
+  // phase-locked tick-for-tick.
+  std::int64_t base = config_.lease_check_interval.count();
+  std::uint32_t spread = static_cast<std::uint32_t>(
+      std::min<std::int64_t>(std::max<std::int64_t>(base / 2, 1), UINT32_MAX));
+  std::int64_t jittered =
+      base * 3 / 4 + static_cast<std::int64_t>(jitter_.bounded(spread));
+  lease_timer_ = executor_.schedule_after(Duration(jittered), [this] {
+    lease_timer_ = kNoTimer;
+    check_lease();
+  });
+}
+
+std::vector<ServiceId> StandbyCore::peers() const {
+  std::vector<ServiceId> out;
+  for (std::uint64_t raw : mirror_.state().standbys) {
+    if (raw != id().raw()) out.push_back(ServiceId(raw));
+  }
+  return out;
+}
+
+std::size_t StandbyCore::quorum() const {
+  const auto& roster = mirror_.state().standbys;
+  std::size_t total = roster.size();
+  if (roster.count(id().raw()) == 0) ++total;  // self always counts
+  return total / 2 + 1;
+}
+
+void StandbyCore::reset_arbitration() {
+  claim_epoch_ = 0;
+  claim_nonce_ = 0;
+  votes_granted_.clear();
 }
 
 void StandbyCore::check_lease() {
   if (!running_ || promoted()) return;
-  if (executor_.now() >= lease_deadline_) {
-    if (mirror_.synced()) {
-      promote();
-      return;
-    }
+  TimePoint now = executor_.now();
+  if (now < lease_deadline_) {
+    // Repl traffic resumed: the core is alive, stand down any open round.
+    reset_arbitration();
+    arm_lease_check();
+    return;
+  }
+  if (!mirror_.synced()) {
     // Dead core but no replica to promote from: nothing safe to do except
     // keep waiting (and count it — this is a deployment error, the lease
     // outran the first snapshot).
     ++stats_.lease_expiries_unsynced;
-    lease_deadline_ = executor_.now() + config_.lease_timeout;
+    lease_deadline_ = now + config_.lease_timeout;
+    arm_lease_check();
+    return;
   }
+  if (!config_.require_quorum) {
+    // Pre-quorum behaviour (sensitivity testing only): first synced
+    // standby to notice the lapse promotes unilaterally.
+    promote(mirror_.epoch() + 1);
+    return;
+  }
+  if (now < yield_until_) {
+    // A better rival is mid-promotion; give its beacons time to arrive.
+    arm_lease_check();
+    return;
+  }
+  std::vector<ServiceId> ps = peers();
+  if (ps.empty()) {
+    // Solo standby: majority of one is the implicit self-vote.
+    promote(mirror_.epoch() + 1);
+    return;
+  }
+  if (claim_epoch_ == 0) {
+    claim_epoch_ = mirror_.epoch() + 1;
+    claim_nonce_ = ++claim_rounds_;
+    votes_granted_.clear();
+    ++stats_.promotion_claims;
+    kLog.info(id().to_string(), " claiming promotion at epoch ",
+              std::to_string(claim_epoch_));
+  }
+  broadcast_claim();  // claims are unreliable; re-offer every tick
   arm_lease_check();
 }
 
-void StandbyCore::promote() {
+void StandbyCore::broadcast_claim() {
+  PromotionClaim claim;
+  claim.cell = config_.agent.cell_name;
+  claim.epoch = claim_epoch_;
+  claim.version = mirror_.version();
+  claim.nonce = claim_nonce_;
+  for (ServiceId peer : peers()) {
+    endpoint_->send(peer, claim.to_packet(id(), peer).encode());
+  }
+}
+
+void StandbyCore::on_claim(ServiceId src, const PromotionClaim& claim) {
+  if (!running_ || promoted()) return;
+  if (claim.cell != config_.agent.cell_name) return;
+  if (src.raw() == id().raw()) return;
+  TimePoint now = executor_.now();
+
+  PromotionVote vote;
+  vote.cell = claim.cell;
+  vote.epoch = claim.epoch;
+  vote.nonce = claim.nonce;
+  vote.voter_version = mirror_.version();
+  vote.granted = false;
+
+  // Refuse while our own lease is fresh: we can still hear the core, so
+  // the claimant's silence is its own link, not a dead cell.
+  bool lease_expired = now >= lease_deadline_;
+  // Refuse claims for epochs our mirror has already caught up past.
+  bool epoch_advances = claim.epoch > mirror_.epoch();
+  // Endorse only claimants that beat our own position — if they do not,
+  // we are the better candidate and our own claim settles it.
+  bool rival_better =
+      promotion_beats(claim.version, src, mirror_.version(), id());
+  // Sticky grant: one claimant per epoch until the vote expires, so two
+  // rounds cannot both count us towards a majority.
+  bool sticky_elsewhere = voted_epoch_ == claim.epoch &&
+                          voted_for_ != src.raw() && now < vote_expires_;
+
+  if (lease_expired && epoch_advances && rival_better && !sticky_elsewhere) {
+    vote.granted = true;
+    voted_epoch_ = claim.epoch;
+    voted_for_ = src.raw();
+    vote_expires_ = now + config_.vote_ttl;
+    ++stats_.promotion_votes;
+    if (claim_epoch_ != 0) {
+      // Our own round loses to the rival: stand down and wait for its
+      // beacons (re-claim after yield_timeout if it dies mid-promotion).
+      ++stats_.claims_lost;
+      reset_arbitration();
+      yield_until_ = now + config_.yield_timeout;
+      kLog.info(id().to_string(), " yielding promotion to ",
+                src.to_string());
+    }
+  }
+  endpoint_->send(src, vote.to_packet(id(), src).encode());
+}
+
+void StandbyCore::on_vote(ServiceId src, const PromotionVote& vote) {
+  if (!running_ || promoted() || claim_epoch_ == 0) return;
+  if (vote.cell != config_.agent.cell_name) return;
+  if (vote.epoch != claim_epoch_ || vote.nonce != claim_nonce_) return;
+  if (!vote.granted) return;
+  votes_granted_.insert(src.raw());
+  if (1 + votes_granted_.size() >= quorum()) {
+    kLog.info(id().to_string(), " promotion quorum reached (",
+              std::to_string(1 + votes_granted_.size()), " of ",
+              std::to_string(quorum()), " needed)");
+    promote(claim_epoch_);
+  }
+}
+
+void StandbyCore::promote(std::uint64_t epoch) {
   ++stats_.promotions;
+  reset_arbitration();
   ReplState replica = mirror_.take_state();
-  std::uint64_t epoch = replica.epoch + 1;
+  epoch = std::max(epoch, replica.epoch + 1);
   kLog.info(id().to_string(), " promoting to active core at epoch ",
             std::to_string(epoch));
   // Quietly stop following the dead cell; the promoted core owns the name

@@ -16,6 +16,8 @@ const char* to_string(PacketType t) {
     case PacketType::kJoinReject: return "JOIN_REJECT";
     case PacketType::kLeave: return "LEAVE";
     case PacketType::kHeartbeat: return "HEARTBEAT";
+    case PacketType::kPromotionClaim: return "PROMO_CLAIM";
+    case PacketType::kPromotionVote: return "PROMO_VOTE";
   }
   return "?";
 }
@@ -33,6 +35,8 @@ bool valid_type(std::uint8_t t) {
     case PacketType::kJoinReject:
     case PacketType::kLeave:
     case PacketType::kHeartbeat:
+    case PacketType::kPromotionClaim:
+    case PacketType::kPromotionVote:
       return true;
   }
   return false;

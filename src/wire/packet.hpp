@@ -52,6 +52,10 @@ enum class PacketType : std::uint8_t {
   kJoinReject = 21,
   kLeave = 22,
   kHeartbeat = 23,
+  // HA promotion arbitration (unreliable, idempotent, standby↔standby —
+  // DESIGN.md §13.5). Payload codecs live in wire/promotion.hpp.
+  kPromotionClaim = 24,
+  kPromotionVote = 25,
 };
 
 [[nodiscard]] const char* to_string(PacketType t);

@@ -1,0 +1,65 @@
+#include "wire/promotion.hpp"
+
+namespace amuse {
+
+Packet PromotionClaim::to_packet(ServiceId src, ServiceId dst) const {
+  Packet p;
+  p.type = PacketType::kPromotionClaim;
+  p.src = src;
+  p.dst = dst;
+  Writer w;
+  w.str(cell);
+  w.u64(epoch);
+  w.u64(version);
+  w.u64(nonce);
+  p.payload = std::move(w).take();
+  return p;
+}
+
+std::optional<PromotionClaim> PromotionClaim::decode(BytesView payload) {
+  try {
+    Reader r(payload);
+    PromotionClaim c;
+    c.cell = r.str();
+    c.epoch = r.u64();
+    c.version = r.u64();
+    c.nonce = r.u64();
+    if (!r.done()) return std::nullopt;
+    return c;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+Packet PromotionVote::to_packet(ServiceId src, ServiceId dst) const {
+  Packet p;
+  p.type = PacketType::kPromotionVote;
+  p.src = src;
+  p.dst = dst;
+  Writer w;
+  w.str(cell);
+  w.u64(epoch);
+  w.u64(nonce);
+  w.boolean(granted);
+  w.u64(voter_version);
+  p.payload = std::move(w).take();
+  return p;
+}
+
+std::optional<PromotionVote> PromotionVote::decode(BytesView payload) {
+  try {
+    Reader r(payload);
+    PromotionVote v;
+    v.cell = r.str();
+    v.epoch = r.u64();
+    v.nonce = r.u64();
+    v.granted = r.boolean();
+    v.voter_version = r.u64();
+    if (!r.done()) return std::nullopt;
+    return v;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace amuse

@@ -1,0 +1,57 @@
+// Promotion arbitration frames (DESIGN.md §13.5).
+//
+// When a standby's repl lease lapses it does not promote unilaterally any
+// more: it broadcasts a kPromotionClaim to every peer on the replicated
+// standby roster and only promotes once a majority of the roster (its own
+// implicit vote included) has granted a kPromotionVote. Claims carry the
+// claimed epoch, the claimant's synced repl version and a round nonce; votes
+// echo the (epoch, nonce) pair so a claimant never counts grants from an
+// earlier round.
+//
+// Both frames ride the unreliable packet layer directly (no channel, no
+// session): they are idempotent, retried on the jittered lease-check timer,
+// and carry the cell name so co-located cells cannot cross-arbitrate.
+// Ordering between rival claimants is total and stable: higher synced
+// version wins, ties break towards the smaller ServiceId.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/service_id.hpp"
+#include "wire/packet.hpp"
+
+namespace amuse {
+
+struct PromotionClaim {
+  std::string cell;           ///< cell name (cross-cell isolation)
+  std::uint64_t epoch = 0;    ///< epoch the claimant would promote at
+  std::uint64_t version = 0;  ///< claimant's synced repl version
+  std::uint64_t nonce = 0;    ///< claim round; votes must echo it
+
+  [[nodiscard]] Packet to_packet(ServiceId src, ServiceId dst) const;
+  [[nodiscard]] static std::optional<PromotionClaim> decode(BytesView payload);
+};
+
+struct PromotionVote {
+  std::string cell;
+  std::uint64_t epoch = 0;  ///< echoed from the claim
+  std::uint64_t nonce = 0;  ///< echoed from the claim
+  bool granted = false;
+  std::uint64_t voter_version = 0;  ///< voter's own synced repl version
+
+  [[nodiscard]] Packet to_packet(ServiceId src, ServiceId dst) const;
+  [[nodiscard]] static std::optional<PromotionVote> decode(BytesView payload);
+};
+
+/// The arbitration order: does claimant (va, a) beat rival (vb, b)?
+/// Higher synced version wins; ties break to the smaller ServiceId.
+[[nodiscard]] inline bool promotion_beats(std::uint64_t va, ServiceId a,
+                                          std::uint64_t vb, ServiceId b) {
+  if (va != vb) return va > vb;
+  return a.raw() < b.raw();
+}
+
+}  // namespace amuse

@@ -6,8 +6,11 @@
 // (TortureFailover.*); these tests pin each mechanism individually.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bus/repl_store.hpp"
 #include "hostmodel/profiles.hpp"
 #include "net/link_profiles.hpp"
 #include "smc/cell.hpp"
@@ -36,15 +39,19 @@ struct HaFixture : ::testing::Test {
     cell = std::make_unique<SelfManagedCell>(ex, net.create_endpoint(*core_host),
                                              net.create_endpoint(*core_host),
                                              cell_config());
+    standby = make_standby(*standby_host);
+  }
 
+  std::unique_ptr<StandbyCore> make_standby(SimHost& host,
+                                            bool require_quorum = true) {
     StandbyCoreConfig sc;
     sc.agent.cell_name = kCell;
     sc.agent.pre_shared_key = kPsk;
     sc.cell = cell_config();
-    standby = std::make_unique<StandbyCore>(
-        ex, net.create_endpoint(*standby_host),
-        net.create_endpoint(*standby_host), net.create_endpoint(*standby_host),
-        sc);
+    sc.require_quorum = require_quorum;
+    return std::make_unique<StandbyCore>(
+        ex, net.create_endpoint(host), net.create_endpoint(host),
+        net.create_endpoint(host), sc);
   }
 
   static SmcCellConfig cell_config(bool quench = false) {
@@ -363,6 +370,270 @@ TEST_F(HaFixture, UnchangedQuenchTableSkippedOnPromotion) {
   // The subscription set rode over in the replica, so the rebuilt table is
   // identical and every re-homing member's held digest matches.
   EXPECT_GT(promoted_bus().stats().quench_skipped, 0u);
+}
+
+// ---- Multi-standby quorum arbitration (DESIGN.md §13.5).
+
+struct TwoStandbyFixture : HaFixture {
+  TwoStandbyFixture() {
+    standby2_host = &net.add_host("standby2", profiles::ideal_host());
+    standby2 = make_standby(*standby2_host);
+  }
+
+  StandbyCore* the_winner() {
+    if (standby->promoted()) return standby.get();
+    if (standby2->promoted()) return standby2.get();
+    return nullptr;
+  }
+  StandbyCore* the_loser() {
+    return the_winner() == standby.get() ? standby2.get() : standby.get();
+  }
+  SimHost* winner_host() {
+    return the_winner() == standby.get() ? standby_host : standby2_host;
+  }
+
+  SimHost* standby2_host = nullptr;
+  std::unique_ptr<StandbyCore> standby2;
+};
+
+// Regression for the quorum arbitration itself: with two standbys racing
+// for a dead core's cell, exactly ONE wins a claim round (the peer's vote
+// makes the 2-of-2 majority) and promotes at epoch 2. The loser stands
+// down, re-homes to the winner's beacon, and re-mirrors at the new epoch —
+// the cell is re-armed without operator action. Before the quorum
+// arbitration both standbys promoted; see QuorumRevertedBothPromote.
+TEST_F(TwoStandbyFixture, ExactlyOneStandbyPromotesUnderQuorum) {
+  cell->start();
+  standby->start();
+  standby2->start();
+  SimHost& pub_host = net.add_host("pub", profiles::ideal_host());
+  SimHost& sub_host = net.add_host("sub", profiles::ideal_host());
+  auto pub = make_member(pub_host, "sensor");
+  auto sub = make_member(sub_host, "console");
+  std::vector<long long> got;
+  sub->subscribe(Filter::for_type("seq"),
+                 [&](const Event& e) { got.push_back(e.get_int("n", -1)); });
+  pub->start();
+  sub->start();
+  ex.run_for(seconds(4));
+  ASSERT_TRUE(pub->joined() && sub->joined());
+  ASSERT_TRUE(standby->synced() && standby2->synced());
+  // The roster replicated to both mirrors names both standbys — the quorum
+  // denominator each will arbitrate over.
+  EXPECT_EQ(standby->mirror().state().standbys.size(), 2u);
+  EXPECT_EQ(standby2->mirror().state().standbys.size(), 2u);
+
+  for (int n = 0; n < 5; ++n) {
+    pub->publish(Event("seq", {{"n", n}}));
+    ex.run_for(milliseconds(30));
+  }
+  ex.run_for(seconds(1));
+  ASSERT_EQ(got.size(), 5u);
+
+  core_host->set_up(false);
+  ex.run_for(seconds(6));
+
+  // Exactly one promotion, at epoch 2, granted by the peer's vote.
+  ASSERT_NE(the_winner(), nullptr);
+  StandbyCore* winner = the_winner();
+  StandbyCore* loser = the_loser();
+  EXPECT_NE(winner, loser);
+  EXPECT_FALSE(loser->promoted());
+  EXPECT_EQ(winner->cell()->bus().epoch(), 2u);
+  EXPECT_EQ(winner->cell()->bus().stats().promotions, 1u);
+  EXPECT_GE(winner->stats().promotion_claims, 1u);
+  EXPECT_GE(loser->stats().promotion_votes, 1u);
+
+  // The loser re-homed to the winner and re-mirrors at the new epoch: the
+  // cell is armed for the NEXT failover, not just surviving this one.
+  EXPECT_TRUE(loser->synced());
+  EXPECT_EQ(loser->agent().bus_id(), winner->cell()->bus().bus_id());
+  EXPECT_EQ(loser->mirror().epoch(), 2u);
+  EXPECT_EQ(loser->mirror().state().standbys.size(), 1u);
+
+  // Exactly-once FIFO across the promotion.
+  ASSERT_TRUE(pub->joined() && sub->joined());
+  for (int n = 5; n < 10; ++n) {
+    pub->publish(Event("seq", {{"n", n}}));
+    ex.run_for(milliseconds(30));
+  }
+  ex.run_for(seconds(2));
+  ASSERT_EQ(got.size(), 10u);
+  for (int n = 0; n < 10; ++n) EXPECT_EQ(got[n], n);
+}
+
+// The flag the double-promotion sensitivity proof reverts: without the
+// quorum, both standbys notice the lapse and promote unilaterally at the
+// SAME epoch — a split cell. This is the pre-arbitration behaviour the
+// torture oracle's "double-promotion" check exists to catch
+// (TortureFailover.QuorumRevertIsCaught drives the full proof).
+TEST_F(TwoStandbyFixture, QuorumRevertedBothPromote) {
+  standby = make_standby(*standby_host, /*require_quorum=*/false);
+  standby2 = make_standby(*standby2_host, /*require_quorum=*/false);
+  cell->start();
+  standby->start();
+  standby2->start();
+  ex.run_for(seconds(4));
+  ASSERT_TRUE(standby->synced() && standby2->synced());
+
+  core_host->set_up(false);
+  ex.run_for(seconds(6));
+  EXPECT_TRUE(standby->promoted());
+  EXPECT_TRUE(standby2->promoted());
+  EXPECT_EQ(standby->cell()->bus().epoch(), 2u);
+  EXPECT_EQ(standby2->cell()->bus().epoch(), 2u);
+  EXPECT_EQ(standby->stats().promotion_claims +
+                standby2->stats().promotion_claims,
+            0u);  // nobody even asked
+}
+
+// Standby chains: after the first failover the losing standby re-armed the
+// promoted cell, so a SECOND core crash promotes it too — epoch 3, roster
+// of one, majority of one is the implicit self-vote. Traffic stays
+// exactly-once FIFO across both promotions.
+TEST_F(TwoStandbyFixture, SequentialCrashesPromoteDownTheChain) {
+  cell->start();
+  standby->start();
+  standby2->start();
+  SimHost& pub_host = net.add_host("pub", profiles::ideal_host());
+  SimHost& sub_host = net.add_host("sub", profiles::ideal_host());
+  auto pub = make_member(pub_host, "sensor");
+  auto sub = make_member(sub_host, "console");
+  std::vector<long long> got;
+  sub->subscribe(Filter::for_type("seq"),
+                 [&](const Event& e) { got.push_back(e.get_int("n", -1)); });
+  pub->start();
+  sub->start();
+  ex.run_for(seconds(4));
+  ASSERT_TRUE(pub->joined() && sub->joined());
+  ASSERT_TRUE(standby->synced() && standby2->synced());
+
+  for (int n = 0; n < 5; ++n) {
+    pub->publish(Event("seq", {{"n", n}}));
+    ex.run_for(milliseconds(30));
+  }
+  ex.run_for(seconds(1));
+  ASSERT_EQ(got.size(), 5u);
+
+  // First crash: one standby wins the arbitration, the other re-arms it.
+  core_host->set_up(false);
+  ex.run_for(seconds(6));
+  ASSERT_NE(the_winner(), nullptr);
+  StandbyCore* survivor = the_loser();
+  ASSERT_FALSE(survivor->promoted());
+  ASSERT_TRUE(survivor->synced());
+  ASSERT_EQ(survivor->mirror().epoch(), 2u);
+
+  for (int n = 5; n < 10; ++n) {
+    pub->publish(Event("seq", {{"n", n}}));
+    ex.run_for(milliseconds(30));
+  }
+  ex.run_for(seconds(1));
+  ASSERT_EQ(got.size(), 10u);
+
+  // Second crash: the epoch-2 winner dies too. The survivor is the whole
+  // roster now, so the implicit self-vote is the majority.
+  winner_host()->set_up(false);
+  ex.run_for(seconds(6));
+  ASSERT_TRUE(survivor->promoted());
+  EXPECT_EQ(survivor->cell()->bus().epoch(), 3u);
+  EXPECT_EQ(survivor->cell()->bus().stats().promotions, 1u);
+  ASSERT_TRUE(pub->joined() && sub->joined());
+  EXPECT_EQ(pub->agent().max_epoch(), 3u);
+
+  for (int n = 10; n < 15; ++n) {
+    pub->publish(Event("seq", {{"n", n}}));
+    ex.run_for(milliseconds(30));
+  }
+  ex.run_for(seconds(2));
+  ASSERT_EQ(got.size(), 15u);
+  for (int n = 0; n < 15; ++n) EXPECT_EQ(got[n], n);
+}
+
+// ---- Disk-durable ReplState (DESIGN.md §13.6).
+
+// Full-cell kill-and-restart: the core journals every ReplLog mutation
+// through a FileReplStore, dies with routed-but-undelivered traffic in the
+// spool, and a fresh process recovers membership + durable subscriptions +
+// spool from the journal alone and restarts the cell at epoch + 1. Members
+// fence over exactly as they would to a promoted standby, and the spooled
+// burst is re-delivered exactly once, in order.
+TEST_F(HaFixture, WalRestartRecoversMembershipSubscriptionsAndSpool) {
+  const std::string path = ::testing::TempDir() + "amuse-ha-wal.bin";
+  std::remove(path.c_str());
+
+  SmcCellConfig cfg = cell_config();
+  cfg.bus.repl_store = std::make_shared<FileReplStore>(path);
+  cell = std::make_unique<SelfManagedCell>(ex, net.create_endpoint(*core_host),
+                                           net.create_endpoint(*core_host),
+                                           cfg);
+  cell->start();  // no standby: durability must not depend on one
+  SimHost& pub_host = net.add_host("pub", profiles::ideal_host());
+  SimHost& sub_host = net.add_host("sub", profiles::ideal_host());
+  auto pub = make_member(pub_host, "sensor");
+  auto sub = make_member(sub_host, "console");
+  std::vector<long long> got;
+  sub->subscribe(Filter::for_type("seq"),
+                 [&](const Event& e) { got.push_back(e.get_int("n", -1)); });
+  pub->start();
+  sub->start();
+  ex.run_for(seconds(4));
+  ASSERT_TRUE(pub->joined() && sub->joined());
+  const ServiceId pub_id = pub->id();
+  const ServiceId sub_id = sub->id();
+
+  // Subscriber off the air; the burst is routed, spooled and journalled
+  // but never delivered — then the core dies without warning.
+  sub_host.set_up(false);
+  ex.run_for(milliseconds(500));
+  for (int n = 0; n < 8; ++n) {
+    pub->publish(Event("seq", {{"n", n}}));
+    ex.run_for(milliseconds(30));
+  }
+  ex.run_for(seconds(1));
+  ASSERT_TRUE(got.empty());
+  core_host->set_up(false);
+  cell.reset();  // the process is gone; only the journal file remains
+
+  // A fresh store recovers the durable state from the journal.
+  auto store = std::make_shared<FileReplStore>(path);
+  ReplStore::Recovery rec = store->recover();
+  ASSERT_TRUE(rec.state.has_value());
+  EXPECT_EQ(store->stats().recoveries, 1u);
+  EXPECT_EQ(rec.state->epoch, 1u);
+  ASSERT_EQ(rec.state->members.count(pub_id.raw()), 1u);
+  ASSERT_EQ(rec.state->members.count(sub_id.raw()), 1u);
+  EXPECT_EQ(rec.state->members.at(sub_id.raw()).subs.size(), 1u);
+  ASSERT_EQ(rec.state->spool.size(), 8u);
+
+  // Restart the cell from the recovered replica at epoch + 1 — the same
+  // restore path a promoted standby takes — journalling into the same
+  // store so the next crash is covered too.
+  SmcCellConfig restarted = cell_config();
+  restarted.bus.epoch = rec.state->epoch + 1;
+  restarted.bus.restore =
+      std::make_shared<const ReplState>(std::move(*rec.state));
+  restarted.bus.repl_store = store;
+  core_host->set_up(true);
+  cell = std::make_unique<SelfManagedCell>(ex, net.create_endpoint(*core_host),
+                                           net.create_endpoint(*core_host),
+                                           restarted);
+  cell->start();
+  sub_host.set_up(true);
+  ex.run_for(seconds(6));
+
+  // Members fenced over to the epoch-2 beacon and the spool replayed: the
+  // crashed burst arrives exactly once, in publish order.
+  ASSERT_TRUE(pub->joined() && sub->joined());
+  EXPECT_EQ(pub->agent().max_epoch(), 2u);
+  EXPECT_EQ(cell->bus().epoch(), 2u);
+  EXPECT_EQ(cell->bus().stats().promotions, 1u);
+  ASSERT_EQ(got.size(), 8u);
+  for (int n = 0; n < 8; ++n) EXPECT_EQ(got[n], n);
+  EXPECT_EQ(cell->bus().stats().staleness_redelivered, 8u);
+  EXPECT_EQ(sub->stats().ha_duplicates_dropped, 0u);
+
+  std::remove(path.c_str());
 }
 
 }  // namespace

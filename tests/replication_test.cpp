@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "bus/messages.hpp"
+#include "common/rng.hpp"
 #include "pubsub/codec.hpp"
 
 namespace amuse {
@@ -254,6 +257,103 @@ TEST(ReplMirror, TakeStateConsumesTheReplica) {
   ReplState replica = m.take_state();
   EXPECT_EQ(replica.members.size(), 1u);
   EXPECT_EQ(replica.epoch, 1u);
+}
+
+// ---- Standby roster replication (DESIGN.md §13.5): the quorum
+// denominator every standby arbitrates over rides in the repl stream like
+// any other durable state.
+
+TEST(ReplState, StandbyRosterRoundTripsAndChangesTheDigest) {
+  ReplLog log = seeded_log();
+  Digest256 before = log.state().digest();
+  log.standby_admitted(ServiceId(7));
+  log.standby_admitted(ServiceId(9));
+  (void)log.take_update();
+
+  ReplState back = ReplState::decode(log.state().encode());
+  EXPECT_EQ(back.standbys, (std::set<std::uint64_t>{7, 9}));
+  // The roster is part of the canonical identity: two states differing
+  // only in it must not share a digest.
+  EXPECT_FALSE(digest_equal(log.state().digest(), before));
+}
+
+TEST(ReplMirror, StandbyRosterOpsApplyIncrementally) {
+  ReplLog log = seeded_log();
+  ReplMirror m;
+  ASSERT_EQ(m.apply(log.snapshot()), ReplMirror::Apply::kApplied);
+  EXPECT_TRUE(m.state().standbys.empty());
+
+  log.standby_admitted(ServiceId(7));
+  log.standby_admitted(ServiceId(9));
+  EXPECT_EQ(m.apply(log.take_update()), ReplMirror::Apply::kApplied);
+  EXPECT_EQ(m.state().standbys, (std::set<std::uint64_t>{7, 9}));
+
+  log.standby_purged(ServiceId(7));
+  EXPECT_EQ(m.apply(log.take_update()), ReplMirror::Apply::kApplied);
+  EXPECT_EQ(m.state().standbys, (std::set<std::uint64_t>{9}));
+  EXPECT_TRUE(digest_equal(m.state().digest(), log.state().digest()));
+}
+
+// ---- ResyncThrottle (satellite S1): a lossy repl link must cost a bounded
+// number of snapshots, not one per gap.
+
+TEST(ResyncThrottle, GrantsAtMostOnePerInterval) {
+  ResyncThrottle t(milliseconds(600));
+  TimePoint now{};
+  EXPECT_TRUE(t.allow(now));  // first request always goes out
+  now += milliseconds(100);
+  EXPECT_FALSE(t.allow(now));
+  now += milliseconds(100);
+  EXPECT_FALSE(t.allow(now));
+  EXPECT_EQ(t.suppressed(), 2u);
+  now += milliseconds(500);  // past the interval
+  EXPECT_TRUE(t.allow(now));
+  EXPECT_EQ(t.suppressed(), 2u);
+}
+
+// 30% of the repl stream lost: every surviving update after a gap would
+// ask for a full snapshot, but the throttle caps the resyncs at one per
+// min_interval — the rest are suppressed (counted) and retried on the next
+// update. The mirror still converges once the link lets a snapshot through.
+TEST(ResyncThrottle, LossyLinkCostsBoundedResyncs) {
+  ReplLog log = seeded_log();
+  ReplMirror m;
+  ASSERT_EQ(m.apply(log.snapshot()), ReplMirror::Apply::kApplied);
+
+  ResyncThrottle throttle(milliseconds(600));
+  Rng rng(0xC0FFEE);
+  constexpr int kUpdates = 200;
+  constexpr auto kTick = milliseconds(50);
+  TimePoint now{};
+  std::uint64_t gaps = 0;
+  std::uint64_t resyncs = 0;
+  for (int i = 0; i < kUpdates; ++i) {
+    now += kTick;
+    log.sub_added(ServiceId(5), 100 + static_cast<std::uint64_t>(i), fb());
+    ReplUpdate u = log.take_update();
+    if (rng.chance(0.3)) continue;  // lost in transit
+    if (m.apply(u) == ReplMirror::Apply::kResyncNeeded) {
+      ++gaps;
+      // The standby's resync path: ask only when the throttle allows, and
+      // the (reliable, control-class) answer is a full snapshot.
+      if (throttle.allow(now)) {
+        ++resyncs;
+        ASSERT_EQ(m.apply(log.snapshot()), ReplMirror::Apply::kApplied);
+      }
+    }
+  }
+  ASSERT_EQ(m.apply(log.snapshot()), ReplMirror::Apply::kApplied);
+  EXPECT_TRUE(m.synced());
+  EXPECT_TRUE(digest_equal(m.state().digest(), log.state().digest()));
+
+  // ~30% loss over 200 updates tears the stream far more often than the
+  // throttle lets a snapshot out: the cap is wall-clock, not loss-rate.
+  EXPECT_GT(gaps, resyncs);
+  EXPECT_GT(throttle.suppressed(), 0u);
+  EXPECT_EQ(gaps, resyncs + throttle.suppressed());
+  const std::uint64_t cap =
+      static_cast<std::uint64_t>((kUpdates * kTick) / milliseconds(600)) + 1;
+  EXPECT_LE(resyncs, cap);
 }
 
 TEST(ReplLog, RestoreSeedsPromotedCore) {

@@ -46,6 +46,8 @@ const char* to_string(TortureOp op) {
     case TortureOp::kCoreCrash: return "core-crash";
     case TortureOp::kCoreRevive: return "core-revive";
     case TortureOp::kSplitBrain: return "split-brain";
+    case TortureOp::kChainCrash: return "chain-crash";
+    case TortureOp::kChainRevive: return "chain-revive";
   }
   return "?";
 }
@@ -301,6 +303,8 @@ TortureResult run_torture(const Schedule& schedule,
       case TortureOp::kCoreCrash:
       case TortureOp::kCoreRevive:
       case TortureOp::kSplitBrain:
+      case TortureOp::kChainCrash:
+      case TortureOp::kChainRevive:
         // HA ops exist only in failover schedules (tests/torture/
         // failover.cpp); this single-core harness never generates them.
         break;

@@ -44,6 +44,12 @@ enum class TortureOp : std::uint8_t {
                    // Healed by kHealPartition, which here restores the
                    // core ⟷ standby link (the old core then hears the
                    // rival epoch and deposes itself)
+  kChainCrash,     // crash the host of the CURRENTLY ACTIVE core — the
+                   // promoted winner's host once a promotion happened —
+                   // so a surviving standby (re-armed by the chain) must
+                   // promote a second time (DESIGN.md §13.5 standby
+                   // chains)
+  kChainRevive,    // revive whichever host kChainCrash took down
 };
 
 [[nodiscard]] const char* to_string(TortureOp op);

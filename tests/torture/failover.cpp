@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iomanip>
 #include <memory>
+#include <set>
 #include <sstream>
 
 #include "hostmodel/profiles.hpp"
@@ -44,19 +45,48 @@ Schedule generate_failover_schedule(std::uint64_t seed,
     sched.steps.push_back(TortureStep{t, op, member, a, b});
   };
 
-  // Exactly one core incident per schedule, mid-horizon, so the promotion
-  // is never masked by a second failover and quiescence is reachable. The
-  // gap to the heal comfortably exceeds the standby's 1.5 s lease, so the
-  // promotion is guaranteed to be underway when the old incarnation comes
-  // back (and must then be fenced out).
-  Duration t0 = at(horizon_s * 0.35, horizon_s * 0.5);
-  if (rng.chance(0.4)) {
+  // One primary core incident per schedule, mid-horizon. The gap to the
+  // heal comfortably exceeds the standbys' 1.5 s lease, so the promotion is
+  // guaranteed to be underway when the old incarnation comes back (and must
+  // then be fenced out). Crash schedules with at least two standbys roll a
+  // CHAIN crash: the winner promotes, re-arms the survivors (§13.5 standby
+  // chains), and then its own host dies too — a survivor must promote a
+  // second time. Chain schedules start earlier so the second incident and
+  // its revival still land inside the horizon.
+  // Consume the rolls unconditionally: the schedule for a given seed must
+  // not shift shape just because the standby count changed.
+  bool chain_roll = rng.chance(0.35);
+  bool split_roll = rng.chance(0.4);
+  bool chain = config.standbys >= 2 && chain_roll;
+  bool split = !chain && split_roll;
+  Duration t0 = chain ? at(horizon_s * 0.25, horizon_s * 0.32)
+                      : at(horizon_s * 0.35, horizon_s * 0.5);
+  if (split) {
     push(t0, TortureOp::kSplitBrain, -1);
     push(t0 + at(3.0, 5.0), TortureOp::kHealPartition, -1);
   } else {
     push(t0, TortureOp::kCoreCrash, -1);
     push(t0 + at(4.0, 7.0), TortureOp::kCoreRevive, -1);
+    if (chain) {
+      Duration t1 = t0 + at(6.0, 7.5);
+      push(t1, TortureOp::kChainCrash, -1);
+      push(t1 + at(3.0, 4.5), TortureOp::kChainRevive, -1);
+    }
   }
+
+  // Overload cluster straddling the core incident: a stalled consumer's
+  // proxy queue grows against the §9 delivery budgets while bursts keep
+  // the §13 spool evicting, so shedding and staleness accounting run
+  // DURING the promotion. The oracle's justification tally proves the two
+  // ledgers compose — every missing delivery has exactly one excuse.
+  int victim = static_cast<int>(
+      rng.bounded(static_cast<std::uint32_t>(config.members)));
+  push(t0 - from_seconds(1.5), TortureOp::kStall, victim);
+  push(t0 - at(0.3, 1.2), TortureOp::kBurst, (victim + 1) % config.members,
+       10 + static_cast<int>(rng.bounded(11)));
+  push(t0 + at(0.2, 1.0), TortureOp::kBurst, (victim + 2) % config.members,
+       10 + static_cast<int>(rng.bounded(11)));
+  push(t0 + at(2.0, 4.0), TortureOp::kLinkHeal, victim);
 
   // Member-level incidents: the base torture mix minus subscription churn
   // (the failover rules reason about durable subscriptions surviving the
@@ -114,7 +144,11 @@ TortureResult run_failover_torture(const Schedule& schedule,
   base.latency_spread = milliseconds(30);
   net.set_default_link(base);
   SimHost& core = net.add_host("core", profiles::ideal_host());
-  SimHost& standby_host = net.add_host("standby", profiles::ideal_host());
+  std::vector<SimHost*> standby_hosts;
+  for (int i = 0; i < config.standbys; ++i) {
+    standby_hosts.push_back(
+        &net.add_host("standby" + std::to_string(i), profiles::ideal_host()));
+  }
 
   // Same tight budgets as the base torture (DESIGN.md §9), plus a small HA
   // spool so the bounded-staleness budget actually evicts under bursts —
@@ -142,26 +176,51 @@ TortureResult run_failover_torture(const Schedule& schedule,
   auto cell = std::make_unique<SelfManagedCell>(
       ex, net.create_endpoint(core), net.create_endpoint(core), cc);
 
-  StandbyCoreConfig sc;
-  sc.agent.cell_name = kCellName;
-  sc.agent.pre_shared_key = kPsk;
-  sc.channel.rto_initial = milliseconds(120);
-  sc.channel.rto_min = milliseconds(80);
-  sc.cell = cc;  // the promoted core inherits the same budgets
-  auto standby = std::make_unique<StandbyCore>(
-      ex, net.create_endpoint(standby_host), net.create_endpoint(standby_host),
-      net.create_endpoint(standby_host), sc);
+  std::vector<std::unique_ptr<StandbyCore>> standbys;
+  for (int i = 0; i < config.standbys; ++i) {
+    StandbyCoreConfig sc;
+    sc.agent.cell_name = kCellName;
+    sc.agent.pre_shared_key = kPsk;
+    sc.channel.rto_initial = milliseconds(120);
+    sc.channel.rto_min = milliseconds(80);
+    sc.require_quorum = config.require_quorum;
+    sc.cell = cc;  // the promoted core inherits the same budgets
+    SimHost& h = *standby_hosts[static_cast<std::size_t>(i)];
+    standbys.push_back(std::make_unique<StandbyCore>(
+        ex, net.create_endpoint(h), net.create_endpoint(h),
+        net.create_endpoint(h), sc));
+  }
 
   DeliveryOracle oracle;
   oracle.enable_ha_rules();
   oracle.attach(cell->bus(), [&ex] { return ex.now(); });
-  standby->set_on_promoted([&](SelfManagedCell& promoted) {
-    result.log.push_back(fmt_time(ex.now()) + " === promoted to epoch " +
-                         std::to_string(promoted.bus().epoch()) + " ===");
-    oracle.attach_promoted(promoted.bus());
-  });
+  // Promotion bookkeeping: the arbitration must elect at most one winner
+  // per epoch (two promotions at the same epoch split the cell — the exact
+  // failure quorum exists to prevent, and what the require_quorum revert
+  // proof reproduces). Membership truth follows the HIGHEST promoted
+  // epoch; a chain crash makes attach_promoted fire twice.
+  std::set<std::uint64_t> promo_epochs;
+  std::string double_promo;
+  std::uint64_t top_epoch = 1;  // the original cell's epoch
+  for (std::size_t i = 0; i < standbys.size(); ++i) {
+    standbys[i]->set_on_promoted([&, i](SelfManagedCell& promoted) {
+      std::uint64_t epoch = promoted.bus().epoch();
+      result.log.push_back(fmt_time(ex.now()) + " === standby " +
+                           std::to_string(i) + " promoted to epoch " +
+                           std::to_string(epoch) + " ===");
+      if (!promo_epochs.insert(epoch).second) {
+        double_promo = "standby " + std::to_string(i) +
+                       " promoted at epoch " + std::to_string(epoch) +
+                       " which another standby had already claimed";
+      }
+      if (epoch > top_epoch) {
+        top_epoch = epoch;
+        oracle.attach_promoted(promoted.bus());
+      }
+    });
+  }
   cell->start();
-  standby->start();
+  for (auto& s : standbys) s->start();
 
   const int n = config.members;
   std::vector<SimHost*> hosts;
@@ -214,13 +273,30 @@ TortureResult run_failover_torture(const Schedule& schedule,
 
   LinkModel cut = base;
   cut.loss = 1.0;
-  // Member link faults hit the path to BOTH cores: a member must not get a
-  // pristine link to the promoted core just because its fault was struck
-  // against the old one.
+  // Member link faults hit the path to EVERY core-capable host: a member
+  // must not get a pristine link to the promoted core just because its
+  // fault was struck against the old one.
   auto set_member_link = [&](std::size_t m, const LinkModel& lm) {
     net.update_link(core, *hosts[m], lm);
-    net.update_link(standby_host, *hosts[m], lm);
+    for (SimHost* sh : standby_hosts) net.update_link(*sh, *hosts[m], lm);
   };
+
+  // The currently active promoted standby (highest epoch), or -1 before
+  // any promotion. kChainCrash targets whoever this is at fire time.
+  auto active_standby = [&]() -> int {
+    int best = -1;
+    std::uint64_t best_epoch = 0;
+    for (std::size_t i = 0; i < standbys.size(); ++i) {
+      if (!standbys[i]->promoted()) continue;
+      std::uint64_t e = standbys[i]->cell()->bus().epoch();
+      if (e > best_epoch) {
+        best_epoch = e;
+        best = static_cast<int>(i);
+      }
+    }
+    return best;
+  };
+  int chain_victim = -1;
 
   auto apply = [&](const TortureStep& s) {
     log_step(s);
@@ -257,7 +333,9 @@ TortureResult run_failover_torture(const Schedule& schedule,
         LinkModel lm = base;
         lm.loss = 1.0;
         net.update_link_oneway(core, *hosts[m], lm);
-        net.update_link_oneway(standby_host, *hosts[m], lm);
+        for (SimHost* sh : standby_hosts) {
+          net.update_link_oneway(*sh, *hosts[m], lm);
+        }
         break;
       }
       case TortureOp::kBurst:
@@ -280,18 +358,39 @@ TortureResult run_failover_torture(const Schedule& schedule,
         core.set_up(true);
         break;
       case TortureOp::kSplitBrain:
-        // Both cores stay up; only the replication/lease path is cut. The
-        // standby promotes while the old core still serves whoever has
-        // not fenced over yet — everything it routes from here must end
-        // up delivered or staleness-accounted (step-down drains the
-        // spool), so no oracle window is needed. Admissions the old core
-        // accepts from here on can no longer reach the replica, though —
-        // repl_severed() exempts exactly those members from F3.
-        net.update_link(core, standby_host, cut);
+        // Everyone stays up; only the replication/lease paths to the
+        // standbys are cut (standby ⟷ standby stays intact — arbitration
+        // must still elect exactly one winner). The winner promotes while
+        // the old core still serves whoever has not fenced over yet —
+        // everything it routes from here must end up delivered or
+        // staleness-accounted (step-down drains the spool), so no oracle
+        // window is needed. Admissions the old core accepts from here on
+        // can no longer reach the replicas, though — repl_severed()
+        // exempts exactly those members from F3.
+        for (SimHost* sh : standby_hosts) net.update_link(core, *sh, cut);
         oracle.repl_severed();
         break;
       case TortureOp::kHealPartition:
-        net.update_link(core, standby_host, base);
+        for (SimHost* sh : standby_hosts) net.update_link(core, *sh, base);
+        break;
+      case TortureOp::kChainCrash: {
+        // Kill whoever is the active core NOW — the promoted winner's
+        // host. A surviving standby, re-armed through the chain, must
+        // promote again. (Before any promotion this is a no-op; the
+        // no-chain-promotion check below then flags the schedule.)
+        int victim = active_standby();
+        if (victim >= 0) {
+          chain_victim = victim;
+          standby_hosts[static_cast<std::size_t>(victim)]->set_up(false);
+          oracle.core_incident(ex.now());
+          oracle.repl_severed();
+        }
+        break;
+      }
+      case TortureOp::kChainRevive:
+        if (chain_victim >= 0) {
+          standby_hosts[static_cast<std::size_t>(chain_victim)]->set_up(true);
+        }
         break;
       case TortureOp::kPartition:
       case TortureOp::kSubAdd:
@@ -311,7 +410,10 @@ TortureResult run_failover_torture(const Schedule& schedule,
   // Heal everything, then drain to quiescence against the CURRENT core.
   result.log.push_back(fmt_time(ex.now()) + " === heal all ===");
   core.set_up(true);
-  net.update_link(core, standby_host, base);
+  for (SimHost* sh : standby_hosts) {
+    sh->set_up(true);
+    net.update_link(core, *sh, base);
+  }
   for (int i = 0; i < n; ++i) {
     auto m = static_cast<std::size_t>(i);
     hosts[m]->set_up(true);
@@ -320,13 +422,39 @@ TortureResult run_failover_torture(const Schedule& schedule,
   }
 
   auto current_bus = [&]() -> EventBus& {
-    return standby->promoted() ? standby->cell()->bus() : cell->bus();
+    int active = active_standby();
+    return active >= 0
+               ? standbys[static_cast<std::size_t>(active)]->cell()->bus()
+               : cell->bus();
+  };
+
+  // Standby-role members ride in member_info_ too (the loser of an
+  // arbitration re-homes to the winner as a standby member), so liveness
+  // counts only the serving members. Same for the backlog: a standby
+  // proxy's channel carries the 400 ms repl lease stream, which never
+  // ceases by design — an in-flight lease renewal is steady-state
+  // traffic, not un-drained backlog.
+  auto serving_members = [](EventBus& bus) {
+    std::size_t count = 0;
+    for (const MemberInfo& mi : bus.members()) {
+      if (mi.role != kStandbyRole) ++count;
+    }
+    return count;
+  };
+  auto serving_backlog = [](EventBus& bus) {
+    std::size_t worst = 0;
+    for (const MemberInfo& mi : bus.members()) {
+      if (mi.role == kStandbyRole) continue;
+      Proxy* p = bus.proxy_for(mi.id);
+      if (p != nullptr) worst = std::max(worst, p->pending());
+    }
+    return worst;
   };
 
   auto quiet = [&] {
     EventBus& bus = current_bus();
-    if (bus.members().size() != static_cast<std::size_t>(n)) return false;
-    if (bus.max_proxy_backlog() != 0) return false;
+    if (serving_members(bus) != static_cast<std::size_t>(n)) return false;
+    if (serving_backlog(bus) != 0) return false;
     for (auto& m : members) {
       if (!m->joined() || m->client()->backlog() != 0) return false;
       if (m->offline_pending() != 0) return false;
@@ -335,6 +463,16 @@ TortureResult run_failover_torture(const Schedule& schedule,
       // right even while a member is still homed to the dead incarnation.
       // Liveness means every member agrees on WHICH core it talks to.
       if (m->agent().bus_id() != bus.bus_id()) return false;
+    }
+    // Standby chains: every surviving (never-promoted) standby must have
+    // re-armed against the current core — homed to it AND mirroring at
+    // its epoch. This makes re-arm a per-run liveness obligation, not
+    // something only the chain schedules exercise.
+    for (auto& s : standbys) {
+      if (s->promoted()) continue;  // the active core, or a fenced winner
+      if (!s->synced()) return false;
+      if (s->agent().bus_id() != bus.bus_id()) return false;
+      if (s->mirror().epoch() != bus.epoch()) return false;
     }
     return true;
   };
@@ -363,22 +501,48 @@ TortureResult run_failover_torture(const Schedule& schedule,
   result.publishes = oracle.publishes();
   result.deliveries = oracle.deliveries();
   result.sheds = oracle.sheds();
-  if (!standby->promoted()) {
+  std::uint64_t total_promotions = 0;
+  std::uint64_t total_applied = 0;
+  std::uint64_t total_resyncs = 0;
+  for (auto& s : standbys) {
+    total_promotions += s->stats().promotions;
+    total_applied += s->stats().updates_applied;
+    total_resyncs += s->stats().resyncs;
+  }
+  if (total_promotions == 0) {
     // Every schedule kills the repl stream for longer than the lease: a
     // run without a promotion means the failover machinery never engaged.
     result.invariant = "no-promotion";
     result.violation =
-        "the core incident never expired the standby's lease (applied="
-        + std::to_string(standby->stats().updates_applied) + " resyncs=" +
-        std::to_string(standby->stats().resyncs) + ")";
+        "the core incident never expired any standby's lease (applied=" +
+        std::to_string(total_applied) + " resyncs=" +
+        std::to_string(total_resyncs) + ")";
+    return result;
+  }
+  if (!double_promo.empty()) {
+    result.invariant = "double-promotion";
+    result.violation = double_promo;
+    return result;
+  }
+  bool has_chain = std::any_of(
+      schedule.steps.begin(), schedule.steps.end(), [](const TortureStep& s) {
+        return s.op == TortureOp::kChainCrash;
+      });
+  if (has_chain && total_promotions < 2) {
+    // The chain crash killed the promoted winner; a survivor had a synced
+    // mirror and an expired lease, so a second promotion is mandatory.
+    result.invariant = "no-chain-promotion";
+    result.violation =
+        "the chain crash did not produce a second promotion (promotions=" +
+        std::to_string(total_promotions) + ")";
     return result;
   }
   if (stable < 4 || !barrage_done) {
     std::ostringstream os;
     os << "network healed but the system did not quiesce within "
        << to_seconds(config.quiesce_cap)
-       << "s on the promoted core: members=" << current_bus().members().size()
-       << "/" << n << " proxy_backlog=" << current_bus().max_proxy_backlog();
+       << "s on the promoted core: members=" << serving_members(current_bus())
+       << "/" << n << " proxy_backlog=" << serving_backlog(current_bus());
     for (int i = 0; i < n; ++i) {
       auto& m = members[static_cast<std::size_t>(i)];
       if (!m->joined()) {
@@ -387,6 +551,27 @@ TortureResult run_failover_torture(const Schedule& schedule,
         os << " m" << i << ":stranded-on-old-core";
       } else {
         os << " m" << i << ":joined";
+      }
+    }
+    for (const MemberInfo& mi : current_bus().members()) {
+      Proxy* p = current_bus().proxy_for(mi.id);
+      if (p != nullptr && p->pending() != 0) {
+        os << " backlog[" << mi.device_type << "/" << mi.role << "@"
+           << mi.id.to_string() << "]=" << p->pending();
+      }
+    }
+    for (std::size_t i = 0; i < standbys.size(); ++i) {
+      auto& s = standbys[i];
+      if (s->promoted()) {
+        os << " s" << i << ":promoted";
+      } else if (!s->synced()) {
+        os << " s" << i << ":unsynced";
+      } else if (s->agent().bus_id() != current_bus().bus_id()) {
+        os << " s" << i << ":stranded-on-old-core";
+      } else if (s->mirror().epoch() != current_bus().epoch()) {
+        os << " s" << i << ":stale-epoch";
+      } else {
+        os << " s" << i << ":armed";
       }
     }
     result.invariant = "failed-to-quiesce";

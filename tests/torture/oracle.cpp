@@ -305,14 +305,17 @@ void DeliveryOracle::finish() {
   // repl-lag window before a core crash accounts for it.
   for (const auto& [key, rec] : publishes_) {
     for (const auto& [member, matching] : rec.candidates) {
+      ++tally_.pairs;
       if (delivered_.contains(
               std::make_tuple(member.raw(), key.first, key.second))) {
+        ++tally_.delivered;
         continue;
       }
       // Overload shedding is always a legal excuse when the bus accounted
       // for it with a shed record for exactly this (member, event) pair.
       if (shed_.contains(
               std::make_tuple(member.raw(), key.first, key.second))) {
+        ++tally_.shed;
         continue;
       }
       if (ha_mode_) {
@@ -320,12 +323,19 @@ void DeliveryOracle::finish() {
         // deposed-core route, or the step-down drain) — bounded staleness
         // is the contract, silent loss is not.
         if (staleness_.contains(std::make_pair(key.first, key.second))) {
+          ++tally_.staleness;
           continue;
         }
-        if (in_incident_window(rec.routed_at)) continue;
+        if (in_incident_window(rec.routed_at)) {
+          ++tally_.repl_lag;
+          continue;
+        }
       }
       const auto iv = intervals_.find(member);
-      if (iv == intervals_.end() || iv->second.empty()) continue;
+      if (iv == intervals_.end() || iv->second.empty()) {
+        ++tally_.exempt;
+        continue;
+      }
       // Find the admission interval that was open at publish time.
       const Interval* at_pub = nullptr;
       for (const Interval& i : iv->second) {
@@ -335,16 +345,25 @@ void DeliveryOracle::finish() {
           break;
         }
       }
-      if (at_pub == nullptr) continue;
+      if (at_pub == nullptr) {
+        ++tally_.exempt;
+        continue;
+      }
       if (at_pub->close_seq == kOpen) {
         // Still admitted, never re-homed: the base guarantee, provided at
         // least one matching subscription survived to the end of the run.
         const auto mit = mirror_.find(member);
-        if (mit == mirror_.end()) continue;
+        if (mit == mirror_.end()) {
+          ++tally_.unsubscribed;
+          continue;
+        }
         bool survived = std::any_of(
             matching.begin(), matching.end(),
             [&](std::uint64_t id) { return mit->second.contains(id); });
-        if (!survived) continue;
+        if (!survived) {
+          ++tally_.unsubscribed;
+          continue;
+        }
         fail("lost-delivery",
              "member " + member.to_string() +
                  " stayed admitted and subscribed but never received event"
@@ -367,6 +386,13 @@ void DeliveryOracle::finish() {
                  "), and no shed, staleness, or repl-lag record accounts"
                  " for it");
         return;
+      }
+      if (at_pub->purged) {
+        ++tally_.purged;
+      } else if (at_pub->unreplicated) {
+        ++tally_.unreplicated;
+      } else {
+        ++tally_.exempt;  // non-HA re-home: (c) does not reach across it
       }
     }
   }

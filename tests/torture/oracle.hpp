@@ -69,6 +69,26 @@ class DeliveryOracle {
     std::string detail;
   };
 
+  /// Justification ledger, filled by finish(): every (candidate member,
+  /// publish) pair is attributed to EXACTLY ONE bucket, in priority order
+  /// delivered > shed > staleness > repl-lag > purged > unreplicated >
+  /// unsubscribed > exempt. `pairs` equals the sum of all buckets by
+  /// construction — the directed overload test asserts that the shed and
+  /// staleness ledgers compose: shedding under §9 budgets and spool
+  /// eviction under §13 each justify their own losses, no pair needs two
+  /// excuses and none goes silent.
+  struct Tally {
+    std::uint64_t pairs = 0;         // candidate (member, publish) pairs
+    std::uint64_t delivered = 0;     // received at least once
+    std::uint64_t shed = 0;          // §9 shed record for this exact pair
+    std::uint64_t staleness = 0;     // §13 staleness-budget record
+    std::uint64_t repl_lag = 0;      // routed inside a crash's lag window
+    std::uint64_t purged = 0;        // interval closed by a purge
+    std::uint64_t unreplicated = 0;  // admission never reached the replica
+    std::uint64_t unsubscribed = 0;  // matching subscription dropped
+    std::uint64_t exempt = 0;        // non-HA re-home / defensive paths
+  };
+
   /// Installs the bus observer. `now` supplies the simulation clock (used
   /// to timestamp publishes for the stale-delivery check). The oracle must
   /// outlive the bus.
@@ -117,6 +137,8 @@ class DeliveryOracle {
   [[nodiscard]] const std::optional<Violation>& violation() const {
     return violation_;
   }
+  /// Valid after finish() (empty if finish() bailed on a prior violation).
+  [[nodiscard]] const Tally& tally() const { return tally_; }
   [[nodiscard]] std::uint64_t publishes() const { return publishes_.size(); }
   [[nodiscard]] std::uint64_t deliveries() const { return delivery_count_; }
   [[nodiscard]] std::uint64_t sheds() const { return shed_.size(); }
@@ -202,6 +224,7 @@ class DeliveryOracle {
   std::map<std::tuple<std::size_t, std::uint64_t, std::uint64_t>,
            std::uint64_t> ha_fifo_;
   std::uint64_t delivery_count_ = 0;
+  Tally tally_;
 
   std::optional<Violation> violation_;
 };

@@ -330,11 +330,13 @@ TEST(MulticellTorture, GatewayCrashRejoin) {
 }
 
 // ---- HA failover torture (ctest: torture.failover, labels
-// "torture;failover"): seeded schedules with exactly one core incident —
-// crash+revive or split-brain+heal — against an active + warm-standby pair,
-// plus the usual member fault storm, checked by the oracle's failover rules
-// F1–F5 (tests/torture/oracle.hpp). The CI seed matrix reruns this with
-// TORTURE_SEEDS=50 on both engines.
+// "torture;failover"): seeded schedules with one primary core incident —
+// crash+revive or split-brain+heal — against an active core plus
+// TORTURE_STANDBYS warm standbys (default 2, quorum arbitration), an
+// overload cluster straddling the incident, an optional chain crash of the
+// promoted winner, plus the usual member fault storm, checked by the
+// oracle's failover rules F1–F5 (tests/torture/oracle.hpp). The CI seed
+// matrix reruns this with TORTURE_SEEDS=50 on both engines.
 
 std::string dump_failover_trace(const Schedule& schedule,
                                 const torture::FailoverConfig& config,
@@ -361,6 +363,9 @@ void run_failover_seed(std::uint64_t seed, BusEngine engine) {
   }
   torture::FailoverConfig config;
   config.engine = engine;
+  if (const char* standbys = std::getenv("TORTURE_STANDBYS")) {
+    config.standbys = std::max(1, std::atoi(standbys));
+  }
   Schedule schedule = torture::generate_failover_schedule(seed, config);
   TortureResult result = torture::run_failover_torture(schedule, config);
   if (std::getenv("TORTURE_VERBOSE") != nullptr) {
@@ -415,32 +420,65 @@ TEST(TortureFailover, Smoke) {
   }
 }
 
-// Every failover schedule: exactly one core incident, always healed, and
-// none of the ops the failover oracle excludes by design.
+// Every failover schedule: exactly one primary core incident, always
+// healed; at most one chain crash, always paired with a revive and only on
+// crash schedules; an overload stall in every schedule; and none of the
+// ops the failover oracle excludes by design.
 TEST(TortureFailover, ScheduleShapeAndDeterminism) {
   using torture::TortureOp;
   torture::FailoverConfig config;
+  bool any_chain = false;
   for (std::uint64_t seed = 0xFA170; seed < 0xFA170 + 12; ++seed) {
     Schedule a = torture::generate_failover_schedule(seed, config);
     Schedule b = torture::generate_failover_schedule(seed, config);
     ASSERT_EQ(a.steps.size(), b.steps.size());
     int core_incidents = 0;
     int core_heals = 0;
+    int core_crashes = 0;
+    int chain_crashes = 0;
+    int chain_revives = 0;
+    int stalls = 0;
     for (std::size_t i = 0; i < a.steps.size(); ++i) {
       EXPECT_EQ(a.steps[i].to_string(), b.steps[i].to_string());
       TortureOp op = a.steps[i].op;
       if (op == TortureOp::kCoreCrash || op == TortureOp::kSplitBrain) {
         ++core_incidents;
       }
+      if (op == TortureOp::kCoreCrash) ++core_crashes;
       if (op == TortureOp::kCoreRevive || op == TortureOp::kHealPartition) {
         ++core_heals;
       }
+      if (op == TortureOp::kChainCrash) ++chain_crashes;
+      if (op == TortureOp::kChainRevive) ++chain_revives;
+      if (op == TortureOp::kStall) ++stalls;
+      EXPECT_LE(a.steps[i].at, config.horizon) << "seed " << seed;
       EXPECT_NE(op, TortureOp::kPartition);
       EXPECT_NE(op, TortureOp::kSubAdd);
       EXPECT_NE(op, TortureOp::kSubDrop);
     }
     EXPECT_EQ(core_incidents, 1) << "seed " << seed;
     EXPECT_EQ(core_heals, 1) << "seed " << seed;
+    EXPECT_LE(chain_crashes, 1) << "seed " << seed;
+    EXPECT_EQ(chain_crashes, chain_revives) << "seed " << seed;
+    if (chain_crashes > 0) {
+      EXPECT_EQ(core_crashes, 1)
+          << "seed " << seed << ": chain crash on a split-brain schedule";
+      any_chain = true;
+    }
+    EXPECT_GE(stalls, 1) << "seed " << seed << ": no overload stall";
+  }
+  EXPECT_TRUE(any_chain)
+      << "no chain-crash schedule in the probe range; the double-crash "
+         "surface is not being exercised";
+
+  // A single-standby deployment has no chain to crash down.
+  torture::FailoverConfig solo = config;
+  solo.standbys = 1;
+  for (std::uint64_t seed = 0xFA170; seed < 0xFA170 + 12; ++seed) {
+    Schedule s = torture::generate_failover_schedule(seed, solo);
+    for (const auto& step : s.steps) {
+      EXPECT_NE(step.op, TortureOp::kChainCrash) << "seed " << seed;
+    }
   }
 }
 
@@ -489,6 +527,47 @@ TEST(TortureFailover, FencingRevertIsCaught) {
     std::fprintf(stderr, "[failover] revert caught as [%s] %s\n",
                  reverted.invariant.c_str(), reverted.violation.c_str());
   }
+}
+
+// The sensitivity proof for the quorum arbitration (DESIGN.md §13.5): the
+// same two-standby schedule, run twice. With require_quorum on, the
+// claim/vote protocol elects exactly one winner and the run passes. With
+// it reverted — each standby promotes unilaterally the moment its own
+// lease lapses, the pre-arbitration behaviour — both standbys promote at
+// the same epoch and the harness must report the split cell as
+// "double-promotion". A chain-free crash schedule keeps the failure mode
+// pure: one incident, two rival claimants, one epoch.
+TEST(TortureFailover, QuorumRevertIsCaught) {
+  using torture::TortureOp;
+  torture::FailoverConfig config;
+  config.quiesce_cap = seconds(30);
+  Schedule schedule;
+  bool found = false;
+  for (std::uint64_t seed = 0xFA1C0; seed < 0xFA1E0 && !found; ++seed) {
+    schedule = torture::generate_failover_schedule(seed, config);
+    bool crash = false;
+    bool chain = false;
+    for (const auto& s : schedule.steps) {
+      crash = crash || s.op == TortureOp::kCoreCrash;
+      chain = chain || s.op == TortureOp::kChainCrash;
+    }
+    found = crash && !chain;
+  }
+  ASSERT_TRUE(found)
+      << "no chain-free crash schedule in the probe range; widen it";
+
+  config.require_quorum = true;
+  TortureResult arbitrated = torture::run_failover_torture(schedule, config);
+  EXPECT_TRUE(arbitrated.ok)
+      << "[" << arbitrated.invariant << "] " << arbitrated.violation;
+
+  config.require_quorum = false;
+  TortureResult reverted = torture::run_failover_torture(schedule, config);
+  EXPECT_FALSE(reverted.ok)
+      << "quorum revert sailed through the failover torture — with "
+         "unilateral promotion two standbys must split the cell";
+  EXPECT_EQ(reverted.invariant, "double-promotion")
+      << "[" << reverted.invariant << "] " << reverted.violation;
 }
 
 TEST(SimNetworkFaults, UpdateLinkSwapsModelInPlace) {
